@@ -1,0 +1,84 @@
+// Ablation for the closing argument of §4.4: "observed repair time
+// distributions are characterized by coefficients of variation less than
+// one. Under such conditions, sites will tend to recover in the same order
+// as they failed" — so after a total failure, the last site to recover is
+// often the last that failed, and the conventional available-copy
+// algorithm cannot beat the naive one.
+//
+// We sweep the repair-time distribution from exponential (CV = 1, the
+// Markov model's assumption) through Erlang-4 (CV = 0.5) to Erlang-16
+// (CV = 0.25) and measure the mean total-failure outage of both schemes.
+// The paper's prediction: the AC/NAC outage ratio approaches 1 as CV
+// falls.
+#include <cmath>
+#include <iostream>
+
+#include "reldev/core/experiment.hpp"
+#include "reldev/util/flags.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.add_double("horizon", 200'000, "simulated time per configuration");
+  flags.add_int("sites", 3, "number of copies");
+  flags.add_double("rho", 0.6, "failure/repair ratio (high, so total "
+                               "failures are common)");
+  flags.add_bool("csv", false, "emit CSV");
+  if (auto status = flags.parse(argc, argv); !status.is_ok()) {
+    std::cerr << status.to_string() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("ablation_repair_cv");
+    return 0;
+  }
+
+  TextTable table({"repair CV", "erlang k", "AC outage", "NAC outage",
+                   "NAC/AC ratio", "AC totals", "NAC totals"});
+  table.set_title(
+      "Ablation (§4.4): total-failure outage vs repair-time coefficient of "
+      "variation, n = " +
+      std::to_string(flags.get_int("sites")) +
+      ", rho = " + TextTable::fmt(flags.get_double("rho"), 1));
+
+  double previous_ratio = 1e9;
+  bool monotone = true;
+  for (const std::size_t shape : {1u, 4u, 16u}) {
+    core::RecoveryOptions options;
+    options.sites = static_cast<std::size_t>(flags.get_int("sites"));
+    options.rho = flags.get_double("rho");
+    options.horizon = flags.get_double("horizon");
+    options.repair_shape = shape;
+    options.seed = 160'000 + shape;
+
+    options.scheme = core::SchemeKind::kAvailableCopy;
+    const auto ac = core::run_recovery_experiment(options);
+    options.scheme = core::SchemeKind::kNaiveAvailableCopy;
+    const auto naive = core::run_recovery_experiment(options);
+
+    const double ratio =
+        ac.mean_outage > 0.0 ? naive.mean_outage / ac.mean_outage : 0.0;
+    monotone = monotone && ratio <= previous_ratio + 0.05;
+    previous_ratio = ratio;
+    const double cv = 1.0 / std::sqrt(static_cast<double>(shape));
+    table.add_row({TextTable::fmt(cv, 2), std::to_string(shape),
+                   TextTable::fmt(ac.mean_outage, 3),
+                   TextTable::fmt(naive.mean_outage, 3),
+                   TextTable::fmt(ratio, 3),
+                   std::to_string(ac.total_failures),
+                   std::to_string(naive.total_failures)});
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nPaper shape check: the NAC/AC outage ratio shrinks "
+                 "toward 1 as the repair-time\nCV drops below 1 — exactly "
+                 "the §4.4 argument for preferring the naive scheme.\n"
+              << (monotone ? "Ratio decreases with CV: HOLDS\n"
+                           : "Ratio ordering violated!\n");
+  }
+  return monotone ? 0 : 1;
+}

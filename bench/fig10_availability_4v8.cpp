@@ -1,0 +1,90 @@
+// Figure 10 of the paper: four available copies vs eight voting copies,
+// rho = 0 -> 0.20. Same three evaluation routes as fig09.
+#include <iostream>
+
+#include "reldev/analysis/availability.hpp"
+#include "reldev/analysis/markov.hpp"
+#include "reldev/core/experiment.hpp"
+#include "reldev/util/flags.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.add_double("horizon", 60'000,
+                   "simulated time per DES measurement (repair rate = 1)");
+  flags.add_bool("csv", false, "emit CSV");
+  flags.add_bool("no-sim", false, "analytic columns only (fast)");
+  if (auto status = flags.parse(argc, argv); !status.is_ok()) {
+    std::cerr << status.to_string() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("fig10_availability_4v8");
+    return 0;
+  }
+  const bool simulate = !flags.get_bool("no-sim");
+  const double horizon = flags.get_double("horizon");
+
+  TextTable table({"rho", "A_V(8)", "A_A(4)", "A_NA(4)", "A_A(4) ctmc",
+                   "A_NA(4) ctmc", "A_A(4) sim", "A_NA(4) sim",
+                   "A_V(8) sim"});
+  table.set_title(
+      "Figure 10: availabilities for four available copies vs eight voting "
+      "copies");
+
+  for (int step = 0; step <= 10; ++step) {
+    const double rho = 0.02 * step;
+    std::vector<std::string> row;
+    row.push_back(TextTable::fmt(rho, 2));
+    row.push_back(TextTable::fmt(analysis::voting_availability(8, rho), 6));
+    row.push_back(
+        TextTable::fmt(analysis::available_copy_availability(4, rho), 6));
+    row.push_back(TextTable::fmt(
+        analysis::naive_available_copy_availability(4, rho), 6));
+    if (rho > 0.0) {
+      row.push_back(TextTable::fmt(
+          analysis::solve_available_copy_chain(4, rho).availability(), 6));
+      row.push_back(TextTable::fmt(
+          analysis::solve_naive_available_copy_chain(4, rho).availability(),
+          6));
+    } else {
+      row.push_back("1.000000");
+      row.push_back("1.000000");
+    }
+    if (simulate && rho > 0.0) {
+      core::AvailabilityOptions options;
+      options.sites = 4;
+      options.rho = rho;
+      options.horizon = horizon;
+      options.warmup = horizon / 50;
+      options.seed = 100'000 + static_cast<std::uint64_t>(step);
+
+      options.scheme = core::SchemeKind::kAvailableCopy;
+      row.push_back(TextTable::fmt(
+          core::run_availability_experiment(options).availability, 6));
+      options.scheme = core::SchemeKind::kNaiveAvailableCopy;
+      row.push_back(TextTable::fmt(
+          core::run_availability_experiment(options).availability, 6));
+      options.scheme = core::SchemeKind::kVoting;
+      options.sites = 8;
+      row.push_back(TextTable::fmt(
+          core::run_availability_experiment(options).availability, 6));
+    } else {
+      row.push_back(simulate ? "1.000000" : "-");
+      row.push_back(simulate ? "1.000000" : "-");
+      row.push_back(simulate ? "1.000000" : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nPaper shape check: both available-copy curves dominate "
+                 "A_V(8) everywhere;\nthe AC/NAC gap only opens past rho ~ "
+                 "0.10.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 12 of the paper: the same workload-cost comparison as Figure 11
+// but in a UNIQUE-ADDRESSING network (every destination is a separate
+// transmission, §5.2). The schemes keep their order; the absolute gaps
+// widen substantially.
+#include <iostream>
+
+#include "reldev/analysis/traffic.hpp"
+#include "reldev/core/experiment.hpp"
+#include "reldev/util/flags.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+using analysis::Scheme;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.add_double("rho", 0.05, "failure rate / repair rate");
+  flags.add_double("horizon", 1'500, "simulated time per measured point");
+  flags.add_bool("csv", false, "emit CSV");
+  flags.add_bool("no-sim", false, "analytic columns only (fast)");
+  if (auto status = flags.parse(argc, argv); !status.is_ok()) {
+    std::cerr << status.to_string() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("fig12_unique_traffic");
+    return 0;
+  }
+  const double rho = flags.get_double("rho");
+  const bool simulate = !flags.get_bool("no-sim");
+  const auto mode = net::AddressingMode::kUnique;
+
+  TextTable table({"n", "NAC", "AC", "vote x=1", "vote x=2", "vote x=4",
+                   "NAC sim", "AC sim", "vote x=2 sim"});
+  table.set_title(
+      "Figure 12: transmissions per (1 write + x reads), unique addressing, "
+      "rho = " +
+      TextTable::fmt(rho, 2));
+
+  for (std::size_t n = 2; n <= 8; ++n) {
+    std::vector<std::string> row{std::to_string(n)};
+    row.push_back(TextTable::fmt(
+        analysis::workload_cost(Scheme::kNaiveAvailableCopy, mode, n, rho, 2),
+        3));
+    row.push_back(TextTable::fmt(
+        analysis::workload_cost(Scheme::kAvailableCopy, mode, n, rho, 2), 3));
+    for (const double x : {1.0, 2.0, 4.0}) {
+      row.push_back(TextTable::fmt(
+          analysis::workload_cost(Scheme::kVoting, mode, n, rho, x), 3));
+    }
+    if (simulate) {
+      core::TrafficOptions options;
+      options.mode = mode;
+      options.sites = n;
+      options.rho = rho;
+      options.reads_per_write = 2.0;
+      options.horizon = flags.get_double("horizon");
+      options.seed = 120'000 + n;
+
+      options.scheme = core::SchemeKind::kNaiveAvailableCopy;
+      row.push_back(TextTable::fmt(
+          core::run_traffic_experiment(options).per_workload_unit, 3));
+      options.scheme = core::SchemeKind::kAvailableCopy;
+      row.push_back(TextTable::fmt(
+          core::run_traffic_experiment(options).per_workload_unit, 3));
+      options.scheme = core::SchemeKind::kVoting;
+      row.push_back(TextTable::fmt(
+          core::run_traffic_experiment(options).per_workload_unit, 3));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
+    table.add_row(std::move(row));
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nPaper shape check: same ordering as Figure 11 with "
+                 "larger absolute gaps;\nvoting at x=4 is the steepest "
+                 "curve by far.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Theorem 4.1 and the §4 identities, verified numerically over a grid:
+//   A_A(n) > A_V(2n-1) = A_V(2n)          for all rho <= 1   (Theorem 4.1)
+//   A_NA(2) = A_V(3)                                          (§4.3)
+//   A_A(n) > 1 - n rho^n/(1+rho)^n                            (inequality 5)
+#include <cmath>
+#include <iostream>
+
+#include "reldev/analysis/availability.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+
+int main() {
+  TextTable table({"n", "rho", "A_A(n)", "A_V(2n-1)", "A_V(2n)", "margin",
+                   "bound(5)"});
+  table.set_title(
+      "Theorem 4.1: n available copies beat 2n-1 (and 2n) voting copies for "
+      "rho <= 1");
+
+  bool theorem_holds = true;
+  bool identity_holds = true;
+  bool bound_holds = true;
+
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (const double rho : {0.05, 0.2, 0.5, 1.0}) {
+      const double ac = analysis::available_copy_availability(n, rho);
+      const double v_odd = analysis::voting_availability(2 * n - 1, rho);
+      const double v_even = analysis::voting_availability(2 * n, rho);
+      const double bound = analysis::available_copy_lower_bound(n, rho);
+      theorem_holds = theorem_holds && ac > v_odd && ac > v_even;
+      identity_holds = identity_holds && std::abs(v_odd - v_even) < 1e-12;
+      bound_holds = bound_holds && ac > bound - 1e-12;
+      table.add_row({std::to_string(n), TextTable::fmt(rho, 2),
+                     TextTable::fmt(ac, 8), TextTable::fmt(v_odd, 8),
+                     TextTable::fmt(v_even, 8), TextTable::fmt(ac - v_odd, 8),
+                     TextTable::fmt(bound, 8)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nA_A(n) > A_V(2n-1) everywhere:      "
+            << (theorem_holds ? "HOLDS" : "VIOLATED") << '\n';
+  std::cout << "A_V(2k) = A_V(2k-1) identity:       "
+            << (identity_holds ? "HOLDS" : "VIOLATED") << '\n';
+  std::cout << "lower bound (inequality 5):         "
+            << (bound_holds ? "HOLDS" : "VIOLATED") << '\n';
+
+  // §4.3's closing note.
+  double max_gap = 0.0;
+  for (double rho = 0.01; rho <= 1.0; rho += 0.01) {
+    max_gap = std::max(
+        max_gap,
+        std::abs(analysis::naive_available_copy_availability(2, rho) -
+                 analysis::voting_availability(3, rho)));
+  }
+  std::cout << "A_NA(2) = A_V(3) (max |gap| over rho grid): " << max_gap
+            << (max_gap < 1e-12 ? "  HOLDS" : "  VIOLATED") << '\n';
+  return theorem_holds && identity_holds && bound_holds ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// VAL-T: §5's per-operation traffic formulas vs transmissions counted from
+// the running protocol engines, in both network modes. Small, explainable
+// deviations are expected and annotated: the measured voting read includes
+// the rare stale-refresh fetch (the paper's "+1 if the local version is
+// not up to date"), and measured recovery includes retries of sites that
+// had to stay comatose.
+#include <cmath>
+#include <iostream>
+
+#include "reldev/analysis/traffic.hpp"
+#include "reldev/core/experiment.hpp"
+#include "reldev/util/flags.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+using analysis::Scheme;
+
+namespace {
+
+Scheme to_analysis(core::SchemeKind scheme) {
+  switch (scheme) {
+    case core::SchemeKind::kVoting:
+      return Scheme::kVoting;
+    case core::SchemeKind::kAvailableCopy:
+      return Scheme::kAvailableCopy;
+    case core::SchemeKind::kNaiveAvailableCopy:
+      return Scheme::kNaiveAvailableCopy;
+  }
+  return Scheme::kVoting;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.add_double("rho", 0.05, "failure rate / repair rate");
+  flags.add_double("horizon", 3'000, "simulated time per point");
+  flags.add_bool("csv", false, "emit CSV");
+  if (auto status = flags.parse(argc, argv); !status.is_ok()) {
+    std::cerr << status.to_string() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("validate_traffic");
+    return 0;
+  }
+  const double rho = flags.get_double("rho");
+
+  TextTable table({"scheme", "mode", "n", "write (model)", "write (sim)",
+                   "read (model)", "read (sim)", "recovery (model)",
+                   "recovery (sim)"});
+  table.set_title("VAL-T: Section 5 formulas vs measured transmissions, rho=" +
+                  TextTable::fmt(rho, 2));
+
+  bool writes_agree = true;
+  for (const auto mode :
+       {net::AddressingMode::kMulticast, net::AddressingMode::kUnique}) {
+    for (const auto scheme :
+         {core::SchemeKind::kVoting, core::SchemeKind::kAvailableCopy,
+          core::SchemeKind::kNaiveAvailableCopy}) {
+      for (const std::size_t n : {3u, 5u, 7u}) {
+        const auto model =
+            analysis::operation_costs(to_analysis(scheme), mode, n, rho);
+        core::TrafficOptions options;
+        options.scheme = scheme;
+        options.mode = mode;
+        options.sites = n;
+        options.rho = rho;
+        options.horizon = flags.get_double("horizon");
+        options.reads_per_write = 2.0;
+        options.seed = 140'000 + n;
+        const auto sim = core::run_traffic_experiment(options);
+        writes_agree =
+            writes_agree && std::abs(sim.per_write - model.write) < 0.35;
+        table.add_row(
+            {core::scheme_kind_name(scheme),
+             mode == net::AddressingMode::kMulticast ? "multicast" : "unique",
+             std::to_string(n), TextTable::fmt(model.write, 3),
+             TextTable::fmt(sim.per_write, 3), TextTable::fmt(model.read, 3),
+             TextTable::fmt(sim.per_read, 3),
+             TextTable::fmt(model.recovery, 3),
+             TextTable::fmt(sim.per_recovery, 3)});
+      }
+    }
+  }
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nwrite costs " << (writes_agree ? "MATCH" : "DIVERGE")
+              << " the Section 5 formulas (within sampling noise).\n"
+                 "Known model/engine deltas: voting reads pay +2 on the rare "
+                 "stale-local path\n(the paper books +1); available-copy "
+                 "recovery includes comatose-retry inquiries\nand the "
+                 "was-available notification that Figure 5 sends after "
+                 "repair.\n";
+  }
+  return writes_agree ? 0 : 1;
+}

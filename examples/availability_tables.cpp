@@ -1,0 +1,87 @@
+// Interactive analytical explorer: prints §4's availability figures and
+// §5's traffic costs for a chosen group size and failure/repair ratio.
+//
+//   ./availability_tables --n=4 --rho=0.05 --reads-per-write=2.5
+#include <cmath>
+#include <iostream>
+
+#include "reldev/analysis/availability.hpp"
+#include "reldev/analysis/traffic.hpp"
+#include "reldev/util/flags.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+using analysis::Scheme;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.add_int("n", 3, "number of copies for the available-copy schemes");
+  flags.add_double("rho", 0.05, "failure rate / repair rate");
+  flags.add_double("reads-per-write", 2.5,
+                   "read:write ratio for the traffic table (the paper cites "
+                   "~2.5:1 from BSD traces)");
+  flags.add_bool("csv", false, "emit CSV instead of tables");
+  if (auto status = flags.parse(argc, argv); !status.is_ok()) {
+    std::cerr << status.to_string() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("availability_tables");
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const double rho = flags.get_double("rho");
+  const double x = flags.get_double("reads-per-write");
+  const bool csv = flags.get_bool("csv");
+  if (n < 2 || rho < 0.0) {
+    std::cerr << "need n >= 2 and rho >= 0\n";
+    return 1;
+  }
+
+  std::cout << "single-site availability at rho=" << rho << ": "
+            << TextTable::fmt(analysis::site_availability(rho), 6) << "\n\n";
+
+  TextTable availability({"scheme", "copies", "availability", "nines"});
+  availability.set_title("Availability (steady state)");
+  const auto add = [&](const std::string& name, std::size_t copies, double a) {
+    const double nines = a >= 1.0 ? 99.0 : -std::log10(1.0 - a);
+    availability.add_row({name, std::to_string(copies), TextTable::fmt(a, 8),
+                          TextTable::fmt(nines, 2)});
+  };
+  add("voting", 2 * n - 1, analysis::voting_availability(2 * n - 1, rho));
+  add("voting", 2 * n, analysis::voting_availability(2 * n, rho));
+  add("available-copy", n, analysis::available_copy_availability(n, rho));
+  add("naive-available-copy", n,
+      analysis::naive_available_copy_availability(n, rho));
+  if (csv) {
+    availability.print_csv(std::cout);
+  } else {
+    availability.print(std::cout);
+  }
+  std::cout << '\n';
+
+  TextTable traffic({"scheme", "mode", "write", "read", "recovery",
+                     "write + " + TextTable::fmt(x, 1) + " reads"});
+  traffic.set_title("Expected high-level transmissions per operation (n = " +
+                    std::to_string(n) + ")");
+  for (const auto scheme :
+       {Scheme::kVoting, Scheme::kAvailableCopy, Scheme::kNaiveAvailableCopy}) {
+    for (const auto mode :
+         {net::AddressingMode::kMulticast, net::AddressingMode::kUnique}) {
+      const auto costs = analysis::operation_costs(scheme, mode, n, rho);
+      traffic.add_row(
+          {analysis::scheme_name(scheme),
+           mode == net::AddressingMode::kMulticast ? "multicast" : "unique",
+           TextTable::fmt(costs.write, 3), TextTable::fmt(costs.read, 3),
+           TextTable::fmt(costs.recovery, 3),
+           TextTable::fmt(analysis::workload_cost(scheme, mode, n, rho, x),
+                          3)});
+    }
+  }
+  if (csv) {
+    traffic.print_csv(std::cout);
+  } else {
+    traffic.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// MiniFS on the reliable device: the same unmodified file system code runs
+// on a plain local disk and on a 3-way replicated device; files written
+// before a site crash remain readable, and a recovered site serves them.
+#include <cstring>
+#include <iostream>
+
+#include "reldev/core/group.hpp"
+#include "reldev/fs/minifs.hpp"
+#include "reldev/storage/mem_block_store.hpp"
+
+using namespace reldev;
+
+namespace {
+
+std::vector<std::byte> from_text(const std::string& text) {
+  std::vector<std::byte> data(text.size());
+  std::memcpy(data.data(), text.data(), text.size());
+  return data;
+}
+
+std::string to_text(const std::vector<std::byte>& data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+void show_listing(fs::MiniFs& filesystem, const std::string& label) {
+  std::cout << "  " << label << ":\n";
+  // Keep the Result alive for the whole loop: iterating a temporary's
+  // innards directly would dangle in C++20.
+  const auto files = filesystem.list().value();
+  for (const auto& info : files) {
+    std::cout << "    " << info.name << "  (" << info.size << " bytes, "
+              << info.blocks << " blocks)\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MiniFS demo — the file system never changes; the device "
+               "does.\n\n";
+
+  // Act 1: MiniFS on an ordinary local disk.
+  std::cout << "[1] MiniFS on a single local disk\n";
+  storage::MemBlockStore disk(256, 512);
+  core::LocalBlockDevice local(disk);
+  auto local_fs = fs::MiniFs::format(local).value();
+  (void)local_fs.write_file("readme.txt", from_text("plain disk, no magic"));
+  show_listing(local_fs, "local disk listing");
+
+  // Act 2: the exact same file-system code on a replicated device.
+  std::cout << "\n[2] The same MiniFS on a 3-way replicated reliable device\n";
+  core::ReplicaGroup group(core::SchemeKind::kAvailableCopy,
+                           core::GroupConfig::majority(3, 256, 512));
+  core::ReplicaDevice reliable(group.replica(0));
+  auto replicated_fs = fs::MiniFs::format(reliable).value();
+  (void)replicated_fs.write_file("paper.txt",
+                                 from_text("Block-Level Consistency of "
+                                           "Replicated Files (ICDCS 1987)"));
+  (void)replicated_fs.write_file("notes.md",
+                                 from_text("# notes\nwrite-all, read-local"));
+  show_listing(replicated_fs, "replicated device listing");
+
+  // Act 3: a site dies mid-use.
+  std::cout << "\n[3] site 2 crashes; the file system never notices\n";
+  group.crash_site(2);
+  (void)replicated_fs.write_file("during_outage.txt",
+                                 from_text("still writable with 2 of 3"));
+  std::cout << "  read paper.txt -> \""
+            << to_text(replicated_fs.read_file("paper.txt").value())
+            << "\"\n";
+
+  // Act 4: mount the file system from a different replica.
+  std::cout << "\n[4] mount the same blocks from site 1's replica\n";
+  core::ReplicaDevice device1(group.replica(1));
+  auto fs_via_1 = fs::MiniFs::mount(device1).value();
+  show_listing(fs_via_1, "listing via site 1");
+
+  // Act 5: the failed site recovers and serves everything.
+  std::cout << "\n[5] site 2 recovers and catches up\n";
+  (void)group.recover_site(2);
+  core::ReplicaDevice device2(group.replica(2));
+  auto fs_via_2 = fs::MiniFs::mount(device2).value();
+  std::cout << "  during_outage.txt via recovered site 2 -> \""
+            << to_text(fs_via_2.read_file("during_outage.txt").value())
+            << "\"\n";
+
+  std::cout << "\ndone: one file system implementation, three devices, zero "
+               "modifications.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "reldev/analysis/availability.hpp"
+
+#include <cmath>
+
+#include "reldev/analysis/binomial.hpp"
+#include "reldev/analysis/markov.hpp"
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+double site_availability(double rho) {
+  RELDEV_EXPECTS(rho >= 0.0);
+  return 1.0 / (1.0 + rho);
+}
+
+double voting_availability(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(rho >= 0.0);
+  if (rho == 0.0) return 1.0;
+  const double denom = std::pow(1.0 + rho, static_cast<double>(n));
+  if (n % 2 == 1) {
+    // (1.a): available iff at most floor(n/2) copies are down.
+    double sum = 0.0;
+    for (std::size_t failed = 0; failed <= n / 2; ++failed) {
+      sum += binomial(n, failed) * std::pow(rho, static_cast<double>(failed));
+    }
+    return sum / denom;
+  }
+  // (1.b): even n with the epsilon tie-break — a draw with exactly n/2
+  // copies up wins half the time (the half containing the heavier copy).
+  double sum = 0.0;
+  for (std::size_t failed = 0; failed < n / 2; ++failed) {
+    sum += binomial(n, failed) * std::pow(rho, static_cast<double>(failed));
+  }
+  sum += 0.5 * binomial(n, n / 2) * std::pow(rho, static_cast<double>(n) / 2.0);
+  return sum / denom;
+}
+
+double available_copy_closed_form(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 2 && n <= 4);
+  RELDEV_EXPECTS(rho >= 0.0);
+  const double r = rho;
+  const double r2 = r * r;
+  const double r3 = r2 * r;
+  const double r4 = r3 * r;
+  const double r5 = r4 * r;
+  const double r6 = r5 * r;
+  const double one_plus = 1.0 + r;
+  switch (n) {
+    case 2:  // equation (2)
+      return (1.0 + 3.0 * r + r2) / std::pow(one_plus, 3);
+    case 3:  // equation (3)
+      return (2.0 + 9.0 * r + 17.0 * r2 + 11.0 * r3 + 2.0 * r4) /
+             (std::pow(one_plus, 3) * (2.0 + 3.0 * r + 2.0 * r2));
+    case 4:  // equation (4)
+      return (6.0 + 37.0 * r + 99.0 * r2 + 152.0 * r3 + 124.0 * r4 +
+              47.0 * r5 + 6.0 * r6) /
+             (std::pow(one_plus, 4) * (6.0 + 13.0 * r + 11.0 * r2 + 6.0 * r3));
+    default:
+      break;
+  }
+  RELDEV_ASSERT(false);
+  return 0.0;
+}
+
+double available_copy_availability(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(rho >= 0.0);
+  if (rho == 0.0) return 1.0;
+  if (n == 1) return site_availability(rho);
+  if (n <= 4) return available_copy_closed_form(n, rho);
+  return solve_available_copy_chain(n, rho).availability();
+}
+
+double available_copy_lower_bound(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(rho >= 0.0);
+  return 1.0 - static_cast<double>(n) *
+                   std::pow(rho, static_cast<double>(n)) /
+                   std::pow(1.0 + rho, static_cast<double>(n));
+}
+
+double naive_b(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(rho > 0.0);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      const double coefficient = factorial(n - j) * factorial(j - 1) /
+                                 (factorial(n - k) * factorial(k));
+      sum += coefficient *
+             std::pow(rho, static_cast<double>(j) - static_cast<double>(k));
+    }
+  }
+  return sum;
+}
+
+double naive_available_copy_availability(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(rho >= 0.0);
+  if (rho == 0.0) return 1.0;
+  if (n == 1) return site_availability(rho);
+  const double b = naive_b(n, rho);
+  const double b_inverse = naive_b(n, 1.0 / rho);
+  return b / (b + rho * b_inverse);
+}
+
+}  // namespace reldev::analysis

@@ -1,0 +1,42 @@
+#include "reldev/analysis/binomial.hpp"
+
+#include <algorithm>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+double binomial(std::size_t n, std::size_t k) noexcept {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  // Multiplicative formula keeps intermediates small and exact in double
+  // for every n this library evaluates.
+  for (std::size_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+std::uint64_t binomial_u64(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::uint64_t numerator = n - k + i;
+    // Multiply then divide, using gcd-free exact arithmetic: the running
+    // product after dividing by i! is always integral.
+    RELDEV_EXPECTS(result <= UINT64_MAX / numerator);
+    result = result * numerator / i;
+  }
+  return result;
+}
+
+double factorial(std::size_t n) noexcept {
+  double result = 1.0;
+  for (std::size_t i = 2; i <= n; ++i) result *= static_cast<double>(i);
+  return result;
+}
+
+}  // namespace reldev::analysis

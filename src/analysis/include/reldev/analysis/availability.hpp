@@ -1,0 +1,35 @@
+// Closed-form availability expressions from §4 of the paper. Everything is
+// a function of n (number of copies) and rho = lambda/mu (failure rate over
+// repair rate). Cross-checked in the tests against the general CTMC solver
+// and the discrete-event simulator.
+#pragma once
+
+#include <cstddef>
+
+namespace reldev::analysis {
+
+/// Availability of one site: mu/(lambda+mu) = 1/(1+rho).
+double site_availability(double rho);
+
+/// A_V(n), equations (1.a)/(1.b): majority consensus voting with equal
+/// weights; even n uses the epsilon-perturbed tie-break, which makes
+/// A_V(2k) = A_V(2k-1).
+double voting_availability(std::size_t n, double rho);
+
+/// A_A(n) for the available-copy scheme. Uses the paper's closed forms
+/// (equations 2-4) for n in {2,3,4} and the Figure-7 CTMC for larger n.
+double available_copy_availability(std::size_t n, double rho);
+
+/// The paper's printed closed forms only: n must be 2, 3, or 4.
+double available_copy_closed_form(std::size_t n, double rho);
+
+/// Inequality (5): 1 - n rho^n / (1+rho)^n, a lower bound on A_A(n).
+double available_copy_lower_bound(std::size_t n, double rho);
+
+/// A_NA(n) via the B(n;rho) formula of §4.3.
+double naive_available_copy_availability(std::size_t n, double rho);
+
+/// B(n;rho) itself (exposed for tests). Requires rho > 0.
+double naive_b(std::size_t n, double rho);
+
+}  // namespace reldev::analysis

@@ -1,0 +1,19 @@
+// Binomial coefficients for the availability formulas of §4.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reldev::analysis {
+
+/// C(n, k) as a double (exact for the magnitudes used here: n <= ~50).
+double binomial(std::size_t n, std::size_t k) noexcept;
+
+/// Exact integer C(n, k); precondition: the result fits in 64 bits
+/// (n <= 62 always does).
+std::uint64_t binomial_u64(std::size_t n, std::size_t k);
+
+/// n! as a double.
+double factorial(std::size_t n) noexcept;
+
+}  // namespace reldev::analysis

@@ -1,0 +1,43 @@
+// A small dense matrix and a Gaussian-elimination solver — all the linear
+// algebra the Markov-chain steady-state computation needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reldev/util/result.hpp"
+
+namespace reldev::analysis {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  static Matrix identity(std::size_t n);
+
+  /// this * other; dimensions must agree.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// kInvalidArgument on shape mismatch; kConflict when A is singular.
+Result<std::vector<double>> solve_linear(Matrix a, std::vector<double> b);
+
+}  // namespace reldev::analysis

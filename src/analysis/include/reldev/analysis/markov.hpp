@@ -1,0 +1,68 @@
+// Continuous-time Markov chains and the state-transition-rate diagrams of
+// the paper's Figures 7 (available copy) and 8 (naive available copy),
+// constructed mechanically for any number of copies n. Solving for the
+// steady state reproduces — and for n > 4 extends — the availability
+// expressions the authors derived symbolically with MACSYMA.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reldev/analysis/linalg.hpp"
+
+namespace reldev::analysis {
+
+/// A CTMC described by its transition rates.
+class MarkovChain {
+ public:
+  explicit MarkovChain(std::size_t states);
+
+  /// Add a transition `from` -> `to` at `rate` (> 0). Self-loops are
+  /// meaningless in a CTMC and rejected.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  [[nodiscard]] std::size_t states() const noexcept { return states_; }
+
+  /// Steady-state distribution: solves pi Q = 0 with sum(pi) = 1.
+  /// Requires the chain to be irreducible (true for all chains built here).
+  [[nodiscard]] Result<std::vector<double>> steady_state() const;
+
+ private:
+  std::size_t states_;
+  struct Transition {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+  };
+  std::vector<Transition> transitions_;
+};
+
+/// State indexing shared by both replication chains, following §4.2:
+/// indices [0, n) are the available states S_1..S_n (index j-1 holds S_j,
+/// "j copies available"); indices [n, 2n) are the comatose states
+/// S'_0..S'_(n-1) reached after a total failure.
+struct ReplicationChain {
+  std::size_t n = 0;
+  std::vector<double> pi;  // steady-state over the 2n states
+
+  /// P(block in S_j), j in [1, n].
+  [[nodiscard]] double p_available(std::size_t j) const;
+  /// P(block in S'_j), j in [0, n-1].
+  [[nodiscard]] double p_comatose(std::size_t j) const;
+
+  /// Sum over the available states — the availability A(n) of §4.
+  [[nodiscard]] double availability() const;
+
+  /// Average number of available sites given the block is available:
+  /// the participation factor U of §5.
+  [[nodiscard]] double participation() const;
+};
+
+/// Figure 7: the available-copy chain for n identical copies with
+/// failure rate `rho` and repair rate 1 (only the ratio matters).
+ReplicationChain solve_available_copy_chain(std::size_t n, double rho);
+
+/// Figure 8: the naive-available-copy chain.
+ReplicationChain solve_naive_available_copy_chain(std::size_t n, double rho);
+
+}  // namespace reldev::analysis

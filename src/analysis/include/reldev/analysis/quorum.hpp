@@ -1,0 +1,63 @@
+// Generalized weighted-voting quorum analysis, in the tradition of
+// Gifford's weighted voting (the paper's reference [6]). The paper itself
+// fixes majority quorums; this module answers the natural follow-up
+// questions its framework poses: what do asymmetric read/write quorums
+// (e.g. read-one/write-all) buy, and which quorum pair is optimal for a
+// given read/write mix? The ablation bench compares these against the
+// available-copy schemes.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace reldev::analysis {
+
+/// P(total weight of up sites >= threshold), sites failing independently
+/// with availability 1/(1+rho). Exact, by dynamic programming over the
+/// weight distribution.
+double threshold_availability(const std::vector<std::uint32_t>& weights,
+                              std::uint64_t threshold, double rho);
+
+/// A voting configuration: per-site weights plus read/write thresholds.
+/// Valid configurations satisfy r + w > total and 2w > total.
+struct VotingQuorumSpec {
+  std::vector<std::uint32_t> weights;
+  std::uint64_t read_quorum;
+  std::uint64_t write_quorum;
+
+  [[nodiscard]] std::uint64_t total_weight() const noexcept;
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+struct QuorumAvailability {
+  double read;   // P(a read quorum of up sites exists)
+  double write;  // P(a write quorum of up sites exists)
+
+  /// Workload-weighted availability for a mix with `read_fraction` reads.
+  [[nodiscard]] double mixed(double read_fraction) const {
+    return read_fraction * read + (1.0 - read_fraction) * write;
+  }
+};
+
+QuorumAvailability voting_quorum_availability(const VotingQuorumSpec& spec,
+                                              double rho);
+
+/// The best (read, write) site-count quorum pair for n equal-weight sites
+/// under intersection constraints, maximizing the mixed availability.
+struct QuorumChoice {
+  std::size_t read_sites;
+  std::size_t write_sites;
+  QuorumAvailability availability;
+  double mixed;
+};
+
+QuorumChoice optimal_equal_weight_quorums(std::size_t n, double rho,
+                                          double read_fraction);
+
+/// All admissible equal-weight (read_sites, write_sites) pairs for n
+/// sites: r + w = n + 1 (minimal intersection) and 2w > n.
+std::vector<std::pair<std::size_t, std::size_t>> admissible_equal_quorums(
+    std::size_t n);
+
+}  // namespace reldev::analysis

@@ -1,0 +1,39 @@
+// Reliability analysis: mean time to failure of a replicated block,
+// computed from absorbing continuous-time Markov chains. The paper's
+// introduction distinguishes *availability* (fraction of time the block is
+// accessible, §4) from *reliability* (how long until the first moment data
+// is lost or service is interrupted without remedy); this module supplies
+// the latter for the same failure model (per-site rate lambda = rho,
+// repair rate mu = 1).
+//
+// Failure definitions:
+//  - voting: the first instant no quorum of up sites exists (service
+//    interruption; data is never lost because a quorum intersects the
+//    past);
+//  - available-copy schemes: the first instant ALL copies are down (only a
+//    total failure interrupts service — and in a harsher reading, risks
+//    the most recent writes if the last disk dies for good). AC and NAC
+//    share this MTTF: they differ in how fast they *return*, which is an
+//    availability question.
+#pragma once
+
+#include <cstddef>
+
+namespace reldev::analysis {
+
+/// Mean time from "all n sites up" until the up-weight first drops below a
+/// majority quorum (equal weights; the epsilon tie-break of §4.1 applies
+/// for even n). Time unit: 1/mu.
+double voting_mttf(std::size_t n, double rho);
+
+/// Mean time from "all n copies up" until all are down simultaneously —
+/// the total-failure MTTF shared by both available-copy schemes.
+double available_copy_mttf(std::size_t n, double rho);
+
+/// Generic helper: mean absorption time of the birth-death process on the
+/// number of up sites (failure rate k*lambda from state k, repair rate
+/// (n-k)*mu toward state k+1), absorbing once fewer than `minimum_up`
+/// sites remain. Exposed for tests.
+double birth_death_mttf(std::size_t n, std::size_t minimum_up, double rho);
+
+}  // namespace reldev::analysis

@@ -1,0 +1,71 @@
+#include "reldev/analysis/linalg.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  RELDEV_EXPECTS(cols_ == other.rows_);
+  Matrix result(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        result.at(i, j) += a * other.at(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<double>> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return errors::invalid_argument("solve_linear: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a.at(row, col)) > std::abs(a.at(pivot, col))) pivot = row;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-300) {
+      return errors::conflict("solve_linear: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = col; j < n; ++j) {
+        std::swap(a.at(col, j), a.at(pivot, j));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a.at(row, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      a.at(row, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a.at(row, j) -= factor * a.at(col, j);
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a.at(i, j) * x[j];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace reldev::analysis

@@ -1,0 +1,154 @@
+#include "reldev/analysis/markov.hpp"
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+MarkovChain::MarkovChain(std::size_t states) : states_(states) {
+  RELDEV_EXPECTS(states >= 2);
+}
+
+void MarkovChain::add_rate(std::size_t from, std::size_t to, double rate) {
+  RELDEV_EXPECTS(from < states_);
+  RELDEV_EXPECTS(to < states_);
+  RELDEV_EXPECTS(from != to);
+  RELDEV_EXPECTS(rate > 0.0);
+  transitions_.push_back(Transition{from, to, rate});
+}
+
+Result<std::vector<double>> MarkovChain::steady_state() const {
+  // Build the generator Q (rows sum to zero), then solve pi Q = 0 with the
+  // normalization sum(pi) = 1: transpose Q, overwrite one balance equation
+  // (they are linearly dependent) with the normalization row.
+  Matrix qt(states_, states_);  // Q transposed
+  for (const auto& t : transitions_) {
+    qt.at(t.to, t.from) += t.rate;    // off-diagonal q[from][to]
+    qt.at(t.from, t.from) -= t.rate;  // diagonal q[from][from]
+  }
+  std::vector<double> rhs(states_, 0.0);
+  for (std::size_t col = 0; col < states_; ++col) {
+    qt.at(states_ - 1, col) = 1.0;
+  }
+  rhs[states_ - 1] = 1.0;
+  return solve_linear(std::move(qt), std::move(rhs));
+}
+
+double ReplicationChain::p_available(std::size_t j) const {
+  RELDEV_EXPECTS(j >= 1 && j <= n);
+  return pi[j - 1];
+}
+
+double ReplicationChain::p_comatose(std::size_t j) const {
+  RELDEV_EXPECTS(j < n);
+  return pi[n + j];
+}
+
+double ReplicationChain::availability() const {
+  double sum = 0.0;
+  for (std::size_t j = 1; j <= n; ++j) sum += p_available(j);
+  return sum;
+}
+
+double ReplicationChain::participation() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    weighted += static_cast<double>(j) * p_available(j);
+    total += p_available(j);
+  }
+  RELDEV_ENSURES(total > 0.0);
+  return weighted / total;
+}
+
+namespace {
+
+// Shared indexing: [0, n) hold S_1..S_n, [n, 2n) hold S'_0..S'_(n-1).
+std::size_t s(std::size_t j) { return j - 1; }
+std::size_t sp(std::size_t n, std::size_t j) { return n + j; }
+
+ReplicationChain finish(std::size_t n, const MarkovChain& chain) {
+  auto pi = chain.steady_state();
+  RELDEV_ASSERT(pi.is_ok());
+  ReplicationChain result;
+  result.n = n;
+  result.pi = std::move(pi).value();
+  return result;
+}
+
+}  // namespace
+
+ReplicationChain solve_available_copy_chain(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 2);
+  RELDEV_EXPECTS(rho > 0.0);
+  const double lambda = rho;  // repair rate mu = 1
+  const double mu = 1.0;
+  MarkovChain chain(2 * n);
+  const auto dn = static_cast<double>(n);
+
+  // Available states S_j: j copies available, n-j failed. A repairing copy
+  // finds an available peer and becomes available immediately (§4:
+  // repairs bring obsolete copies up to date).
+  chain.add_rate(s(n), s(n - 1), dn * lambda);  // S_n -> S_(n-1)
+  for (std::size_t j = 1; j <= n - 1; ++j) {
+    const auto dj = static_cast<double>(j);
+    if (j >= 2) {
+      chain.add_rate(s(j), s(j - 1), dj * lambda);
+    } else {
+      chain.add_rate(s(1), sp(n, 0), lambda);  // total failure
+    }
+    chain.add_rate(s(j), s(j + 1), (dn - dj) * mu);
+  }
+
+  // Comatose states S'_j after a total failure: j copies back but stale;
+  // the copy that failed last is still down. Its recovery (rate mu)
+  // returns the block to service with j+1 available copies.
+  chain.add_rate(sp(n, 0), s(1), mu);
+  if (n >= 2) chain.add_rate(sp(n, 0), sp(n, 1), (dn - 1.0) * mu);
+  for (std::size_t j = 1; j <= n - 1; ++j) {
+    const auto dj = static_cast<double>(j);
+    chain.add_rate(sp(n, j), sp(n, j - 1), dj * lambda);
+    chain.add_rate(sp(n, j), s(j + 1), mu);  // last-failed copy returns
+    if (j <= n - 2) {
+      chain.add_rate(sp(n, j), sp(n, j + 1), (dn - dj - 1.0) * mu);
+    }
+  }
+  return finish(n, chain);
+}
+
+ReplicationChain solve_naive_available_copy_chain(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 2);
+  RELDEV_EXPECTS(rho > 0.0);
+  const double lambda = rho;
+  const double mu = 1.0;
+  MarkovChain chain(2 * n);
+  const auto dn = static_cast<double>(n);
+
+  // Available states: identical to the conventional chain.
+  chain.add_rate(s(n), s(n - 1), dn * lambda);
+  for (std::size_t j = 1; j <= n - 1; ++j) {
+    const auto dj = static_cast<double>(j);
+    if (j >= 2) {
+      chain.add_rate(s(j), s(j - 1), dj * lambda);
+    } else {
+      chain.add_rate(s(1), sp(n, 0), lambda);
+    }
+    chain.add_rate(s(j), s(j + 1), (dn - dj) * mu);
+  }
+
+  // Comatose states: no failure-order information, so the block cannot
+  // return to service until every copy has recovered (§4.3). From S'_j,
+  // any of the n-j failed copies may recover; only from S'_(n-1) — all
+  // copies back — does the block become available again, with n copies.
+  for (std::size_t j = 0; j <= n - 1; ++j) {
+    const auto dj = static_cast<double>(j);
+    if (j >= 1) chain.add_rate(sp(n, j), sp(n, j - 1), dj * lambda);
+    if (j <= n - 2) {
+      chain.add_rate(sp(n, j), sp(n, j + 1), (dn - dj) * mu);
+    } else {
+      chain.add_rate(sp(n, n - 1), s(n), mu);  // the final copy returns
+    }
+  }
+  return finish(n, chain);
+}
+
+}  // namespace reldev::analysis

@@ -1,0 +1,84 @@
+#include "reldev/analysis/quorum.hpp"
+
+#include <map>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+double threshold_availability(const std::vector<std::uint32_t>& weights,
+                              std::uint64_t threshold, double rho) {
+  RELDEV_EXPECTS(!weights.empty());
+  RELDEV_EXPECTS(rho >= 0.0);
+  if (threshold == 0) return 1.0;
+  const double up = 1.0 / (1.0 + rho);
+  // Distribution of the total up-weight: fold sites in one at a time.
+  std::map<std::uint64_t, double> distribution{{0, 1.0}};
+  for (const auto weight : weights) {
+    std::map<std::uint64_t, double> next;
+    for (const auto& [sum, probability] : distribution) {
+      next[sum + weight] += probability * up;
+      next[sum] += probability * (1.0 - up);
+    }
+    distribution = std::move(next);
+  }
+  double reached = 0.0;
+  for (const auto& [sum, probability] : distribution) {
+    if (sum >= threshold) reached += probability;
+  }
+  return reached;
+}
+
+std::uint64_t VotingQuorumSpec::total_weight() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto w : weights) total += w;
+  return total;
+}
+
+bool VotingQuorumSpec::valid() const noexcept {
+  if (weights.empty()) return false;
+  const std::uint64_t total = total_weight();
+  return read_quorum + write_quorum > total && 2 * write_quorum > total &&
+         read_quorum >= 1 && read_quorum <= total && write_quorum <= total;
+}
+
+QuorumAvailability voting_quorum_availability(const VotingQuorumSpec& spec,
+                                              double rho) {
+  RELDEV_EXPECTS(spec.valid());
+  return QuorumAvailability{
+      threshold_availability(spec.weights, spec.read_quorum, rho),
+      threshold_availability(spec.weights, spec.write_quorum, rho)};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> admissible_equal_quorums(
+    std::size_t n) {
+  RELDEV_EXPECTS(n >= 1);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t write = n / 2 + 1; write <= n; ++write) {
+    // Minimal read quorum for this write quorum: r + w = n + 1.
+    const std::size_t read = n + 1 - write;
+    pairs.emplace_back(read, write);
+  }
+  return pairs;
+}
+
+QuorumChoice optimal_equal_weight_quorums(std::size_t n, double rho,
+                                          double read_fraction) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(read_fraction >= 0.0 && read_fraction <= 1.0);
+  const std::vector<std::uint32_t> weights(n, 1);
+  QuorumChoice best{0, 0, {0.0, 0.0}, -1.0};
+  for (const auto& [read, write] : admissible_equal_quorums(n)) {
+    const QuorumAvailability availability{
+        threshold_availability(weights, read, rho),
+        threshold_availability(weights, write, rho)};
+    const double mixed = availability.mixed(read_fraction);
+    if (mixed > best.mixed) {
+      best = QuorumChoice{read, write, availability, mixed};
+    }
+  }
+  RELDEV_ENSURES(best.mixed >= 0.0);
+  return best;
+}
+
+}  // namespace reldev::analysis

@@ -1,0 +1,52 @@
+#include "reldev/analysis/reliability.hpp"
+
+#include "reldev/analysis/linalg.hpp"
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+double birth_death_mttf(std::size_t n, std::size_t minimum_up, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(minimum_up >= 1 && minimum_up <= n);
+  RELDEV_EXPECTS(rho > 0.0);
+  const double lambda = rho;
+  const double mu = 1.0;
+
+  // Transient states: k = minimum_up .. n sites up. Absorption happens on
+  // the failure transition out of k = minimum_up. Mean absorption times t
+  // satisfy Q_TT t = -1 (fundamental-matrix identity).
+  const std::size_t count = n - minimum_up + 1;
+  Matrix q(count, count);
+  const auto index = [&](std::size_t k) { return k - minimum_up; };
+  for (std::size_t k = minimum_up; k <= n; ++k) {
+    const auto i = index(k);
+    const double fail = static_cast<double>(k) * lambda;
+    const double repair = static_cast<double>(n - k) * mu;
+    q.at(i, i) = -(fail + repair);
+    if (k > minimum_up) q.at(i, index(k - 1)) = fail;
+    if (k < n) q.at(i, index(k + 1)) = repair;
+  }
+  auto times = solve_linear(q, std::vector<double>(count, -1.0));
+  RELDEV_ASSERT(times.is_ok());
+  return times.value()[index(n)];  // starting from all-up
+}
+
+double voting_mttf(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  // Equal weights with the §4.1 epsilon perturbation: the service dies the
+  // moment fewer than floor(n/2)+1 sites are up for odd n. For even n the
+  // epsilon makes half the n/2-up states viable; modelling the weighted
+  // state space exactly would need per-subset states, so we use the
+  // pessimistic site-count threshold n/2+1 for even n and note that
+  // A_V(2k) = A_V(2k-1) makes the odd-group number the canonical one.
+  const std::size_t quorum_sites = n / 2 + 1;
+  return birth_death_mttf(n, quorum_sites, rho);
+}
+
+double available_copy_mttf(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  // Dies only when the last copy fails: absorbing below 1 up.
+  return birth_death_mttf(n, 1, rho);
+}
+
+}  // namespace reldev::analysis

@@ -1,0 +1,94 @@
+#include "reldev/analysis/traffic.hpp"
+
+#include <cmath>
+
+#include "reldev/analysis/markov.hpp"
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+
+const char* scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kVoting:
+      return "voting";
+    case Scheme::kAvailableCopy:
+      return "available-copy";
+    case Scheme::kNaiveAvailableCopy:
+      return "naive-available-copy";
+  }
+  return "unknown";
+}
+
+double voting_participation(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 1);
+  RELDEV_EXPECTS(rho >= 0.0);
+  const auto dn = static_cast<double>(n);
+  if (rho == 0.0) return dn;
+  const double numerator = dn * std::pow(1.0 + rho, dn - 1.0);
+  const double denominator =
+      std::pow(1.0 + rho, dn) - std::pow(rho, dn);
+  return numerator / denominator;
+}
+
+double available_copy_participation(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 2);
+  if (rho == 0.0) return static_cast<double>(n);
+  return solve_available_copy_chain(n, rho).participation();
+}
+
+double naive_participation(std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 2);
+  if (rho == 0.0) return static_cast<double>(n);
+  return solve_naive_available_copy_chain(n, rho).participation();
+}
+
+OperationCosts operation_costs(Scheme scheme, net::AddressingMode mode,
+                               std::size_t n, double rho) {
+  RELDEV_EXPECTS(n >= 2);
+  const auto dn = static_cast<double>(n);
+  const double uv = voting_participation(n, rho);
+  const double ua = available_copy_participation(n, rho);
+  const double un = naive_participation(n, rho);
+
+  if (mode == net::AddressingMode::kMulticast) {
+    // §5.1. Voting: one quorum query, U_V - 1 replies, one update
+    // broadcast -> 1 + U_V per write; reads skip the update -> U_V (lower
+    // bound; +1 when the local copy is stale). AC: one write broadcast
+    // answered by the other available sites -> U_A. NAC: one broadcast.
+    // Reads are local (0) for both AC schemes. Recovery: one inquiry
+    // broadcast, replies, plus the version-vector exchange -> U + 2;
+    // voting's lazy per-block repair makes recovery free.
+    switch (scheme) {
+      case Scheme::kVoting:
+        return OperationCosts{1.0 + uv, uv, 0.0};
+      case Scheme::kAvailableCopy:
+        return OperationCosts{ua, 0.0, ua + 2.0};
+      case Scheme::kNaiveAvailableCopy:
+        return OperationCosts{1.0, 0.0, un + 2.0};
+    }
+  }
+  // §5.2 unique addressing: every destination is a separate transmission.
+  switch (scheme) {
+    case Scheme::kVoting:
+      // write: n-1 quorum queries + (U_V - 1) replies + (U_V - 1) updates;
+      // read: n-1 queries + (U_V - 1) replies (one more if stale).
+      return OperationCosts{dn + 2.0 * uv - 3.0, dn + uv - 2.0, 0.0};
+    case Scheme::kAvailableCopy:
+      // write: n-1 pushes + (U_A - 1) acks; recovery: n-1 inquiries +
+      // replies + the version-vector exchange -> n + U_A.
+      return OperationCosts{dn + ua - 2.0, 0.0, dn + ua};
+    case Scheme::kNaiveAvailableCopy:
+      return OperationCosts{dn - 1.0, 0.0, dn + un};
+  }
+  RELDEV_ASSERT(false);
+  return OperationCosts{};
+}
+
+double workload_cost(Scheme scheme, net::AddressingMode mode, std::size_t n,
+                     double rho, double reads_per_write) {
+  RELDEV_EXPECTS(reads_per_write >= 0.0);
+  const OperationCosts costs = operation_costs(scheme, mode, n, rho);
+  return costs.write + reads_per_write * costs.read;
+}
+
+}  // namespace reldev::analysis

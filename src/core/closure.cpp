@@ -1,0 +1,30 @@
+#include "reldev/core/closure.hpp"
+
+#include <deque>
+
+namespace reldev::core {
+
+SiteSet closure(const SiteSet& seed, const WasAvailableMap& known) {
+  SiteSet result = seed;
+  std::deque<SiteId> frontier(seed.begin(), seed.end());
+  while (!frontier.empty()) {
+    const SiteId site = frontier.front();
+    frontier.pop_front();
+    const auto it = known.find(site);
+    if (it == known.end()) continue;  // not recovered yet; nothing to chase
+    for (const SiteId member : it->second) {
+      if (result.insert(member).second) frontier.push_back(member);
+    }
+  }
+  return result;
+}
+
+bool closure_recovered(const SiteSet& seed, const WasAvailableMap& known) {
+  const SiteSet full = closure(seed, known);
+  for (const SiteId member : full) {
+    if (known.find(member) == known.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace reldev::core

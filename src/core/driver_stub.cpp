@@ -1,0 +1,103 @@
+#include "reldev/core/driver_stub.hpp"
+
+namespace reldev::core {
+
+DriverStub::DriverStub(net::Transport& transport, SiteId client_id,
+                       std::vector<SiteId> servers, std::size_t block_count,
+                       std::size_t block_size)
+    : transport_(transport),
+      client_id_(client_id),
+      servers_(std::move(servers)),
+      block_count_(block_count),
+      block_size_(block_size) {
+  RELDEV_EXPECTS(!servers_.empty());
+  RELDEV_EXPECTS(block_count_ > 0);
+  RELDEV_EXPECTS(block_size_ > 0);
+}
+
+Result<DriverStub> DriverStub::connect(net::Transport& transport,
+                                       SiteId client_id,
+                                       std::vector<SiteId> servers) {
+  if (servers.empty()) {
+    return errors::invalid_argument("no servers configured");
+  }
+  for (const SiteId server : servers) {
+    auto reply = transport.call(client_id, server,
+                                net::Message{client_id,
+                                             net::DeviceInfoRequest{}});
+    if (!reply) continue;
+    if (!reply.value().holds<net::DeviceInfoReply>()) continue;
+    const auto& info = reply.value().as<net::DeviceInfoReply>();
+    return DriverStub(transport, client_id, std::move(servers),
+                      info.block_count, info.block_size);
+  }
+  return errors::unavailable("no server reachable for device info");
+}
+
+Result<net::Message> DriverStub::call_any(const net::Message& request) {
+  Status last = errors::unavailable("no server reachable");
+  for (const SiteId server : servers_) {
+    auto reply = transport_.call(client_id_, server, request);
+    if (!reply) {
+      last = reply.status();
+      continue;
+    }
+    // A server that answered "unavailable" may simply lack a quorum or be
+    // comatose; another server might still serve the request.
+    if (reply.value().holds<net::ClientReadReply>() &&
+        reply.value().as<net::ClientReadReply>().error_code ==
+            static_cast<std::uint8_t>(ErrorCode::kUnavailable)) {
+      last = errors::unavailable("server " + std::to_string(server) +
+                                 " has no available copy/quorum");
+      continue;
+    }
+    if (reply.value().holds<net::ClientWriteReply>() &&
+        reply.value().as<net::ClientWriteReply>().error_code ==
+            static_cast<std::uint8_t>(ErrorCode::kUnavailable)) {
+      last = errors::unavailable("server " + std::to_string(server) +
+                                 " has no available copy/quorum");
+      continue;
+    }
+    last_server_ = server;
+    return reply;
+  }
+  return last;
+}
+
+Result<storage::BlockData> DriverStub::read_block(BlockId block) {
+  auto reply = call_any(
+      net::Message{client_id_, net::ClientReadRequest{block}});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::ClientReadReply>()) {
+    return errors::protocol("unexpected reply to client read");
+  }
+  auto& payload = reply.value();
+  const auto& read_reply = payload.as<net::ClientReadReply>();
+  if (read_reply.error_code != 0) {
+    return Status(static_cast<ErrorCode>(read_reply.error_code),
+                  "server-side read failed");
+  }
+  return read_reply.data;
+}
+
+Status DriverStub::write_block(BlockId block,
+                               std::span<const std::byte> data) {
+  if (data.size() != block_size_) {
+    return errors::invalid_argument("payload size != block size");
+  }
+  net::ClientWriteRequest request{block,
+                                  storage::BlockData(data.begin(), data.end())};
+  auto reply =
+      call_any(net::Message{client_id_, std::move(request)});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::ClientWriteReply>()) {
+    return errors::protocol("unexpected reply to client write");
+  }
+  const auto code = reply.value().as<net::ClientWriteReply>().error_code;
+  if (code != 0) {
+    return Status(static_cast<ErrorCode>(code), "server-side write failed");
+  }
+  return Status::ok();
+}
+
+}  // namespace reldev::core

@@ -1,0 +1,279 @@
+#include "reldev/core/experiment.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "reldev/sim/arrivals.hpp"
+#include "reldev/sim/availability_tracker.hpp"
+#include "reldev/sim/failure.hpp"
+#include "reldev/sim/simulator.hpp"
+#include "reldev/util/rng.hpp"
+
+namespace reldev::core {
+
+namespace {
+
+/// Shared event plumbing: keeps a ReplicaGroup in step with a
+/// FailureProcess and offers coordinator selection for workloads.
+class GroupDriver final : public sim::FailureListener {
+ public:
+  GroupDriver(ReplicaGroup& group, Rng rng, bool refresh_writes)
+      : group_(group), rng_(rng), refresh_writes_(refresh_writes),
+        payload_(group.config().block_size, std::byte{0}) {}
+
+  void on_site_failed(std::size_t site, double /*now*/) override {
+    ++failures_;
+    group_.crash_site(static_cast<SiteId>(site));
+    if (none_up()) ++total_failures_;
+    refresh();
+    if (on_change_) on_change_();
+  }
+
+  void on_site_repaired(std::size_t site, double /*now*/) override {
+    ++repairs_;
+    (void)group_.recover_site(static_cast<SiteId>(site));
+    refresh();
+    if (on_change_) on_change_();
+  }
+
+  /// Optional hook run after every membership change (for trackers).
+  void set_on_change(std::function<void()> hook) { on_change_ = std::move(hook); }
+
+  /// A uniformly chosen coordinator that is up and protocol-available;
+  /// nullopt when the device is unavailable from every site.
+  std::optional<SiteId> pick_coordinator() {
+    std::vector<SiteId> candidates;
+    for (SiteId site = 0; site < group_.size(); ++site) {
+      if (!group_.transport().is_up(site)) continue;
+      if (group_.scheme() != SchemeKind::kVoting &&
+          group_.replica(site).state() != SiteState::kAvailable) {
+        continue;
+      }
+      candidates.push_back(site);
+    }
+    if (candidates.empty()) return std::nullopt;
+    return candidates[static_cast<std::size_t>(
+        rng_.uniform_u64(0, candidates.size() - 1))];
+  }
+
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+  [[nodiscard]] std::uint64_t total_failures() const noexcept {
+    return total_failures_;
+  }
+  [[nodiscard]] std::span<const std::byte> payload() const noexcept {
+    return payload_;
+  }
+
+ private:
+  [[nodiscard]] bool none_up() const {
+    const auto up = group_.up();
+    return std::none_of(up.begin(), up.end(), [](bool b) { return b; });
+  }
+
+  void refresh() {
+    // Keep was-available sets synchronized with the live membership, as
+    // §4.2's model assumes (knowledge is updated whenever a block is
+    // modified; here a modification follows every membership change).
+    if (!refresh_writes_ || group_.scheme() != SchemeKind::kAvailableCopy) {
+      return;
+    }
+    if (auto coordinator = pick_coordinator()) {
+      (void)group_.write(*coordinator, 0, payload_);
+    }
+  }
+
+  ReplicaGroup& group_;
+  Rng rng_;
+  bool refresh_writes_;
+  storage::BlockData payload_;
+  std::function<void()> on_change_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t total_failures_ = 0;
+};
+
+}  // namespace
+
+AvailabilityResult run_availability_experiment(
+    const AvailabilityOptions& options) {
+  RELDEV_EXPECTS(options.sites >= 1);
+  RELDEV_EXPECTS(options.rho >= 0.0);
+  Rng rng(options.seed);
+
+  // Tiny device: availability depends only on site state, not geometry.
+  ReplicaGroup group(options.scheme,
+                     GroupConfig::majority(options.sites, /*block_count=*/4,
+                                           /*block_size=*/64));
+  GroupDriver driver(group, rng.split(), options.refresh_writes);
+
+  sim::Simulator simulator;
+  sim::FailureProcess failures(simulator, rng.split(),
+                               sim::uniform_rates(options.sites, options.rho),
+                               &driver);
+  sim::AvailabilityTracker tracker(options.warmup, options.horizon,
+                                   options.batches);
+  tracker.record(0.0, group.group_available());
+  driver.set_on_change([&] {
+    tracker.record(simulator.now(), group.group_available());
+  });
+
+  failures.start();
+  simulator.run_until(options.warmup + options.horizon);
+  tracker.finish(simulator.now());
+
+  AvailabilityResult result;
+  result.availability = tracker.availability();
+  result.half_width = tracker.half_width();
+  result.failures = driver.failures();
+  result.repairs = driver.repairs();
+  result.total_failures = driver.total_failures();
+  return result;
+}
+
+TrafficResult run_traffic_experiment(const TrafficOptions& options) {
+  RELDEV_EXPECTS(options.sites >= 2);
+  RELDEV_EXPECTS(options.write_rate > 0.0);
+  Rng rng(options.seed);
+
+  ReplicaGroup group(
+      options.scheme,
+      GroupConfig::majority(options.sites, /*block_count=*/16,
+                            /*block_size=*/64),
+      options.mode, options.policy);
+  // Traffic runs measure the protocols' own messages only: no artificial
+  // refresh writes.
+  GroupDriver driver(group, rng.split(), /*refresh_writes=*/false);
+
+  sim::Simulator simulator;
+  sim::FailureProcess failures(simulator, rng.split(),
+                               sim::uniform_rates(options.sites, options.rho),
+                               &driver);
+
+  net::TrafficMeter& meter = group.meter();
+  TrafficResult result;
+  std::uint64_t write_traffic = 0;
+  std::uint64_t read_traffic = 0;
+  Rng workload_rng = rng.split();
+
+  const auto run_op = [&](net::OpKind kind) {
+    auto coordinator = driver.pick_coordinator();
+    const net::OpScope scope(meter, kind);
+    const std::uint64_t before = meter.total();
+    bool ok = false;
+    if (coordinator.has_value()) {
+      const BlockId block = workload_rng.uniform_u64(0, 15);
+      if (kind == net::OpKind::kWrite) {
+        ok = group.write(*coordinator, block, driver.payload()).is_ok();
+      } else {
+        ok = group.read(*coordinator, block).is_ok();
+      }
+    }
+    const std::uint64_t cost = meter.total() - before;
+    if (kind == net::OpKind::kWrite) {
+      if (ok) {
+        ++result.writes;
+        write_traffic += cost;
+      } else {
+        ++result.failed_writes;
+      }
+    } else {
+      if (ok) {
+        ++result.reads;
+        read_traffic += cost;
+      } else {
+        ++result.failed_reads;
+      }
+    }
+  };
+
+  sim::ArrivalProcess writes(simulator, rng.split(), options.write_rate,
+                             [&](double) { run_op(net::OpKind::kWrite); });
+  std::unique_ptr<sim::ArrivalProcess> reads;
+  if (options.reads_per_write > 0.0) {
+    reads = std::make_unique<sim::ArrivalProcess>(
+        simulator, rng.split(), options.write_rate * options.reads_per_write,
+        [&](double) { run_op(net::OpKind::kRead); });
+  }
+
+  // Repair events run outside any read/write OpScope, so with the default
+  // operation set to kRecovery every transmission caused by site recovery
+  // (state inquiries, version-vector exchanges, block transfers) is
+  // attributed to recovery automatically.
+  meter.set_current_op(net::OpKind::kRecovery);
+
+  failures.start();
+  writes.start();
+  if (reads) reads->start();
+  simulator.run_until(options.horizon);
+  writes.stop();
+  if (reads) reads->stop();
+
+  result.repairs = driver.repairs();
+  if (result.writes > 0) {
+    result.per_write =
+        static_cast<double>(write_traffic) / static_cast<double>(result.writes);
+  }
+  if (result.reads > 0) {
+    result.per_read =
+        static_cast<double>(read_traffic) / static_cast<double>(result.reads);
+  }
+  if (result.repairs > 0) {
+    result.per_recovery =
+        static_cast<double>(meter.count(net::OpKind::kRecovery)) /
+        static_cast<double>(result.repairs);
+  }
+  result.per_workload_unit =
+      result.per_write + options.reads_per_write * result.per_read;
+  return result;
+}
+
+RecoveryResult run_recovery_experiment(const RecoveryOptions& options) {
+  RELDEV_EXPECTS(options.sites >= 2);
+  Rng rng(options.seed);
+  ReplicaGroup group(options.scheme,
+                     GroupConfig::majority(options.sites, 4, 64));
+  GroupDriver driver(group, rng.split(), /*refresh_writes=*/true);
+
+  sim::Simulator simulator;
+  sim::FailureProcess failures(
+      simulator, rng.split(),
+      sim::uniform_rates(options.sites, options.rho, options.repair_shape),
+      &driver);
+
+  RecoveryResult result;
+  bool in_outage = false;
+  double outage_start = 0.0;
+  double outage_sum = 0.0;
+  driver.set_on_change([&] {
+    const bool available = group.group_available();
+    const auto up = group.up();
+    if (!in_outage && !available &&
+        std::none_of(up.begin(), up.end(), [](bool b) { return b; })) {
+      // All sites down: a total failure begins.
+      in_outage = true;
+      outage_start = simulator.now();
+      ++result.total_failures;
+    } else if (in_outage && available) {
+      const double outage = simulator.now() - outage_start;
+      outage_sum += outage;
+      result.max_outage = std::max(result.max_outage, outage);
+      in_outage = false;
+    }
+  });
+
+  failures.start();
+  simulator.run_until(options.horizon);
+  if (result.total_failures > 0) {
+    const auto completed =
+        result.total_failures - (in_outage ? 1u : 0u);
+    if (completed > 0) {
+      result.mean_outage = outage_sum / static_cast<double>(completed);
+    }
+  }
+  return result;
+}
+
+}  // namespace reldev::core

@@ -1,0 +1,130 @@
+#include "reldev/core/group.hpp"
+
+namespace reldev::core {
+
+const char* scheme_kind_name(SchemeKind kind) noexcept {
+  switch (kind) {
+    case SchemeKind::kVoting:
+      return "voting";
+    case SchemeKind::kAvailableCopy:
+      return "available-copy";
+    case SchemeKind::kNaiveAvailableCopy:
+      return "naive-available-copy";
+  }
+  return "unknown";
+}
+
+ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
+                           net::AddressingMode mode, WasAvailablePolicy policy)
+    : scheme_(scheme), config_(std::move(config)), transport_(mode) {
+  config_.validate();
+  transport_.set_traffic_meter(&meter_);
+  const std::size_t n = config_.site_count();
+  stores_.reserve(n);
+  replicas_.reserve(n);
+  for (SiteId site = 0; site < n; ++site) {
+    stores_.push_back(std::make_unique<storage::MemBlockStore>(
+        config_.block_count, config_.block_size));
+    switch (scheme_) {
+      case SchemeKind::kVoting:
+        replicas_.push_back(std::make_unique<VotingReplica>(
+            site, config_, *stores_.back(), transport_));
+        break;
+      case SchemeKind::kAvailableCopy:
+        replicas_.push_back(std::make_unique<AvailableCopyReplica>(
+            site, config_, *stores_.back(), transport_, policy));
+        break;
+      case SchemeKind::kNaiveAvailableCopy:
+        replicas_.push_back(std::make_unique<NaiveAvailableCopyReplica>(
+            site, config_, *stores_.back(), transport_));
+        break;
+    }
+    transport_.bind(site, replicas_.back().get());
+  }
+}
+
+ReplicaBase& ReplicaGroup::replica(SiteId site) {
+  RELDEV_EXPECTS(site < replicas_.size());
+  return *replicas_[site];
+}
+
+storage::MemBlockStore& ReplicaGroup::store(SiteId site) {
+  RELDEV_EXPECTS(site < stores_.size());
+  return *stores_[site];
+}
+
+void ReplicaGroup::crash_site(SiteId site) {
+  replica(site).crash();
+  transport_.set_up(site, false);
+}
+
+Status ReplicaGroup::recover_site(SiteId site) {
+  transport_.set_up(site, true);
+  const Status status = replica(site).recover();
+  retry_comatose();
+  return status;
+}
+
+std::size_t ReplicaGroup::retry_comatose() {
+  std::size_t recovered = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& replica : replicas_) {
+      if (replica->state() != SiteState::kComatose) continue;
+      if (!transport_.is_up(replica->id())) continue;
+      if (replica->recover().is_ok()) {
+        ++recovered;
+        progress = true;
+      }
+    }
+  }
+  return recovered;
+}
+
+bool ReplicaGroup::group_available() const {
+  if (scheme_ == SchemeKind::kVoting) {
+    std::uint64_t up_weight = 0;
+    for (const auto& replica : replicas_) {
+      if (transport_.is_up(replica->id())) {
+        up_weight += config_.weight_of(replica->id());
+      }
+    }
+    return up_weight >= config_.read_quorum_millivotes &&
+           up_weight >= config_.write_quorum_millivotes;
+  }
+  for (const auto& replica : replicas_) {
+    if (transport_.is_up(replica->id()) &&
+        replica->state() == SiteState::kAvailable) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<storage::BlockData> ReplicaGroup::read(SiteId via, BlockId block) {
+  return replica(via).read(block);
+}
+
+Status ReplicaGroup::write(SiteId via, BlockId block,
+                           std::span<const std::byte> data) {
+  return replica(via).write(block, data);
+}
+
+std::vector<SiteState> ReplicaGroup::states() const {
+  std::vector<SiteState> result;
+  result.reserve(replicas_.size());
+  for (const auto& replica : replicas_) result.push_back(replica->state());
+  return result;
+}
+
+std::vector<bool> ReplicaGroup::up() const {
+  std::vector<bool> result;
+  result.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    result.push_back(transport_.is_up(replica->id()));
+  }
+  return result;
+}
+
+}  // namespace reldev::core

@@ -1,0 +1,35 @@
+// The closure C*(W_s) of a was-available set (Definition 3.2). After a
+// total failure, the sites that could have failed last — and therefore
+// could hold the most recent data — are found by chasing was-available
+// sets transitively: any site that repaired from a member after the
+// member's last write appears in some member's W, so the fixed point
+// contains every candidate. Recovery may proceed once every member of the
+// closure has recovered (Figure 5's first select arm).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "reldev/storage/site_metadata.hpp"
+
+namespace reldev::core {
+
+using storage::SiteId;
+using storage::SiteSet;
+
+/// Was-available sets learned so far, keyed by site. Sites still down have
+/// no entry.
+using WasAvailableMap = std::map<SiteId, SiteSet>;
+
+/// Transitive closure of `seed` under the known was-available sets:
+/// C0 = seed, C(k+1) = Ck union W_t for every t in Ck with a known W.
+/// Monotone and idempotent; members without a known W stay in the result
+/// (their sets may still grow it once they recover).
+SiteSet closure(const SiteSet& seed, const WasAvailableMap& known);
+
+/// True when every member of closure(seed, known) has a known set — i.e.
+/// every site that could have failed last has recovered far enough to
+/// report, so the maximum version among them is guaranteed current.
+bool closure_recovered(const SiteSet& seed, const WasAvailableMap& known);
+
+}  // namespace reldev::core

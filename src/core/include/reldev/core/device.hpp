@@ -1,0 +1,58 @@
+// The block-device interface of §2: what the file system sees. A reliable
+// (replicated) device and a plain local disk implement the same interface,
+// which is the paper's headline property — everything above the device
+// needs no modification to gain replication.
+#pragma once
+
+#include <span>
+
+#include "reldev/storage/block_store.hpp"
+#include "reldev/util/result.hpp"
+
+namespace reldev::core {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  [[nodiscard]] virtual std::size_t block_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;
+
+  /// kUnavailable when the device cannot serve (no quorum / no available
+  /// copy); the file system treats that like any transient device error.
+  virtual Result<storage::BlockData> read_block(storage::BlockId block) = 0;
+  virtual Status write_block(storage::BlockId block,
+                             std::span<const std::byte> data) = 0;
+};
+
+/// An ordinary single-disk device: a BlockStore with no replication. The
+/// baseline every scheme is compared against.
+class LocalBlockDevice final : public BlockDevice {
+ public:
+  explicit LocalBlockDevice(storage::BlockStore& store) : store_(store) {}
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return store_.block_count();
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return store_.block_size();
+  }
+
+  Result<storage::BlockData> read_block(storage::BlockId block) override {
+    auto result = store_.read(block);
+    if (!result) return result.status();
+    return std::move(result).value().data;
+  }
+
+  Status write_block(storage::BlockId block,
+                     std::span<const std::byte> data) override {
+    auto current = store_.version_of(block);
+    if (!current) return current.status();
+    return store_.write(block, data, current.value() + 1);
+  }
+
+ private:
+  storage::BlockStore& store_;
+};
+
+}  // namespace reldev::core

@@ -1,0 +1,54 @@
+// The device-driver stub of Figures 1 and 2: the client half of the
+// reliable device. It presents the ordinary BlockDevice interface and
+// forwards every block request over the network to a site server, failing
+// over to the next configured server when one is unreachable — which is
+// how a diskless workstation uses the reliable device (§2).
+#pragma once
+
+#include <vector>
+
+#include "reldev/core/device.hpp"
+#include "reldev/core/types.hpp"
+#include "reldev/net/transport.hpp"
+
+namespace reldev::core {
+
+class DriverStub final : public BlockDevice {
+ public:
+  /// `client_id` identifies this stub on the transport (distinct from any
+  /// server site id). `servers` is tried in order on each operation.
+  DriverStub(net::Transport& transport, SiteId client_id,
+             std::vector<SiteId> servers, std::size_t block_count,
+             std::size_t block_size);
+
+  /// Queries device geometry from the first reachable server.
+  static Result<DriverStub> connect(net::Transport& transport,
+                                    SiteId client_id,
+                                    std::vector<SiteId> servers);
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return block_count_;
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return block_size_;
+  }
+
+  Result<storage::BlockData> read_block(BlockId block) override;
+  Status write_block(BlockId block, std::span<const std::byte> data) override;
+
+  /// The server that served the last successful request.
+  [[nodiscard]] SiteId last_server() const noexcept { return last_server_; }
+
+ private:
+  /// Try each server in order; returns the first conclusive reply.
+  Result<net::Message> call_any(const net::Message& request);
+
+  net::Transport& transport_;
+  SiteId client_id_;
+  std::vector<SiteId> servers_;
+  std::size_t block_count_;
+  std::size_t block_size_;
+  SiteId last_server_ = 0;
+};
+
+}  // namespace reldev::core

@@ -1,0 +1,76 @@
+// ReplicaGroup: an in-process replication group — n replicas of one
+// scheme, their block stores, and the transport wiring between them. The
+// examples, the tests, and the discrete-event experiments all build groups
+// through this class; fail-stop crashes and recoveries are driven through
+// it so the replica state and the transport reachability stay in step.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "reldev/core/available_copy_replica.hpp"
+#include "reldev/core/naive_replica.hpp"
+#include "reldev/core/voting_replica.hpp"
+#include "reldev/net/inproc_transport.hpp"
+#include "reldev/storage/mem_block_store.hpp"
+
+namespace reldev::core {
+
+enum class SchemeKind { kVoting, kAvailableCopy, kNaiveAvailableCopy };
+
+const char* scheme_kind_name(SchemeKind kind) noexcept;
+
+class ReplicaGroup {
+ public:
+  ReplicaGroup(SchemeKind scheme, GroupConfig config,
+               net::AddressingMode mode = net::AddressingMode::kMulticast,
+               WasAvailablePolicy policy = WasAvailablePolicy::kEagerBroadcast);
+
+  [[nodiscard]] SchemeKind scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const GroupConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
+
+  [[nodiscard]] ReplicaBase& replica(SiteId site);
+  [[nodiscard]] storage::MemBlockStore& store(SiteId site);
+  [[nodiscard]] net::InProcTransport& transport() noexcept { return transport_; }
+  [[nodiscard]] net::TrafficMeter& meter() noexcept { return meter_; }
+
+  /// Fail-stop crash: the replica forgets volatile state and the site
+  /// becomes unreachable.
+  void crash_site(SiteId site);
+
+  /// Bring the site back up and run its recovery procedure, then give
+  /// every other comatose site a chance to finish recovering (a newly
+  /// available or newly recovered site can unblock them). Returns the
+  /// status of this site's own recovery attempt (kUnavailable = comatose).
+  Status recover_site(SiteId site);
+
+  /// One fixpoint pass: call recover() on every comatose, reachable
+  /// replica until nothing changes. Returns how many became available.
+  std::size_t retry_comatose();
+
+  /// Whether the replicated block device is available under this scheme's
+  /// rules: voting — a read and write quorum of up sites exists;
+  /// available-copy schemes — at least one replica is `available`.
+  [[nodiscard]] bool group_available() const;
+
+  /// Convenience: device operations through a chosen coordinator site.
+  Result<storage::BlockData> read(SiteId via, BlockId block);
+  Status write(SiteId via, BlockId block, std::span<const std::byte> data);
+
+  /// Current state of every site (failed sites report kFailed).
+  [[nodiscard]] std::vector<SiteState> states() const;
+
+  /// Sites currently reachable (up), regardless of protocol state.
+  [[nodiscard]] std::vector<bool> up() const;
+
+ private:
+  SchemeKind scheme_;
+  GroupConfig config_;
+  net::TrafficMeter meter_;
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<storage::MemBlockStore>> stores_;
+  std::vector<std::unique_ptr<ReplicaBase>> replicas_;
+};
+
+}  // namespace reldev::core

@@ -1,0 +1,42 @@
+// The naive available-copy scheme (§3.3, Figure 6): available copy with
+// W_s fixed to the full site set. No failure information is maintained, so
+// a write is a single unacknowledged push — the cheapest write of the
+// three schemes — but after a total failure the block stays out of service
+// until every site has recovered.
+#pragma once
+
+#include "reldev/core/replica.hpp"
+
+namespace reldev::core {
+
+class NaiveAvailableCopyReplica final : public ReplicaBase {
+ public:
+  NaiveAvailableCopyReplica(SiteId self, GroupConfig config,
+                            storage::BlockStore& store,
+                            net::Transport& transport);
+
+  [[nodiscard]] const char* scheme_name() const noexcept override {
+    return "naive-available-copy";
+  }
+
+  Result<storage::BlockData> read(BlockId block) override;
+
+  /// One unacknowledged push to all peers (a single transmission on a
+  /// multicast network — the scheme's whole advantage).
+  Status write(BlockId block, std::span<const std::byte> data) override;
+
+  /// Figure 6: repair from any available site, or — after a total failure —
+  /// wait for all sites and take the highest version.
+  Status recover() override;
+
+  void crash() override;
+
+ protected:
+  net::Message handle_peer(const net::Message& request) override;
+  void handle_peer_oneway(const net::Message& message) override;
+
+ private:
+  Status repair_from(SiteId source);
+};
+
+}  // namespace reldev::core

@@ -1,0 +1,113 @@
+// ReplicaBase: one site's server process. Holds the site's block store,
+// answers peer protocol messages, and exposes the coordinator-side device
+// operations (read/write/recover) that each consistency scheme implements.
+// The same object serves the in-process transport, the simulator, and TCP.
+#pragma once
+
+#include <span>
+
+#include "reldev/core/device.hpp"
+#include "reldev/core/types.hpp"
+#include "reldev/net/message.hpp"
+#include "reldev/net/transport.hpp"
+#include "reldev/storage/block_store.hpp"
+
+namespace reldev::core {
+
+using net::SiteState;
+
+class ReplicaBase : public net::MessageHandler {
+ public:
+  ReplicaBase(SiteId self, GroupConfig config, storage::BlockStore& store,
+              net::Transport& transport);
+  ~ReplicaBase() override = default;
+
+  [[nodiscard]] SiteId id() const noexcept { return self_; }
+  [[nodiscard]] SiteState state() const noexcept { return state_; }
+  [[nodiscard]] const GroupConfig& config() const noexcept { return config_; }
+  [[nodiscard]] storage::BlockStore& store() noexcept { return store_; }
+
+  /// Name of the scheme this replica runs ("voting", ...), for logs.
+  [[nodiscard]] virtual const char* scheme_name() const noexcept = 0;
+
+  // --- coordinator-side device operations --------------------------------
+
+  /// Read one block with the scheme's consistency rules.
+  virtual Result<storage::BlockData> read(BlockId block) = 0;
+
+  /// Write one block (full block) with the scheme's consistency rules.
+  virtual Status write(BlockId block, std::span<const std::byte> data) = 0;
+
+  // --- lifecycle -----------------------------------------------------------
+
+  /// Fail-stop crash: volatile state is lost; persistent state (the block
+  /// store and its metadata) survives. The caller is responsible for also
+  /// marking the site unreachable on the transport.
+  virtual void crash();
+
+  /// Run the scheme's recovery procedure. Returns kOk when the replica
+  /// reached `available`; kUnavailable when it must stay comatose and try
+  /// again later (e.g. the closure has not fully recovered). The caller
+  /// must have made the site reachable again before calling.
+  virtual Status recover() = 0;
+
+  // --- MessageHandler ------------------------------------------------------
+
+  net::Message handle(const net::Message& request) final;
+  void handle_oneway(const net::Message& message) final;
+
+ protected:
+  /// Scheme-specific request dispatch for peer messages the base does not
+  /// understand; return an ErrorReply for unexpected types.
+  virtual net::Message handle_peer(const net::Message& request) = 0;
+  virtual void handle_peer_oneway(const net::Message& message) = 0;
+
+  /// Every peer except this site.
+  [[nodiscard]] SiteSet peers() const;
+
+  void set_state(SiteState state) noexcept { state_ = state; }
+
+  /// Current version vector of the local store.
+  [[nodiscard]] storage::VersionVector local_versions() const {
+    return store_.version_vector();
+  }
+
+  /// Build a RepairReply for a peer whose vector is `theirs`: my vector
+  /// plus every block where mine is newer.
+  [[nodiscard]] net::RepairReply build_repair_reply(
+      const storage::VersionVector& theirs) const;
+
+  /// Apply a RepairReply: replace every block the source knew newer.
+  Status apply_repair(const net::RepairReply& reply);
+
+  SiteId self_;
+  GroupConfig config_;
+  storage::BlockStore& store_;
+  net::Transport& transport_;
+  SiteState state_ = SiteState::kAvailable;
+};
+
+/// Adapts a replica to the BlockDevice interface so the file system can
+/// mount a replicated device exactly like a local disk.
+class ReplicaDevice final : public BlockDevice {
+ public:
+  explicit ReplicaDevice(ReplicaBase& replica) : replica_(replica) {}
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return replica_.config().block_count;
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return replica_.config().block_size;
+  }
+  Result<storage::BlockData> read_block(BlockId block) override {
+    return replica_.read(block);
+  }
+  Status write_block(BlockId block, std::span<const std::byte> data) override {
+    return replica_.write(block, data);
+  }
+
+ private:
+  ReplicaBase& replica_;
+};
+
+}  // namespace reldev::core

@@ -1,0 +1,79 @@
+// A small line-oriented scenario language for driving a replica group
+// through scripted failure schedules and asserting the outcomes — the
+// executable form of the worked examples in §§3–4 of the paper. Used by
+// the failure-scenario tests and the `scenario_runner` example, and handy
+// for reproducing bug reports: a failing schedule is a paste-able script.
+//
+//   # total failure, recovery in worst order (AC)
+//   sites 3
+//   scheme available-copy
+//   crash 2
+//   write 0 0 v1
+//   crash 1
+//   write 0 0 v2
+//   crash 0
+//   comeback 2            # transport up, recovery attempt allowed to wait
+//   expect-state 2 comatose
+//   recover 0             # last-failed site must succeed
+//   retry
+//   expect-state 1 available
+//   read 1 0 v2
+//
+// Commands:
+//   sites <n>                 group size (default 3); must precede actions
+//   blocks <n>                device blocks (default 8)
+//   scheme <name>             voting | available-copy | naive-available-copy
+//   crash <site>              fail-stop a site
+//   recover <site>            bring a site back; recovery MUST succeed
+//   comeback <site>           bring a site back; may stay comatose
+//   retry                     run the comatose-recovery fixpoint
+//   write <via> <block> <text>        must succeed
+//   fail-write <via> <block> <text>   must be refused
+//   read <via> <block> <text>         must succeed and match
+//   fail-read <via> <block>           must be refused
+//   partition <site> <group>  put a site in a partition group
+//   heal                      clear all partitions
+//   expect-state <site> <failed|comatose|available>
+//   expect-available <true|false>     the group-level availability rule
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reldev/core/group.hpp"
+
+namespace reldev::core {
+
+/// One parsed scenario step (exposed so tools can inspect scripts).
+struct ScenarioStep {
+  std::size_t line = 0;  // 1-based source line, for error messages
+  std::string command;
+  std::vector<std::string> args;
+};
+
+/// A parsed scenario: configuration plus the action steps.
+struct Scenario {
+  SchemeKind scheme = SchemeKind::kAvailableCopy;
+  std::size_t sites = 3;
+  std::size_t blocks = 8;
+  std::size_t block_size = 64;
+  std::vector<ScenarioStep> steps;
+
+  /// Parse from script text. kInvalidArgument with a line reference on any
+  /// syntax error.
+  static Result<Scenario> parse(const std::string& text);
+};
+
+/// Result of running a scenario.
+struct ScenarioOutcome {
+  std::size_t steps_executed = 0;
+  /// Human-readable transcript, one line per executed step.
+  std::vector<std::string> transcript;
+};
+
+/// Execute a scenario against a fresh ReplicaGroup. Stops at the first
+/// violated expectation, returning kConflict with the line number and what
+/// differed; infrastructure errors propagate as their own codes.
+Result<ScenarioOutcome> run_scenario(const Scenario& scenario);
+
+}  // namespace reldev::core

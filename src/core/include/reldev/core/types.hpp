@@ -1,0 +1,86 @@
+// Replication-group configuration: geometry, per-site voting weights, and
+// quorum thresholds. Weights are fixed-point "millivotes" so the paper's
+// epsilon tie-break for even group sizes (§4.1) is representable exactly:
+// one site carries 1001 millivotes, the rest 1000, and a tie of k-vs-k
+// copies resolves toward the half holding the heavier copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "reldev/storage/block.hpp"
+#include "reldev/storage/site_metadata.hpp"
+#include "reldev/util/assert.hpp"
+
+namespace reldev::core {
+
+using storage::BlockId;
+using storage::SiteId;
+using storage::SiteSet;
+
+struct GroupConfig {
+  std::size_t block_count = 0;
+  std::size_t block_size = storage::kDefaultBlockSize;
+  /// One weight per site; site i's identity is its index.
+  std::vector<std::uint32_t> weights_millivotes;
+  /// Minimum weight sums (inclusive) a read / write quorum must reach.
+  /// Correctness requires read + write > total and 2 * write > total.
+  std::uint64_t read_quorum_millivotes = 0;
+  std::uint64_t write_quorum_millivotes = 0;
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return weights_millivotes.size();
+  }
+
+  [[nodiscard]] std::uint64_t total_weight() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto w : weights_millivotes) total += w;
+    return total;
+  }
+
+  [[nodiscard]] std::uint32_t weight_of(SiteId site) const {
+    RELDEV_EXPECTS(site < weights_millivotes.size());
+    return weights_millivotes[site];
+  }
+
+  /// The full site set {0, ..., n-1}.
+  [[nodiscard]] SiteSet all_sites() const {
+    SiteSet sites;
+    for (SiteId s = 0; s < weights_millivotes.size(); ++s) sites.insert(s);
+    return sites;
+  }
+
+  /// Throws ContractViolation if the quorum invariants do not hold.
+  void validate() const {
+    RELDEV_EXPECTS(block_count > 0);
+    RELDEV_EXPECTS(block_size > 0);
+    RELDEV_EXPECTS(!weights_millivotes.empty());
+    const std::uint64_t total = total_weight();
+    RELDEV_EXPECTS(read_quorum_millivotes + write_quorum_millivotes > total);
+    RELDEV_EXPECTS(2 * write_quorum_millivotes > total);
+    RELDEV_EXPECTS(read_quorum_millivotes <= total);
+    RELDEV_EXPECTS(write_quorum_millivotes <= total);
+  }
+
+  /// n equally weighted sites with majority read/write quorums. For even n
+  /// site 0 gets the +1 millivote perturbation of §4.1, which makes
+  /// A_V(2k) = A_V(2k-1).
+  static GroupConfig majority(std::size_t n, std::size_t block_count,
+                              std::size_t block_size =
+                                  storage::kDefaultBlockSize) {
+    RELDEV_EXPECTS(n >= 1);
+    GroupConfig config;
+    config.block_count = block_count;
+    config.block_size = block_size;
+    config.weights_millivotes.assign(n, 1000);
+    if (n % 2 == 0) config.weights_millivotes[0] = 1001;
+    const std::uint64_t total = config.total_weight();
+    config.read_quorum_millivotes = total / 2 + 1;
+    config.write_quorum_millivotes = total / 2 + 1;
+    config.validate();
+    return config;
+  }
+};
+
+}  // namespace reldev::core

@@ -1,0 +1,51 @@
+// Majority consensus voting at the block level (§3.1, Figures 3 and 4).
+// Reads and writes collect votes — (version, weight) pairs — from every
+// reachable site; a quorum by weight admits the operation. Out-of-date
+// blocks are repaired lazily: a read refreshes only the block it touches,
+// a write overwrites stale copies in the quorum as a side effect, and a
+// recovering site does nothing at all at repair time — the property that
+// lets block-level voting dispense with recovery traffic entirely (§5).
+#pragma once
+
+#include "reldev/core/replica.hpp"
+
+namespace reldev::core {
+
+class VotingReplica final : public ReplicaBase {
+ public:
+  VotingReplica(SiteId self, GroupConfig config, storage::BlockStore& store,
+                net::Transport& transport);
+
+  [[nodiscard]] const char* scheme_name() const noexcept override {
+    return "voting";
+  }
+
+  /// Figure 3. Collects votes; with a read quorum, refreshes the local
+  /// copy if stale (one fetch from the highest-version site) and serves
+  /// the read locally.
+  Result<storage::BlockData> read(BlockId block) override;
+
+  /// Figure 4. Collects votes; with a write quorum, bumps the maximum
+  /// version and pushes the block to every site in the quorum.
+  Status write(BlockId block, std::span<const std::byte> data) override;
+
+  /// Voting sites are always immediately available after repair: stale
+  /// blocks are caught by version numbers at access time.
+  Status recover() override;
+  void crash() override;
+
+ protected:
+  net::Message handle_peer(const net::Message& request) override;
+  void handle_peer_oneway(const net::Message& message) override;
+
+ private:
+  struct Votes {
+    std::uint64_t weight_millivotes = 0;   // including self
+    storage::VersionNumber max_version = 0;
+    SiteId max_site = 0;                   // a site holding max_version
+    std::vector<net::GatherReply> replies; // the raw peer votes
+  };
+  Votes collect_votes(net::AccessKind access, BlockId block);
+};
+
+}  // namespace reldev::core

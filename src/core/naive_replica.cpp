@@ -1,0 +1,138 @@
+#include "reldev/core/naive_replica.hpp"
+
+#include "reldev/util/logging.hpp"
+
+namespace reldev::core {
+
+NaiveAvailableCopyReplica::NaiveAvailableCopyReplica(
+    SiteId self, GroupConfig config, storage::BlockStore& store,
+    net::Transport& transport)
+    : ReplicaBase(self, std::move(config), store, transport) {}
+
+Result<storage::BlockData> NaiveAvailableCopyReplica::read(BlockId block) {
+  if (state_ != SiteState::kAvailable) {
+    return errors::unavailable(std::string("site is ") +
+                               net::site_state_name(state_));
+  }
+  auto stored = store_.read(block);
+  if (!stored) return stored.status();
+  return std::move(stored).value().data;
+}
+
+Status NaiveAvailableCopyReplica::write(BlockId block,
+                                        std::span<const std::byte> data) {
+  if (state_ != SiteState::kAvailable) {
+    return errors::unavailable(std::string("site is ") +
+                               net::site_state_name(state_));
+  }
+  if (data.size() != config_.block_size) {
+    return errors::invalid_argument("payload size != block size");
+  }
+  auto current = store_.version_of(block);
+  if (!current) return current.status();
+  const storage::VersionNumber next = current.value() + 1;
+  if (auto status = store_.write(block, data, next); !status.is_ok()) {
+    return status;
+  }
+  // The naive write: one unacknowledged push to everybody. Reliable
+  // delivery between live sites is assumed (§5.1); no was-available
+  // bookkeeping exists to update.
+  net::WriteAllRequest push{block, next,
+                            storage::BlockData(data.begin(), data.end()),
+                            SiteSet{}};
+  return transport_.multicast(self_, peers(),
+                              net::Message{self_, std::move(push)});
+}
+
+Status NaiveAvailableCopyReplica::repair_from(SiteId source) {
+  auto reply = transport_.call(
+      self_, source, net::Message{self_, net::RepairRequest{local_versions()}});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::RepairReply>()) {
+    return errors::protocol("unexpected reply to repair request");
+  }
+  return apply_repair(reply.value().as<net::RepairReply>());
+}
+
+Status NaiveAvailableCopyReplica::recover() {
+  // Figure 6: identical to Figure 5 with W_s fixed to the full site set —
+  // so after a total failure *every* site must recover before anyone can
+  // tell who holds the most recent version.
+  set_state(SiteState::kComatose);
+
+  const auto replies = transport_.multicast_call(
+      self_, peers(), net::Message{self_, net::StateInquiry{}});
+
+  for (const auto& [site, reply] : replies) {
+    if (!reply.holds<net::StateInfo>()) continue;
+    if (reply.as<net::StateInfo>().state != SiteState::kAvailable) continue;
+    if (auto status = repair_from(site); !status.is_ok()) return status;
+    set_state(SiteState::kAvailable);
+    return Status::ok();
+  }
+
+  // Nobody is available: wait for the whole group.
+  std::size_t recovered = 1;  // self
+  SiteId best = self_;
+  std::uint64_t best_total = local_versions().total();
+  for (const auto& [site, reply] : replies) {
+    if (!reply.holds<net::StateInfo>()) continue;
+    ++recovered;
+    const auto& info = reply.as<net::StateInfo>();
+    if (info.version_total > best_total) {
+      best_total = info.version_total;
+      best = site;
+    }
+  }
+  if (recovered < config_.site_count()) {
+    RELDEV_DEBUG("naive-ac") << "site " << self_
+                             << " stays comatose: " << recovered << " of "
+                             << config_.site_count() << " sites recovered";
+    return errors::unavailable("waiting for all sites to recover");
+  }
+  if (best != self_) {
+    if (auto status = repair_from(best); !status.is_ok()) return status;
+  }
+  set_state(SiteState::kAvailable);
+  return Status::ok();
+}
+
+void NaiveAvailableCopyReplica::crash() { ReplicaBase::crash(); }
+
+net::Message NaiveAvailableCopyReplica::handle_peer(
+    const net::Message& request) {
+  if (request.holds<net::StateInquiry>()) {
+    return net::Message{
+        self_, net::StateInfo{state_, local_versions().total(), SiteSet{}}};
+  }
+  if (request.holds<net::RepairRequest>()) {
+    return net::Message{
+        self_, build_repair_reply(request.as<net::RepairRequest>().versions)};
+  }
+  if (request.holds<net::WriteAllRequest>()) {
+    // The naive push is normally one-way; answering the call form keeps
+    // the engine usable over request/reply-only transports such as TCP.
+    handle_peer_oneway(request);
+    return net::Message{self_, net::WriteAllAck{}};
+  }
+  return net::make_error(
+      self_,
+      errors::protocol(std::string("unexpected request ") + request.name()));
+}
+
+void NaiveAvailableCopyReplica::handle_peer_oneway(
+    const net::Message& message) {
+  if (message.holds<net::WriteAllRequest>()) {
+    if (state_ != SiteState::kAvailable) return;  // comatose copies wait
+    const auto& push = message.as<net::WriteAllRequest>();
+    auto current = store_.version_of(push.block);
+    if (!current) return;
+    if (push.version > current.value()) {
+      (void)store_.write(push.block, push.data, push.version);
+    }
+    return;
+  }
+  RELDEV_WARN("naive-ac") << "ignoring one-way " << message.name();
+}
+
+}  // namespace reldev::core

@@ -1,0 +1,89 @@
+#include "reldev/core/replica.hpp"
+
+#include "reldev/util/logging.hpp"
+
+namespace reldev::core {
+
+ReplicaBase::ReplicaBase(SiteId self, GroupConfig config,
+                         storage::BlockStore& store, net::Transport& transport)
+    : self_(self),
+      config_(std::move(config)),
+      store_(store),
+      transport_(transport) {
+  config_.validate();
+  RELDEV_EXPECTS(self < config_.site_count());
+  RELDEV_EXPECTS(store.block_count() == config_.block_count);
+  RELDEV_EXPECTS(store.block_size() == config_.block_size);
+}
+
+void ReplicaBase::crash() { state_ = SiteState::kFailed; }
+
+SiteSet ReplicaBase::peers() const {
+  SiteSet all = config_.all_sites();
+  all.erase(self_);
+  return all;
+}
+
+net::Message ReplicaBase::handle(const net::Message& request) {
+  if (state_ == SiteState::kFailed) {
+    // Defense in depth: a fail-stopped site answers nothing. Transports
+    // should never deliver here, but a racing TCP client might.
+    return net::make_error(self_, errors::unavailable("site is failed"));
+  }
+  if (request.holds<net::ClientReadRequest>()) {
+    auto data = read(request.as<net::ClientReadRequest>().block);
+    net::ClientReadReply reply;
+    reply.error_code = static_cast<std::uint8_t>(data.status().code());
+    if (data) reply.data = std::move(data).value();
+    return net::Message{self_, std::move(reply)};
+  }
+  if (request.holds<net::ClientWriteRequest>()) {
+    const auto& payload = request.as<net::ClientWriteRequest>();
+    const Status status = write(payload.block, payload.data);
+    return net::Message{
+        self_,
+        net::ClientWriteReply{static_cast<std::uint8_t>(status.code())}};
+  }
+  if (request.holds<net::DeviceInfoRequest>()) {
+    return net::Message{self_,
+                        net::DeviceInfoReply{config_.block_count,
+                                             config_.block_size}};
+  }
+  return handle_peer(request);
+}
+
+void ReplicaBase::handle_oneway(const net::Message& message) {
+  if (state_ == SiteState::kFailed) return;
+  handle_peer_oneway(message);
+}
+
+net::RepairReply ReplicaBase::build_repair_reply(
+    const storage::VersionVector& theirs) const {
+  net::RepairReply reply;
+  reply.versions = local_versions();
+  for (const BlockId block : theirs.stale_against(reply.versions)) {
+    auto stored = store_.read(block);
+    RELDEV_ASSERT(stored.is_ok());
+    reply.blocks.push_back(net::BlockUpdate{block,
+                                            stored.value().version,
+                                            std::move(stored).value().data});
+  }
+  return reply;
+}
+
+Status ReplicaBase::apply_repair(const net::RepairReply& reply) {
+  for (const auto& update : reply.blocks) {
+    auto current = store_.version_of(update.block);
+    if (!current) return current.status();
+    if (update.version <= current.value()) continue;  // we are newer; keep ours
+    if (auto status = store_.write(update.block, update.data, update.version);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  RELDEV_TRACE("replica") << "site " << self_ << " repaired "
+                          << reply.blocks.size() << " blocks";
+  return Status::ok();
+}
+
+}  // namespace reldev::core

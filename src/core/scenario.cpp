@@ -1,0 +1,267 @@
+#include "reldev/core/scenario.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace reldev::core {
+
+namespace {
+
+Status syntax_error(std::size_t line, const std::string& what) {
+  return errors::invalid_argument("line " + std::to_string(line) + ": " +
+                                  what);
+}
+
+Status expectation_failed(std::size_t line, const std::string& what) {
+  return errors::conflict("line " + std::to_string(line) + ": " + what);
+}
+
+Result<std::uint64_t> parse_number(std::size_t line, const std::string& text,
+                                   const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    return syntax_error(line, std::string("bad ") + what + " '" + text + "'");
+  }
+}
+
+storage::BlockData text_payload(const std::string& text,
+                                std::size_t block_size) {
+  storage::BlockData data(block_size, std::byte{0});
+  std::memcpy(data.data(), text.data(), std::min(text.size(), block_size));
+  return data;
+}
+
+std::string payload_text(const storage::BlockData& data) {
+  std::string text(reinterpret_cast<const char*>(data.data()), data.size());
+  const auto nul = text.find('\0');
+  return nul == std::string::npos ? text : text.substr(0, nul);
+}
+
+/// Commands that take a configuration value before any action runs.
+bool is_config_command(const std::string& command) {
+  return command == "sites" || command == "blocks" || command == "scheme";
+}
+
+const std::vector<std::pair<std::string, std::size_t>> kArity{
+    {"crash", 1},       {"recover", 1},   {"comeback", 1},
+    {"retry", 0},       {"write", 3},     {"fail-write", 3},
+    {"read", 3},        {"fail-read", 2}, {"partition", 2},
+    {"heal", 0},        {"expect-state", 2}, {"expect-available", 1},
+};
+
+}  // namespace
+
+Result<Scenario> Scenario::parse(const std::string& text) {
+  Scenario scenario;
+  std::istringstream input(text);
+  std::string raw_line;
+  std::size_t line = 0;
+  bool actions_started = false;
+
+  while (std::getline(input, raw_line)) {
+    ++line;
+    // Strip comments and surrounding whitespace.
+    const auto hash = raw_line.find('#');
+    std::string body =
+        hash == std::string::npos ? raw_line : raw_line.substr(0, hash);
+    std::istringstream tokens(body);
+    std::vector<std::string> words;
+    for (std::string word; tokens >> word;) words.push_back(word);
+    if (words.empty()) continue;
+
+    const std::string command = words[0];
+    std::vector<std::string> args(words.begin() + 1, words.end());
+
+    if (is_config_command(command)) {
+      if (actions_started) {
+        return syntax_error(line, command + " must precede all actions");
+      }
+      if (args.size() != 1) {
+        return syntax_error(line, command + " takes one argument");
+      }
+      if (command == "sites") {
+        auto n = parse_number(line, args[0], "site count");
+        if (!n) return n.status();
+        if (n.value() < 1 || n.value() > 16) {
+          return syntax_error(line, "sites must be 1..16");
+        }
+        scenario.sites = n.value();
+      } else if (command == "blocks") {
+        auto n = parse_number(line, args[0], "block count");
+        if (!n) return n.status();
+        if (n.value() < 1 || n.value() > 4096) {
+          return syntax_error(line, "blocks must be 1..4096");
+        }
+        scenario.blocks = n.value();
+      } else {  // scheme
+        if (args[0] == "voting") {
+          scenario.scheme = SchemeKind::kVoting;
+        } else if (args[0] == "available-copy") {
+          scenario.scheme = SchemeKind::kAvailableCopy;
+        } else if (args[0] == "naive-available-copy") {
+          scenario.scheme = SchemeKind::kNaiveAvailableCopy;
+        } else {
+          return syntax_error(line, "unknown scheme '" + args[0] + "'");
+        }
+      }
+      continue;
+    }
+
+    bool known = false;
+    for (const auto& [name, arity] : kArity) {
+      if (command != name) continue;
+      known = true;
+      if (args.size() != arity) {
+        return syntax_error(line, command + " takes " +
+                                      std::to_string(arity) + " argument(s)");
+      }
+      break;
+    }
+    if (!known) return syntax_error(line, "unknown command '" + command + "'");
+    actions_started = true;
+    scenario.steps.push_back(ScenarioStep{line, command, std::move(args)});
+  }
+  return scenario;
+}
+
+Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
+  ReplicaGroup group(scenario.scheme,
+                     GroupConfig::majority(scenario.sites, scenario.blocks,
+                                           scenario.block_size));
+  ScenarioOutcome outcome;
+
+  const auto site_of = [&](std::size_t line,
+                           const std::string& text) -> Result<SiteId> {
+    auto value = parse_number(line, text, "site id");
+    if (!value) return value.status();
+    if (value.value() >= scenario.sites) {
+      return syntax_error(line, "site " + text + " out of range");
+    }
+    return static_cast<SiteId>(value.value());
+  };
+  const auto block_of = [&](std::size_t line,
+                            const std::string& text) -> Result<BlockId> {
+    auto value = parse_number(line, text, "block id");
+    if (!value) return value.status();
+    if (value.value() >= scenario.blocks) {
+      return syntax_error(line, "block " + text + " out of range");
+    }
+    return value.value();
+  };
+  const auto note = [&](const ScenarioStep& step, const std::string& text) {
+    outcome.transcript.push_back("line " + std::to_string(step.line) + ": " +
+                                 step.command + " -> " + text);
+  };
+
+  for (const auto& step : scenario.steps) {
+    ++outcome.steps_executed;
+    const std::size_t line = step.line;
+
+    if (step.command == "crash") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      group.crash_site(site.value());
+      note(step, "site " + step.args[0] + " failed");
+    } else if (step.command == "recover" || step.command == "comeback") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      group.transport().set_up(site.value(), true);
+      const Status status = group.replica(site.value()).recover();
+      group.retry_comatose();
+      if (step.command == "recover" && !status.is_ok()) {
+        return expectation_failed(
+            line, "recovery of site " + step.args[0] +
+                      " was expected to succeed: " + status.to_string());
+      }
+      note(step, status.to_string());
+    } else if (step.command == "retry") {
+      const std::size_t recovered = group.retry_comatose();
+      note(step, std::to_string(recovered) + " site(s) became available");
+    } else if (step.command == "write" || step.command == "fail-write") {
+      auto via = site_of(line, step.args[0]);
+      if (!via) return via.status();
+      auto block = block_of(line, step.args[1]);
+      if (!block) return block.status();
+      const Status status =
+          group.write(via.value(), block.value(),
+                      text_payload(step.args[2], scenario.block_size));
+      const bool want_success = step.command == "write";
+      if (status.is_ok() != want_success) {
+        return expectation_failed(
+            line, std::string("write was expected to ") +
+                      (want_success ? "succeed" : "fail") + " but " +
+                      (status.is_ok() ? "succeeded" : status.to_string()));
+      }
+      note(step, status.to_string());
+    } else if (step.command == "read" || step.command == "fail-read") {
+      auto via = site_of(line, step.args[0]);
+      if (!via) return via.status();
+      auto block = block_of(line, step.args[1]);
+      if (!block) return block.status();
+      auto data = group.read(via.value(), block.value());
+      if (step.command == "fail-read") {
+        if (data.is_ok()) {
+          return expectation_failed(line, "read was expected to fail");
+        }
+        note(step, data.status().to_string());
+      } else {
+        if (!data.is_ok()) {
+          return expectation_failed(
+              line, "read was expected to succeed: " +
+                        data.status().to_string());
+        }
+        const std::string got = payload_text(data.value());
+        if (got != step.args[2]) {
+          return expectation_failed(line, "read returned '" + got +
+                                              "', expected '" + step.args[2] +
+                                              "'");
+        }
+        note(step, "'" + got + "'");
+      }
+    } else if (step.command == "partition") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      auto part = parse_number(line, step.args[1], "partition group");
+      if (!part) return part.status();
+      group.transport().set_partition_group(site.value(),
+                                            static_cast<int>(part.value()));
+      note(step, "site " + step.args[0] + " in partition " + step.args[1]);
+    } else if (step.command == "heal") {
+      group.transport().clear_partitions();
+      note(step, "partitions cleared");
+    } else if (step.command == "expect-state") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      const char* actual =
+          net::site_state_name(group.replica(site.value()).state());
+      if (step.args[1] != actual) {
+        return expectation_failed(line, "site " + step.args[0] + " is " +
+                                            actual + ", expected " +
+                                            step.args[1]);
+      }
+      note(step, actual);
+    } else if (step.command == "expect-available") {
+      const bool want = step.args[0] == "true";
+      if (!want && step.args[0] != "false") {
+        return syntax_error(line, "expect-available takes true or false");
+      }
+      const bool actual = group.group_available();
+      if (actual != want) {
+        return expectation_failed(
+            line, std::string("group availability is ") +
+                      (actual ? "true" : "false") + ", expected " +
+                      step.args[0]);
+      }
+      note(step, actual ? "true" : "false");
+    } else {
+      return syntax_error(line, "unhandled command '" + step.command + "'");
+    }
+  }
+  return outcome;
+}
+
+}  // namespace reldev::core

@@ -1,0 +1,152 @@
+#include "reldev/core/voting_replica.hpp"
+
+#include "reldev/util/logging.hpp"
+
+namespace reldev::core {
+
+VotingReplica::VotingReplica(SiteId self, GroupConfig config,
+                             storage::BlockStore& store,
+                             net::Transport& transport)
+    : ReplicaBase(self, std::move(config), store, transport) {}
+
+VotingReplica::Votes VotingReplica::collect_votes(net::AccessKind access,
+                                                  BlockId block) {
+  Votes votes;
+  // The local site always votes for itself.
+  auto local = store_.version_of(block);
+  RELDEV_ASSERT(local.is_ok());
+  votes.weight_millivotes = config_.weight_of(self_);
+  votes.max_version = local.value();
+  votes.max_site = self_;
+
+  const net::Message request{self_, net::VoteRequest{access, block}};
+  votes.replies = transport_.multicast_call(self_, peers(), request);
+  for (const auto& [site, reply] : votes.replies) {
+    if (!reply.holds<net::VoteReply>()) continue;
+    const auto& vote = reply.as<net::VoteReply>();
+    votes.weight_millivotes += vote.weight_millivotes;
+    if (vote.version > votes.max_version) {
+      votes.max_version = vote.version;
+      votes.max_site = site;
+    }
+  }
+  return votes;
+}
+
+Result<storage::BlockData> VotingReplica::read(BlockId block) {
+  if (state_ == SiteState::kFailed) {
+    return errors::unavailable("site is failed");
+  }
+  if (auto status = store_.version_of(block); !status.is_ok()) {
+    return status.status();  // block id out of range
+  }
+  // Figure 3: collect votes, check the read quorum, refresh the local copy
+  // if a peer presented a higher version, then serve locally.
+  Votes votes = collect_votes(net::AccessKind::kRead, block);
+  if (votes.weight_millivotes < config_.read_quorum_millivotes) {
+    return errors::unavailable(
+        "no read quorum (" + std::to_string(votes.weight_millivotes) + " of " +
+        std::to_string(config_.read_quorum_millivotes) + " millivotes)");
+  }
+  const auto local = store_.version_of(block).value();
+  if (local < votes.max_version) {
+    auto reply = transport_.call(self_, votes.max_site,
+                                 net::Message{self_,
+                                              net::BlockFetchRequest{block}});
+    if (!reply) return reply.status();
+    if (!reply.value().holds<net::BlockFetchReply>()) {
+      return errors::protocol("unexpected reply to block fetch");
+    }
+    const auto& fetched = reply.value().as<net::BlockFetchReply>();
+    if (auto status = store_.write(block, fetched.data, fetched.version);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  auto stored = store_.read(block);
+  if (!stored) return stored.status();
+  return std::move(stored).value().data;
+}
+
+Status VotingReplica::write(BlockId block, std::span<const std::byte> data) {
+  if (state_ == SiteState::kFailed) {
+    return errors::unavailable("site is failed");
+  }
+  if (data.size() != config_.block_size) {
+    return errors::invalid_argument("payload size != block size");
+  }
+  if (auto status = store_.version_of(block); !status.is_ok()) {
+    return status.status();
+  }
+  // Figure 4: collect votes, check the write quorum, then push the block
+  // with version max+1 to every site in the quorum — repairing any stale
+  // operational copy as a side effect.
+  Votes votes = collect_votes(net::AccessKind::kWrite, block);
+  if (votes.weight_millivotes < config_.write_quorum_millivotes) {
+    return errors::unavailable(
+        "no write quorum (" + std::to_string(votes.weight_millivotes) +
+        " of " + std::to_string(config_.write_quorum_millivotes) +
+        " millivotes)");
+  }
+  const storage::VersionNumber next = votes.max_version + 1;
+  if (auto status = store_.write(block, data, next); !status.is_ok()) {
+    return status;
+  }
+  SiteSet quorum;
+  for (const auto& [site, reply] : votes.replies) {
+    if (reply.holds<net::VoteReply>()) quorum.insert(site);
+  }
+  net::BlockUpdate update{block, next,
+                          storage::BlockData(data.begin(), data.end())};
+  return transport_.multicast(self_, quorum,
+                              net::Message{self_, std::move(update)});
+}
+
+Status VotingReplica::recover() {
+  // Block-level voting needs no recovery work at repair time (§3.1): any
+  // stale block is detected by its version number at the next access and
+  // refreshed then. This is the scheme's "zero recovery traffic" property.
+  set_state(SiteState::kAvailable);
+  return Status::ok();
+}
+
+void VotingReplica::crash() { ReplicaBase::crash(); }
+
+net::Message VotingReplica::handle_peer(const net::Message& request) {
+  if (request.holds<net::VoteRequest>()) {
+    const auto& vote = request.as<net::VoteRequest>();
+    auto version = store_.version_of(vote.block);
+    if (!version) return net::make_error(self_, version.status());
+    return net::Message{
+        self_, net::VoteReply{version.value(), config_.weight_of(self_)}};
+  }
+  if (request.holds<net::BlockFetchRequest>()) {
+    auto stored = store_.read(request.as<net::BlockFetchRequest>().block);
+    if (!stored) return net::make_error(self_, stored.status());
+    return net::Message{self_,
+                        net::BlockFetchReply{stored.value().version,
+                                             std::move(stored).value().data}};
+  }
+  if (request.holds<net::StateInquiry>()) {
+    return net::Message{
+        self_, net::StateInfo{state_, local_versions().total(), SiteSet{}}};
+  }
+  return net::make_error(
+      self_, errors::protocol(std::string("unexpected request ") +
+                              request.name()));
+}
+
+void VotingReplica::handle_peer_oneway(const net::Message& message) {
+  if (message.holds<net::BlockUpdate>()) {
+    const auto& update = message.as<net::BlockUpdate>();
+    auto current = store_.version_of(update.block);
+    if (!current) return;
+    if (update.version > current.value()) {
+      (void)store_.write(update.block, update.data, update.version);
+    }
+    return;
+  }
+  RELDEV_WARN("voting") << "ignoring one-way " << message.name();
+}
+
+}  // namespace reldev::core

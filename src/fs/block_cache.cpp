@@ -1,0 +1,72 @@
+#include "reldev/fs/block_cache.hpp"
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::fs {
+
+BlockCache::BlockCache(core::BlockDevice& device, std::size_t capacity)
+    : device_(&device), capacity_(capacity) {
+  RELDEV_EXPECTS(capacity >= 1);
+}
+
+void BlockCache::touch(storage::BlockId block) {
+  auto it = entries_.find(block);
+  RELDEV_ASSERT(it != entries_.end());
+  order_.splice(order_.begin(), order_, it->second.position);
+}
+
+void BlockCache::insert(storage::BlockId block, storage::BlockData data) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    it->second.data = std::move(data);
+    touch(block);
+    return;
+  }
+  if (entries_.size() == capacity_) {
+    const storage::BlockId victim = order_.back();
+    order_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  order_.push_front(block);
+  entries_.emplace(block, Entry{std::move(data), order_.begin()});
+}
+
+Result<storage::BlockData> BlockCache::read_block(storage::BlockId block) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    touch(block);
+    return it->second.data;
+  }
+  ++stats_.misses;
+  auto fetched = device_->read_block(block);
+  if (!fetched) return fetched.status();
+  insert(block, fetched.value());
+  return fetched;
+}
+
+Status BlockCache::write_block(storage::BlockId block,
+                               std::span<const std::byte> data) {
+  if (auto status = device_->write_block(block, data); !status.is_ok()) {
+    // Leave any cached copy untouched: the device rejected the write, so
+    // the durable content is still the old block.
+    return status;
+  }
+  insert(block, storage::BlockData(data.begin(), data.end()));
+  return Status::ok();
+}
+
+void BlockCache::invalidate() {
+  entries_.clear();
+  order_.clear();
+}
+
+void BlockCache::invalidate(storage::BlockId block) {
+  auto it = entries_.find(block);
+  if (it == entries_.end()) return;
+  order_.erase(it->second.position);
+  entries_.erase(it);
+}
+
+}  // namespace reldev::fs

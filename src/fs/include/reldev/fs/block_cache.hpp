@@ -1,0 +1,79 @@
+// The buffer cache of the paper's UNIX model (Figure 1): the file system
+// first consults the cache; only misses reach the device driver — and
+// therefore the network, when the device is the replicated reliable
+// device. A write-through LRU keeps the cache trivially coherent with the
+// single-client device semantics this library provides.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "reldev/core/device.hpp"
+
+namespace reldev::fs {
+
+class BlockCache final : public core::BlockDevice {
+ public:
+  /// Caches up to `capacity` blocks of `device`. The device must outlive
+  /// the cache.
+  BlockCache(core::BlockDevice& device, std::size_t capacity);
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return device_->block_count();
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return device_->block_size();
+  }
+
+  /// Cache hit: served locally with zero device traffic. Miss: fetched
+  /// from the device and cached.
+  Result<storage::BlockData> read_block(storage::BlockId block) override;
+
+  /// Write-through: the device write happens first; the cache is updated
+  /// only on success, so a failed replicated write cannot leave a dirty
+  /// cache lying about durable state.
+  Status write_block(storage::BlockId block,
+                     std::span<const std::byte> data) override;
+
+  /// Drop all cached blocks (e.g. after remounting a shared device that
+  /// another client may have written).
+  void invalidate();
+  /// Drop one cached block.
+  void invalidate(storage::BlockId block);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const auto total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t cached_blocks() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  void touch(storage::BlockId block);
+  void insert(storage::BlockId block, storage::BlockData data);
+
+  core::BlockDevice* device_;  // non-owning
+  std::size_t capacity_;
+  // LRU order: front = most recently used.
+  std::list<storage::BlockId> order_;
+  struct Entry {
+    storage::BlockData data;
+    std::list<storage::BlockId>::iterator position;
+  };
+  std::unordered_map<storage::BlockId, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace reldev::fs

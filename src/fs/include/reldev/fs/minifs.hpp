@@ -1,0 +1,108 @@
+// MiniFS: a deliberately ordinary little file system (superblock, free
+// bitmap, inode table, flat namespace) that talks to the BlockDevice
+// interface and nothing else. It demonstrates the paper's central claim:
+// because the reliable device presents the same block interface as a local
+// disk, the file system gains replication without a single change — MiniFS
+// runs identically on a LocalBlockDevice, a ReplicaDevice, or a DriverStub
+// across the network.
+//
+// Design limits (documented, not accidental): flat namespace, file names
+// up to 27 bytes, at most kDirectBlocks blocks per file, no journaling —
+// the failure-atomicity story is the reliable device's, not MiniFS's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reldev/core/device.hpp"
+#include "reldev/util/result.hpp"
+
+namespace reldev::fs {
+
+struct FileInfo {
+  std::string name;
+  std::uint64_t size = 0;
+  std::size_t blocks = 0;
+};
+
+class MiniFs {
+ public:
+  /// Direct block pointers per inode; the maximum file size is
+  /// kDirectBlocks * block_size.
+  static constexpr std::size_t kDirectBlocks = 16;
+  static constexpr std::size_t kMaxNameLength = 27;
+
+  /// Write a fresh file system onto the device (destroys existing data).
+  static Result<MiniFs> format(core::BlockDevice& device,
+                               std::size_t inode_count = 64);
+
+  /// Mount an existing file system, validating the superblock.
+  static Result<MiniFs> mount(core::BlockDevice& device);
+
+  /// Create an empty file. kConflict if the name exists.
+  Status create(const std::string& name);
+
+  /// Remove a file and free its blocks. kNotFound if absent.
+  Status remove(const std::string& name);
+
+  /// True if the file exists.
+  [[nodiscard]] Result<bool> exists(const std::string& name) const;
+
+  /// Full contents of a file.
+  Result<std::vector<std::byte>> read_file(const std::string& name) const;
+
+  /// Create-or-replace a file with the given contents.
+  Status write_file(const std::string& name,
+                    std::span<const std::byte> contents);
+
+  /// All files, sorted by name.
+  Result<std::vector<FileInfo>> list() const;
+
+  Result<FileInfo> stat(const std::string& name) const;
+
+  /// Free data blocks remaining.
+  [[nodiscard]] Result<std::size_t> free_blocks() const;
+
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+  [[nodiscard]] std::size_t inode_count() const noexcept {
+    return inode_count_;
+  }
+  [[nodiscard]] std::uint64_t max_file_size() const noexcept {
+    return kDirectBlocks * block_size_;
+  }
+
+ private:
+  struct Inode {
+    bool used = false;
+    std::string name;
+    std::uint64_t size = 0;
+    std::array<std::uint32_t, kDirectBlocks> blocks{};
+  };
+
+  MiniFs(core::BlockDevice& device, std::size_t inode_count,
+         std::size_t bitmap_blocks, std::size_t inode_blocks,
+         std::size_t data_start);
+
+  [[nodiscard]] std::size_t inodes_per_block() const noexcept;
+  Result<Inode> load_inode(std::size_t index) const;
+  Status store_inode(std::size_t index, const Inode& inode);
+  /// Index of the inode with `name`, or kNotFound.
+  Result<std::size_t> find(const std::string& name) const;
+  /// Index of a free inode slot, or kUnavailable when the table is full.
+  Result<std::size_t> find_free_slot() const;
+
+  Result<std::vector<bool>> load_bitmap() const;
+  Status store_bitmap(const std::vector<bool>& bitmap);
+
+  core::BlockDevice* device_;  // non-owning; the device outlives the FS
+  std::size_t block_size_;
+  std::size_t inode_count_;
+  std::size_t bitmap_blocks_;
+  std::size_t inode_blocks_;
+  std::size_t data_start_;   // first data block
+  std::size_t data_blocks_;  // number of data blocks
+};
+
+}  // namespace reldev::fs

@@ -1,0 +1,415 @@
+#include "reldev/fs/minifs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "reldev/util/assert.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::fs {
+
+namespace {
+
+constexpr std::uint32_t kSuperMagic = 0x4d464e31;  // "MFN1"
+constexpr std::uint32_t kFsVersion = 1;
+
+// On-disk inode record: used(1) + name(1+27) + size(8) + 16 * u32 = 101
+// bytes, padded to a fixed slot so inodes never straddle blocks unevenly.
+constexpr std::size_t kInodeSlotSize = 112;
+
+struct Superblock {
+  std::uint64_t block_count;
+  std::uint64_t block_size;
+  std::uint64_t inode_count;
+  std::uint64_t bitmap_blocks;
+  std::uint64_t inode_blocks;
+  std::uint64_t data_start;
+};
+
+Result<storage::BlockData> read_device_block(core::BlockDevice& device,
+                                             std::size_t block) {
+  return device.read_block(block);
+}
+
+}  // namespace
+
+MiniFs::MiniFs(core::BlockDevice& device, std::size_t inode_count,
+               std::size_t bitmap_blocks, std::size_t inode_blocks,
+               std::size_t data_start)
+    : device_(&device),
+      block_size_(device.block_size()),
+      inode_count_(inode_count),
+      bitmap_blocks_(bitmap_blocks),
+      inode_blocks_(inode_blocks),
+      data_start_(data_start),
+      data_blocks_(device.block_count() - data_start) {}
+
+std::size_t MiniFs::inodes_per_block() const noexcept {
+  return block_size_ / kInodeSlotSize;
+}
+
+Result<MiniFs> MiniFs::format(core::BlockDevice& device,
+                              std::size_t inode_count) {
+  const std::size_t block_size = device.block_size();
+  if (block_size < kInodeSlotSize) {
+    return errors::invalid_argument("block size too small for MiniFS");
+  }
+  if (inode_count == 0) {
+    return errors::invalid_argument("need at least one inode");
+  }
+  const std::size_t per_block = block_size / kInodeSlotSize;
+  const std::size_t inode_blocks = (inode_count + per_block - 1) / per_block;
+
+  // The bitmap covers data blocks; size it against the worst case (all
+  // remaining blocks are data).
+  const std::size_t bits_per_block = block_size * 8;
+  std::size_t bitmap_blocks = 1;
+  for (;;) {
+    const std::size_t data_start = 1 + bitmap_blocks + inode_blocks;
+    if (data_start >= device.block_count()) {
+      return errors::invalid_argument("device too small for MiniFS layout");
+    }
+    const std::size_t data_blocks = device.block_count() - data_start;
+    if (bitmap_blocks * bits_per_block >= data_blocks) break;
+    ++bitmap_blocks;
+  }
+  const std::size_t data_start = 1 + bitmap_blocks + inode_blocks;
+
+  // Superblock.
+  BufferWriter writer(block_size);
+  writer.put_u32(kSuperMagic);
+  writer.put_u32(kFsVersion);
+  writer.put_u64(device.block_count());
+  writer.put_u64(block_size);
+  writer.put_u64(inode_count);
+  writer.put_u64(bitmap_blocks);
+  writer.put_u64(inode_blocks);
+  writer.put_u64(data_start);
+  storage::BlockData super(block_size, std::byte{0});
+  std::copy(writer.bytes().begin(), writer.bytes().end(), super.begin());
+  if (auto status = device.write_block(0, super); !status.is_ok()) {
+    return status;
+  }
+
+  // Zeroed bitmap and inode table.
+  const storage::BlockData zeros(block_size, std::byte{0});
+  for (std::size_t b = 1; b < data_start; ++b) {
+    if (auto status = device.write_block(b, zeros); !status.is_ok()) {
+      return status;
+    }
+  }
+  return MiniFs(device, inode_count, bitmap_blocks, inode_blocks, data_start);
+}
+
+Result<MiniFs> MiniFs::mount(core::BlockDevice& device) {
+  auto super = read_device_block(device, 0);
+  if (!super) return super.status();
+  BufferReader reader(super.value());
+  auto magic = reader.get_u32();
+  if (!magic) return magic.status();
+  if (magic.value() != kSuperMagic) {
+    return errors::corruption("not a MiniFS superblock");
+  }
+  auto version = reader.get_u32();
+  if (!version) return version.status();
+  if (version.value() != kFsVersion) {
+    return errors::corruption("unsupported MiniFS version");
+  }
+  Superblock sb{};
+  sb.block_count = reader.get_u64().value();
+  sb.block_size = reader.get_u64().value();
+  sb.inode_count = reader.get_u64().value();
+  sb.bitmap_blocks = reader.get_u64().value();
+  sb.inode_blocks = reader.get_u64().value();
+  sb.data_start = reader.get_u64().value();
+  if (sb.block_count != device.block_count() ||
+      sb.block_size != device.block_size()) {
+    return errors::corruption("superblock geometry mismatch");
+  }
+  if (sb.data_start >= sb.block_count) {
+    return errors::corruption("superblock layout out of range");
+  }
+  return MiniFs(device, sb.inode_count, sb.bitmap_blocks, sb.inode_blocks,
+                sb.data_start);
+}
+
+Result<MiniFs::Inode> MiniFs::load_inode(std::size_t index) const {
+  RELDEV_EXPECTS(index < inode_count_);
+  const std::size_t block = 1 + bitmap_blocks_ + index / inodes_per_block();
+  const std::size_t offset = (index % inodes_per_block()) * kInodeSlotSize;
+  auto raw = device_->read_block(block);
+  if (!raw) return raw.status();
+  BufferReader reader(std::span<const std::byte>(raw.value())
+                          .subspan(offset, kInodeSlotSize));
+  Inode inode;
+  auto used = reader.get_u8();
+  if (!used) return used.status();
+  inode.used = used.value() != 0;
+  auto name_len = reader.get_u8();
+  if (!name_len) return name_len.status();
+  if (name_len.value() > kMaxNameLength) {
+    return errors::corruption("inode name length out of range");
+  }
+  auto name_raw = reader.get_raw(kMaxNameLength);
+  if (!name_raw) return name_raw.status();
+  inode.name.assign(reinterpret_cast<const char*>(name_raw.value().data()),
+                    name_len.value());
+  auto size = reader.get_u64();
+  if (!size) return size.status();
+  inode.size = size.value();
+  for (auto& block_ptr : inode.blocks) {
+    auto ptr = reader.get_u32();
+    if (!ptr) return ptr.status();
+    block_ptr = ptr.value();
+  }
+  return inode;
+}
+
+Status MiniFs::store_inode(std::size_t index, const Inode& inode) {
+  RELDEV_EXPECTS(index < inode_count_);
+  RELDEV_EXPECTS(inode.name.size() <= kMaxNameLength);
+  const std::size_t block = 1 + bitmap_blocks_ + index / inodes_per_block();
+  const std::size_t offset = (index % inodes_per_block()) * kInodeSlotSize;
+  auto raw = device_->read_block(block);
+  if (!raw) return raw.status();
+
+  BufferWriter writer(kInodeSlotSize);
+  writer.put_u8(inode.used ? 1 : 0);
+  writer.put_u8(static_cast<std::uint8_t>(inode.name.size()));
+  storage::BlockData name_field(kMaxNameLength, std::byte{0});
+  std::memcpy(name_field.data(), inode.name.data(), inode.name.size());
+  writer.put_raw(name_field);
+  writer.put_u64(inode.size);
+  for (const auto block_ptr : inode.blocks) writer.put_u32(block_ptr);
+
+  auto& data = raw.value();
+  std::copy(writer.bytes().begin(), writer.bytes().end(),
+            data.begin() + static_cast<std::ptrdiff_t>(offset));
+  return device_->write_block(block, data);
+}
+
+Result<std::size_t> MiniFs::find(const std::string& name) const {
+  for (std::size_t i = 0; i < inode_count_; ++i) {
+    auto inode = load_inode(i);
+    if (!inode) return inode.status();
+    if (inode.value().used && inode.value().name == name) return i;
+  }
+  return errors::not_found("no file named '" + name + "'");
+}
+
+Result<std::size_t> MiniFs::find_free_slot() const {
+  for (std::size_t i = 0; i < inode_count_; ++i) {
+    auto inode = load_inode(i);
+    if (!inode) return inode.status();
+    if (!inode.value().used) return i;
+  }
+  return errors::unavailable("inode table full");
+}
+
+Result<std::vector<bool>> MiniFs::load_bitmap() const {
+  std::vector<bool> bitmap(data_blocks_, false);
+  for (std::size_t b = 0; b < bitmap_blocks_; ++b) {
+    auto raw = device_->read_block(1 + b);
+    if (!raw) return raw.status();
+    for (std::size_t bit = 0; bit < block_size_ * 8; ++bit) {
+      const std::size_t index = b * block_size_ * 8 + bit;
+      if (index >= data_blocks_) break;
+      const auto byte = std::to_integer<unsigned>(raw.value()[bit / 8]);
+      bitmap[index] = ((byte >> (bit % 8)) & 1u) != 0;
+    }
+  }
+  return bitmap;
+}
+
+Status MiniFs::store_bitmap(const std::vector<bool>& bitmap) {
+  RELDEV_EXPECTS(bitmap.size() == data_blocks_);
+  for (std::size_t b = 0; b < bitmap_blocks_; ++b) {
+    storage::BlockData raw(block_size_, std::byte{0});
+    for (std::size_t bit = 0; bit < block_size_ * 8; ++bit) {
+      const std::size_t index = b * block_size_ * 8 + bit;
+      if (index >= data_blocks_) break;
+      if (bitmap[index]) {
+        raw[bit / 8] |= static_cast<std::byte>(1u << (bit % 8));
+      }
+    }
+    if (auto status = device_->write_block(1 + b, raw); !status.is_ok()) {
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+Status MiniFs::create(const std::string& name) {
+  if (name.empty() || name.size() > kMaxNameLength) {
+    return errors::invalid_argument("bad file name");
+  }
+  if (auto existing = find(name); existing.is_ok()) {
+    return errors::conflict("file '" + name + "' already exists");
+  }
+  auto slot = find_free_slot();
+  if (!slot) return slot.status();
+  Inode inode;
+  inode.used = true;
+  inode.name = name;
+  inode.size = 0;
+  inode.blocks.fill(0);
+  return store_inode(slot.value(), inode);
+}
+
+Status MiniFs::remove(const std::string& name) {
+  auto index = find(name);
+  if (!index) return index.status();
+  auto inode = load_inode(index.value());
+  if (!inode) return inode.status();
+
+  auto bitmap = load_bitmap();
+  if (!bitmap) return bitmap.status();
+  const std::size_t used_blocks =
+      (inode.value().size + block_size_ - 1) / block_size_;
+  for (std::size_t i = 0; i < used_blocks; ++i) {
+    const std::size_t data_index = inode.value().blocks[i] - data_start_;
+    if (data_index < data_blocks_) bitmap.value()[data_index] = false;
+  }
+  if (auto status = store_bitmap(bitmap.value()); !status.is_ok()) {
+    return status;
+  }
+  Inode cleared;
+  cleared.used = false;
+  return store_inode(index.value(), cleared);
+}
+
+Result<bool> MiniFs::exists(const std::string& name) const {
+  auto index = find(name);
+  if (index.is_ok()) return true;
+  if (index.status().code() == ErrorCode::kNotFound) return false;
+  return index.status();
+}
+
+Result<std::vector<std::byte>> MiniFs::read_file(
+    const std::string& name) const {
+  auto index = find(name);
+  if (!index) return index.status();
+  auto inode = load_inode(index.value());
+  if (!inode) return inode.status();
+
+  std::vector<std::byte> contents;
+  contents.reserve(inode.value().size);
+  const std::size_t used_blocks =
+      (inode.value().size + block_size_ - 1) / block_size_;
+  for (std::size_t i = 0; i < used_blocks; ++i) {
+    auto block = device_->read_block(inode.value().blocks[i]);
+    if (!block) return block.status();
+    const std::size_t want =
+        std::min<std::size_t>(block_size_, inode.value().size - contents.size());
+    contents.insert(contents.end(), block.value().begin(),
+                    block.value().begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  return contents;
+}
+
+Status MiniFs::write_file(const std::string& name,
+                          std::span<const std::byte> contents) {
+  if (name.empty() || name.size() > kMaxNameLength) {
+    return errors::invalid_argument("bad file name");
+  }
+  if (contents.size() > max_file_size()) {
+    return errors::invalid_argument(
+        "file too large (max " + std::to_string(max_file_size()) + " bytes)");
+  }
+  // Find or create the inode.
+  std::size_t index;
+  if (auto found = find(name); found.is_ok()) {
+    index = found.value();
+  } else if (found.status().code() == ErrorCode::kNotFound) {
+    auto slot = find_free_slot();
+    if (!slot) return slot.status();
+    index = slot.value();
+  } else {
+    return found.status();
+  }
+  auto previous = load_inode(index);
+  if (!previous) return previous.status();
+
+  auto bitmap = load_bitmap();
+  if (!bitmap) return bitmap.status();
+
+  // Release the old allocation (if the inode was in use), then allocate.
+  if (previous.value().used) {
+    const std::size_t old_blocks =
+        (previous.value().size + block_size_ - 1) / block_size_;
+    for (std::size_t i = 0; i < old_blocks; ++i) {
+      const std::size_t data_index = previous.value().blocks[i] - data_start_;
+      if (data_index < data_blocks_) bitmap.value()[data_index] = false;
+    }
+  }
+  const std::size_t needed = (contents.size() + block_size_ - 1) / block_size_;
+  std::vector<std::uint32_t> allocated;
+  for (std::size_t i = 0; i < data_blocks_ && allocated.size() < needed; ++i) {
+    if (!bitmap.value()[i]) {
+      allocated.push_back(static_cast<std::uint32_t>(data_start_ + i));
+      bitmap.value()[i] = true;
+    }
+  }
+  if (allocated.size() < needed) {
+    return errors::unavailable("no space left on device");
+  }
+
+  // Data blocks first, then metadata — an interrupted write leaves the old
+  // file intact in the inode table.
+  for (std::size_t i = 0; i < needed; ++i) {
+    storage::BlockData block(block_size_, std::byte{0});
+    const std::size_t offset = i * block_size_;
+    const std::size_t count =
+        std::min<std::size_t>(block_size_, contents.size() - offset);
+    std::copy(contents.begin() + static_cast<std::ptrdiff_t>(offset),
+              contents.begin() + static_cast<std::ptrdiff_t>(offset + count),
+              block.begin());
+    if (auto status = device_->write_block(allocated[i], block);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  if (auto status = store_bitmap(bitmap.value()); !status.is_ok()) {
+    return status;
+  }
+  Inode inode;
+  inode.used = true;
+  inode.name = name;
+  inode.size = contents.size();
+  inode.blocks.fill(0);
+  std::copy(allocated.begin(), allocated.end(), inode.blocks.begin());
+  return store_inode(index, inode);
+}
+
+Result<std::vector<FileInfo>> MiniFs::list() const {
+  std::vector<FileInfo> files;
+  for (std::size_t i = 0; i < inode_count_; ++i) {
+    auto inode = load_inode(i);
+    if (!inode) return inode.status();
+    if (!inode.value().used) continue;
+    files.push_back(FileInfo{inode.value().name, inode.value().size,
+                             (inode.value().size + block_size_ - 1) /
+                                 block_size_});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.name < b.name; });
+  return files;
+}
+
+Result<FileInfo> MiniFs::stat(const std::string& name) const {
+  auto index = find(name);
+  if (!index) return index.status();
+  auto inode = load_inode(index.value());
+  if (!inode) return inode.status();
+  return FileInfo{inode.value().name, inode.value().size,
+                  (inode.value().size + block_size_ - 1) / block_size_};
+}
+
+Result<std::size_t> MiniFs::free_blocks() const {
+  auto bitmap = load_bitmap();
+  if (!bitmap) return bitmap.status();
+  return static_cast<std::size_t>(
+      std::count(bitmap.value().begin(), bitmap.value().end(), false));
+}
+
+}  // namespace reldev::fs

@@ -1,0 +1,58 @@
+// In-process transport: synchronous dispatch between handlers registered in
+// one address space. Serves unit tests, the examples, and the discrete-
+// event experiments (where latency is irrelevant to §4/§5's metrics but
+// reachability and transmission counts are everything).
+//
+// Reachability: a site can be marked down (fail-stop) — calls to it fail,
+// one-way messages to it vanish. Partitions can be injected for tests that
+// probe the available-copy algorithms' no-partition assumption.
+#pragma once
+
+#include <unordered_map>
+
+#include "reldev/net/transport.hpp"
+
+namespace reldev::net {
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(AddressingMode mode = AddressingMode::kMulticast);
+
+  /// Register the handler for a site. Rebinding replaces the old handler.
+  void bind(SiteId site, MessageHandler* handler);
+  void unbind(SiteId site);
+
+  /// Fail-stop control. A down site neither receives nor (by construction)
+  /// sends; engines on a down site are simply never invoked.
+  void set_up(SiteId site, bool up);
+  [[nodiscard]] bool is_up(SiteId site) const;
+
+  /// Partition injection: sites in different partition groups cannot
+  /// exchange messages. By default all sites share group 0 (no partition).
+  void set_partition_group(SiteId site, int group);
+  void clear_partitions();
+
+  /// Transmission accounting (§5). The meter is owned by the caller so one
+  /// experiment can share it across transports; may be null.
+  void set_traffic_meter(TrafficMeter* meter) noexcept { meter_ = meter; }
+  [[nodiscard]] AddressingMode mode() const noexcept { return mode_; }
+
+  Result<Message> call(SiteId from, SiteId to, const Message& request) override;
+  Status send(SiteId from, SiteId to, const Message& message) override;
+  Status multicast(SiteId from, const SiteSet& to,
+                   const Message& message) override;
+  std::vector<GatherReply> multicast_call(SiteId from, const SiteSet& to,
+                                          const Message& request) override;
+
+ private:
+  [[nodiscard]] bool reachable(SiteId from, SiteId to) const;
+  void count(std::uint64_t transmissions) const;
+
+  AddressingMode mode_;
+  TrafficMeter* meter_ = nullptr;
+  std::unordered_map<SiteId, MessageHandler*> handlers_;
+  std::unordered_map<SiteId, bool> up_;
+  std::unordered_map<SiteId, int> partition_;
+};
+
+}  // namespace reldev::net

@@ -1,0 +1,23 @@
+// Message framing on a stream socket: [magic u32][length u32][crc u32]
+// [payload]. The CRC covers the payload; corrupt or oversized frames are
+// rejected before any decoding happens.
+#pragma once
+
+#include <vector>
+
+#include "reldev/net/tcp/socket.hpp"
+#include "reldev/util/result.hpp"
+
+namespace reldev::net::tcp {
+
+/// Upper bound on a frame payload; far above any block size we ship but
+/// small enough to stop a corrupt length field from allocating gigabytes.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+Status write_frame(Socket& socket, std::span<const std::byte> payload);
+
+/// Reads one frame. kUnavailable on orderly EOF at a frame boundary;
+/// kCorruption on bad magic/CRC; kProtocol on oversized length.
+Result<std::vector<std::byte>> read_frame(Socket& socket);
+
+}  // namespace reldev::net::tcp

@@ -1,0 +1,80 @@
+// Thin RAII wrappers over POSIX TCP sockets: a connected stream socket and
+// a listening acceptor. Blocking I/O with EINTR handling; all failures are
+// reported as Status values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "reldev/util/result.hpp"
+
+namespace reldev::net::tcp {
+
+/// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connect to host:port (IPv4 dotted quad or "localhost").
+  static Result<Socket> connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Write the whole buffer or fail.
+  Status write_all(std::span<const std::byte> data);
+
+  /// Read exactly `data.size()` bytes or fail (EOF mid-read is an error;
+  /// EOF before the first byte is reported as kUnavailable so callers can
+  /// treat orderly peer shutdown distinctly).
+  Status read_exact(std::span<std::byte> data);
+
+  /// Shut down both directions without closing the descriptor: wakes any
+  /// thread blocked in read on this socket. Safe to call concurrently with
+  /// reads from another thread.
+  void shutdown() noexcept;
+
+  /// Shut down both directions (wakes a peer blocked in read) and close.
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket. Move-only; closes on destruction.
+class Acceptor {
+ public:
+  Acceptor() = default;
+  ~Acceptor();
+  Acceptor(Acceptor&& other) noexcept;
+  Acceptor& operator=(Acceptor&& other) noexcept;
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Listen on 127.0.0.1:`port`; port 0 picks an ephemeral port, readable
+  /// via port() afterwards.
+  static Result<Acceptor> listen(std::uint16_t port);
+
+  /// Block until a connection arrives. Fails with kUnavailable after
+  /// close() is called from another thread.
+  Result<Socket> accept();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace reldev::net::tcp

@@ -1,0 +1,68 @@
+// Client side of the TCP message protocol: a channel that sends one framed
+// Message and blocks for the framed reply, reconnecting on demand; and a
+// Transport implementation that routes per-site over such channels so the
+// same protocol engines that run in-process can run across real processes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "reldev/net/tcp/framing.hpp"
+#include "reldev/net/transport.hpp"
+
+namespace reldev::net::tcp {
+
+/// One logical connection to a server; call() is serialized internally.
+class TcpChannel {
+ public:
+  TcpChannel(std::string host, std::uint16_t port);
+
+  /// Send `request`, wait for the reply. Reconnects once if the cached
+  /// connection has gone away (server restart).
+  Result<Message> call(const Message& request);
+
+  /// Drop the cached connection (next call reconnects).
+  void disconnect();
+
+ private:
+  Status ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  std::mutex mutex_;
+  std::optional<Socket> socket_;
+};
+
+/// Transport over per-site TCP channels. Always unique addressing: real
+/// point-to-point links have no broadcast medium, which is exactly §5.2's
+/// setting. One-way sends are implemented as calls whose reply is
+/// discarded, preserving the engines' semantics (TCP servers always reply).
+class TcpPeerTransport final : public Transport {
+ public:
+  TcpPeerTransport() = default;
+
+  void set_endpoint(SiteId site, const std::string& host, std::uint16_t port);
+  void remove_endpoint(SiteId site);
+
+  void set_traffic_meter(TrafficMeter* meter) noexcept { meter_ = meter; }
+
+  Result<Message> call(SiteId from, SiteId to, const Message& request) override;
+  Status send(SiteId from, SiteId to, const Message& message) override;
+  Status multicast(SiteId from, const SiteSet& to,
+                   const Message& message) override;
+  std::vector<GatherReply> multicast_call(SiteId from, const SiteSet& to,
+                                          const Message& request) override;
+
+ private:
+  TcpChannel* channel(SiteId site);
+  void count(std::uint64_t transmissions) const;
+
+  std::mutex mutex_;
+  std::map<SiteId, std::unique_ptr<TcpChannel>> channels_;
+  TrafficMeter* meter_ = nullptr;
+};
+
+}  // namespace reldev::net::tcp

@@ -1,0 +1,51 @@
+// A TCP message server: accepts connections, reads framed Messages, passes
+// them to a MessageHandler, writes the framed reply. Thread-per-connection;
+// suitable for the small replica groups this system targets. This is the
+// process boundary of the paper's Figure 1/2 — the "user-state server".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "reldev/net/tcp/framing.hpp"
+#include "reldev/net/transport.hpp"
+
+namespace reldev::net::tcp {
+
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and dispatches every inbound
+  /// request to `handler`. The handler must be thread-safe or internally
+  /// serialized; it must outlive the server.
+  static Result<std::unique_ptr<TcpServer>> start(std::uint16_t port,
+                                                  MessageHandler* handler);
+
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return acceptor_.port(); }
+
+  /// Stop accepting, close all connections, join all threads.
+  void stop();
+
+ private:
+  TcpServer(Acceptor acceptor, MessageHandler* handler);
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Socket>& socket);
+
+  Acceptor acceptor_;
+  MessageHandler* handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::vector<std::thread> workers_;
+  // Live connection sockets, shut down by stop() so workers blocked in
+  // recv() wake up and exit.
+  std::vector<std::shared_ptr<Socket>> connections_;
+};
+
+}  // namespace reldev::net::tcp

@@ -1,0 +1,65 @@
+// Traffic accounting at the paper's granularity (§5): high-level
+// transmissions, classified by the logical operation that caused them. In a
+// multicast network one broadcast is a single transmission however many
+// sites hear it; with unique addressing each destination costs one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace reldev::net {
+
+enum class AddressingMode : std::uint8_t {
+  kMulticast = 0,  // §5.1: one transmission reaches any number of sites
+  kUnique = 1,     // §5.2: one transmission per destination
+};
+
+/// The logical operations §5 decomposes traffic by.
+enum class OpKind : std::uint8_t { kRead = 0, kWrite = 1, kRecovery = 2, kOther = 3 };
+
+const char* op_kind_name(OpKind kind) noexcept;
+
+/// Counts transmissions per OpKind. The protocol engines set the current
+/// operation before doing work; the transport reports transmissions here.
+class TrafficMeter {
+ public:
+  void set_current_op(OpKind kind) noexcept { current_ = kind; }
+  [[nodiscard]] OpKind current_op() const noexcept { return current_; }
+
+  void add(std::uint64_t transmissions) noexcept {
+    counts_[static_cast<std::size_t>(current_)] += transmissions;
+  }
+
+  [[nodiscard]] std::uint64_t count(OpKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto c : counts_) sum += c;
+    return sum;
+  }
+
+  void reset() noexcept { counts_.fill(0); }
+
+ private:
+  OpKind current_ = OpKind::kOther;
+  std::array<std::uint64_t, 4> counts_{};
+};
+
+/// RAII helper: sets the meter's operation for a scope, restores on exit.
+class OpScope {
+ public:
+  OpScope(TrafficMeter& meter, OpKind kind) noexcept
+      : meter_(meter), previous_(meter.current_op()) {
+    meter_.set_current_op(kind);
+  }
+  ~OpScope() { meter_.set_current_op(previous_); }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  TrafficMeter& meter_;
+  OpKind previous_;
+};
+
+}  // namespace reldev::net

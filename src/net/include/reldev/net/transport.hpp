@@ -1,0 +1,54 @@
+// The transport abstraction the consistency engines are written against.
+// Request/reply is synchronous — matching the paper's pseudocode, which
+// collects votes or acknowledgements before proceeding — and the same
+// engine code runs over the in-process transport (tests, simulation) and
+// TCP (real deployment).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "reldev/net/message.hpp"
+#include "reldev/net/traffic.hpp"
+#include "reldev/util/result.hpp"
+
+namespace reldev::net {
+
+/// Server-side dispatch: a bound site receives requests here.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  /// Handle a request and produce the reply.
+  virtual Message handle(const Message& request) = 0;
+  /// Handle a message that expects no reply (e.g. NAC write push).
+  virtual void handle_oneway(const Message& message) = 0;
+};
+
+/// A (site, reply) pair from a scatter-gather call.
+using GatherReply = std::pair<SiteId, Message>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Request/reply to one site. kUnavailable if it cannot be reached.
+  virtual Result<Message> call(SiteId from, SiteId to,
+                               const Message& request) = 0;
+
+  /// Fire-and-forget to one site. Delivery to a down site is silently
+  /// dropped (reliable delivery is assumed only between live sites).
+  virtual Status send(SiteId from, SiteId to, const Message& message) = 0;
+
+  /// Fire-and-forget to a set of sites (the coordinator excluded by the
+  /// caller). One transmission in multicast mode; |to| in unique mode.
+  virtual Status multicast(SiteId from, const SiteSet& to,
+                           const Message& message) = 0;
+
+  /// Scatter the request to `to`, gather replies from every reachable
+  /// member. Unreachable members are simply absent from the result.
+  virtual std::vector<GatherReply> multicast_call(SiteId from,
+                                                  const SiteSet& to,
+                                                  const Message& request) = 0;
+};
+
+}  // namespace reldev::net

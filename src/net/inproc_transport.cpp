@@ -1,0 +1,97 @@
+#include "reldev/net/inproc_transport.hpp"
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::net {
+
+InProcTransport::InProcTransport(AddressingMode mode) : mode_(mode) {}
+
+void InProcTransport::bind(SiteId site, MessageHandler* handler) {
+  RELDEV_EXPECTS(handler != nullptr);
+  handlers_[site] = handler;
+  up_.try_emplace(site, true);
+  partition_.try_emplace(site, 0);
+}
+
+void InProcTransport::unbind(SiteId site) {
+  handlers_.erase(site);
+  up_.erase(site);
+  partition_.erase(site);
+}
+
+void InProcTransport::set_up(SiteId site, bool up) { up_[site] = up; }
+
+bool InProcTransport::is_up(SiteId site) const {
+  auto it = up_.find(site);
+  return it != up_.end() && it->second;
+}
+
+void InProcTransport::set_partition_group(SiteId site, int group) {
+  partition_[site] = group;
+}
+
+void InProcTransport::clear_partitions() {
+  for (auto& [site, group] : partition_) group = 0;
+}
+
+bool InProcTransport::reachable(SiteId from, SiteId to) const {
+  if (!is_up(to)) return false;
+  if (handlers_.find(to) == handlers_.end()) return false;
+  const auto a = partition_.find(from);
+  const auto b = partition_.find(to);
+  const int group_a = a == partition_.end() ? 0 : a->second;
+  const int group_b = b == partition_.end() ? 0 : b->second;
+  return group_a == group_b;
+}
+
+void InProcTransport::count(std::uint64_t transmissions) const {
+  if (meter_ != nullptr) meter_->add(transmissions);
+}
+
+Result<Message> InProcTransport::call(SiteId from, SiteId to,
+                                      const Message& request) {
+  count(1);  // the request is sent whether or not the peer answers
+  if (!reachable(from, to)) {
+    return errors::unavailable("site " + std::to_string(to) +
+                               " is unreachable");
+  }
+  Message reply = handlers_.at(to)->handle(request);
+  count(1);  // the reply
+  return reply;
+}
+
+Status InProcTransport::send(SiteId from, SiteId to, const Message& message) {
+  count(1);
+  if (!reachable(from, to)) return Status::ok();  // dropped, fail-stop peer
+  handlers_.at(to)->handle_oneway(message);
+  return Status::ok();
+}
+
+Status InProcTransport::multicast(SiteId from, const SiteSet& to,
+                                  const Message& message) {
+  if (to.empty()) return Status::ok();
+  count(mode_ == AddressingMode::kMulticast ? 1 : to.size());
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    if (!reachable(from, dest)) continue;
+    handlers_.at(dest)->handle_oneway(message);
+  }
+  return Status::ok();
+}
+
+std::vector<GatherReply> InProcTransport::multicast_call(
+    SiteId from, const SiteSet& to, const Message& request) {
+  std::vector<GatherReply> replies;
+  if (to.empty()) return replies;
+  count(mode_ == AddressingMode::kMulticast ? 1 : to.size());
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    if (!reachable(from, dest)) continue;
+    Message reply = handlers_.at(dest)->handle(request);
+    count(1);  // each responder answers individually in either mode
+    replies.emplace_back(dest, std::move(reply));
+  }
+  return replies;
+}
+
+}  // namespace reldev::net

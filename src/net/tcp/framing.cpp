@@ -1,0 +1,49 @@
+#include "reldev/net/tcp/framing.hpp"
+
+#include "reldev/util/crc32.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::net::tcp {
+
+namespace {
+constexpr std::uint32_t kFrameMagic = 0x52444d47;  // "RDMG"
+constexpr std::size_t kFrameHeaderSize = 12;
+}  // namespace
+
+Status write_frame(Socket& socket, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return errors::invalid_argument("frame payload too large");
+  }
+  BufferWriter writer(kFrameHeaderSize + payload.size());
+  writer.put_u32(kFrameMagic);
+  writer.put_u32(static_cast<std::uint32_t>(payload.size()));
+  writer.put_u32(crc32c(payload));
+  writer.put_raw(payload);
+  return socket.write_all(writer.bytes());
+}
+
+Result<std::vector<std::byte>> read_frame(Socket& socket) {
+  std::vector<std::byte> header(kFrameHeaderSize);
+  if (auto status = socket.read_exact(header); !status.is_ok()) return status;
+  BufferReader reader(header);
+  const std::uint32_t magic = reader.get_u32().value();
+  const std::uint32_t length = reader.get_u32().value();
+  const std::uint32_t crc = reader.get_u32().value();
+  if (magic != kFrameMagic) return errors::corruption("bad frame magic");
+  if (length > kMaxFramePayload) return errors::protocol("oversized frame");
+  std::vector<std::byte> payload(length);
+  if (auto status = socket.read_exact(payload); !status.is_ok()) {
+    // Losing the stream mid-frame is an I/O error even if read_exact saw a
+    // clean EOF at byte 0 of the payload.
+    if (status.code() == ErrorCode::kUnavailable && length > 0) {
+      return errors::io_error("connection closed mid-frame");
+    }
+    return status;
+  }
+  if (crc32c(std::span<const std::byte>(payload)) != crc) {
+    return errors::corruption("frame CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace reldev::net::tcp

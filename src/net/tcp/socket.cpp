@@ -1,0 +1,174 @@
+#include "reldev/net/tcp/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace reldev::net::tcp {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return errors::io_error(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return errors::invalid_argument("cannot parse address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::connect(const std::string& host, std::uint16_t port) {
+  auto addr = make_address(host, port);
+  if (!addr) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  Socket socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                   sizeof(sockaddr_in));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return errors::unavailable("connect to " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  return socket;
+}
+
+Status Socket::write_all(std::span<const std::byte> data) {
+  RELDEV_EXPECTS(valid());
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status Socket::read_exact(std::span<std::byte> data) {
+  RELDEV_EXPECTS(valid());
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return errors::unavailable("peer closed the connection");
+      return errors::io_error("connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Acceptor::~Acceptor() { close(); }
+
+Acceptor::Acceptor(Acceptor&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+Acceptor& Acceptor::operator=(Acceptor&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Acceptor> Acceptor::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  Acceptor acceptor;
+  acceptor.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return errno_status("bind");
+  }
+  if (::listen(fd, SOMAXCONN) < 0) return errno_status("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return errno_status("getsockname");
+  }
+  acceptor.port_ = ntohs(addr.sin_port);
+  return acceptor;
+}
+
+Result<Socket> Acceptor::accept() {
+  RELDEV_EXPECTS(valid());
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) {
+    return errors::unavailable(std::string("accept: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(client);
+}
+
+void Acceptor::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace reldev::net::tcp

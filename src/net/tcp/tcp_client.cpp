@@ -1,0 +1,104 @@
+#include "reldev/net/tcp/tcp_client.hpp"
+
+#include <utility>
+
+namespace reldev::net::tcp {
+
+TcpChannel::TcpChannel(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+Status TcpChannel::ensure_connected() {
+  if (socket_.has_value() && socket_->valid()) return Status::ok();
+  auto socket = Socket::connect(host_, port_);
+  if (!socket) return socket.status();
+  socket_ = std::move(socket).value();
+  return Status::ok();
+}
+
+void TcpChannel::disconnect() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  socket_.reset();
+}
+
+Result<Message> TcpChannel::call(const Message& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto encoded = request.encode();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (auto status = ensure_connected(); !status.is_ok()) return status;
+    const bool fresh_connection = attempt > 0;
+    auto status = write_frame(*socket_, encoded);
+    if (status.is_ok()) {
+      auto frame = read_frame(*socket_);
+      if (frame) return Message::decode(frame.value());
+      status = frame.status();
+    }
+    socket_.reset();
+    // A stale cached connection fails immediately; retry once on a fresh
+    // one. Anything failing on a fresh connection is reported as-is.
+    if (fresh_connection) return status;
+  }
+  return errors::unavailable("call failed after reconnect");
+}
+
+void TcpPeerTransport::set_endpoint(SiteId site, const std::string& host,
+                                    std::uint16_t port) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  channels_[site] = std::make_unique<TcpChannel>(host, port);
+}
+
+void TcpPeerTransport::remove_endpoint(SiteId site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  channels_.erase(site);
+}
+
+TcpChannel* TcpPeerTransport::channel(SiteId site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = channels_.find(site);
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+void TcpPeerTransport::count(std::uint64_t transmissions) const {
+  if (meter_ != nullptr) meter_->add(transmissions);
+}
+
+Result<Message> TcpPeerTransport::call(SiteId /*from*/, SiteId to,
+                                       const Message& request) {
+  TcpChannel* ch = channel(to);
+  if (ch == nullptr) {
+    return errors::unavailable("no endpoint for site " + std::to_string(to));
+  }
+  count(1);
+  auto reply = ch->call(request);
+  if (reply) count(1);
+  return reply;
+}
+
+Status TcpPeerTransport::send(SiteId from, SiteId to, const Message& message) {
+  // TCP servers always reply; one-way semantics are "call and discard".
+  // Unreachable peers are fine: fail-stop peers simply miss the message.
+  auto reply = call(from, to, message);
+  (void)reply;
+  return Status::ok();
+}
+
+Status TcpPeerTransport::multicast(SiteId from, const SiteSet& to,
+                                   const Message& message) {
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    (void)send(from, dest, message);
+  }
+  return Status::ok();
+}
+
+std::vector<GatherReply> TcpPeerTransport::multicast_call(
+    SiteId from, const SiteSet& to, const Message& request) {
+  std::vector<GatherReply> replies;
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    auto reply = call(from, dest, request);
+    if (reply) replies.emplace_back(dest, std::move(reply).value());
+  }
+  return replies;
+}
+
+}  // namespace reldev::net::tcp

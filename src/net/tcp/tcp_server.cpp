@@ -1,0 +1,83 @@
+#include "reldev/net/tcp/tcp_server.hpp"
+
+#include <utility>
+
+#include "reldev/util/logging.hpp"
+
+namespace reldev::net::tcp {
+
+Result<std::unique_ptr<TcpServer>> TcpServer::start(std::uint16_t port,
+                                                    MessageHandler* handler) {
+  RELDEV_EXPECTS(handler != nullptr);
+  auto acceptor = Acceptor::listen(port);
+  if (!acceptor) return acceptor.status();
+  return std::unique_ptr<TcpServer>(
+      new TcpServer(std::move(acceptor).value(), handler));
+}
+
+TcpServer::TcpServer(Acceptor acceptor, MessageHandler* handler)
+    : acceptor_(std::move(acceptor)), handler_(handler) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  acceptor_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Wake every worker blocked in recv() on a live connection.
+    for (const auto& connection : connections_) connection->shutdown();
+    workers.swap(workers_);
+  }
+  for (auto& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  connections_.clear();
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto socket = acceptor_.accept();
+    if (!socket) {
+      if (stopping_.load()) break;
+      RELDEV_WARN("tcp-server") << "accept failed: "
+                                << socket.status().to_string();
+      break;
+    }
+    auto connection = std::make_shared<Socket>(std::move(socket).value());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load()) break;
+    connections_.push_back(connection);
+    workers_.emplace_back(
+        [this, connection] { serve_connection(connection); });
+  }
+}
+
+void TcpServer::serve_connection(const std::shared_ptr<Socket>& socket_ptr) {
+  Socket& socket = *socket_ptr;
+  while (!stopping_.load()) {
+    auto frame = read_frame(socket);
+    if (!frame) {
+      if (frame.status().code() != ErrorCode::kUnavailable) {
+        RELDEV_DEBUG("tcp-server")
+            << "connection error: " << frame.status().to_string();
+      }
+      return;  // peer is gone or stream is corrupt; drop the connection
+    }
+    auto request = Message::decode(frame.value());
+    Message reply = request ? handler_->handle(request.value())
+                            : make_error(0, request.status());
+    const auto encoded = reply.encode();
+    if (auto status = write_frame(socket, encoded); !status.is_ok()) {
+      RELDEV_DEBUG("tcp-server") << "reply failed: " << status.to_string();
+      return;
+    }
+  }
+}
+
+}  // namespace reldev::net::tcp

@@ -1,0 +1,19 @@
+#include "reldev/net/traffic.hpp"
+
+namespace reldev::net {
+
+const char* op_kind_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kRecovery:
+      return "recovery";
+    case OpKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace reldev::net

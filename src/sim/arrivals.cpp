@@ -1,0 +1,41 @@
+#include "reldev/sim/arrivals.hpp"
+
+#include <utility>
+
+namespace reldev::sim {
+
+ArrivalProcess::ArrivalProcess(Simulator& simulator, Rng rng, double rate,
+                               Handler handler)
+    : simulator_(simulator),
+      rng_(rng),
+      rate_(rate),
+      handler_(std::move(handler)) {
+  RELDEV_EXPECTS(rate_ > 0.0);
+  RELDEV_EXPECTS(handler_ != nullptr);
+}
+
+ArrivalProcess::~ArrivalProcess() { stop(); }
+
+void ArrivalProcess::start() {
+  RELDEV_EXPECTS(!running_);
+  running_ = true;
+  schedule_next();
+}
+
+void ArrivalProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_.cancel(pending_);
+  pending_ = 0;
+}
+
+void ArrivalProcess::schedule_next() {
+  const double delay = rng_.exponential(rate_);
+  pending_ = simulator_.schedule_after(delay, [this] {
+    ++arrivals_;
+    handler_(simulator_.now());
+    if (running_) schedule_next();
+  });
+}
+
+}  // namespace reldev::sim

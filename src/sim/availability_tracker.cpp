@@ -1,0 +1,78 @@
+#include "reldev/sim/availability_tracker.hpp"
+
+#include <algorithm>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::sim {
+
+AvailabilityTracker::AvailabilityTracker(double warmup, double horizon,
+                                         std::size_t batches)
+    : warmup_(warmup),
+      batch_length_(horizon / static_cast<double>(batches)),
+      batch_limit_(batches) {
+  RELDEV_EXPECTS(warmup >= 0.0);
+  RELDEV_EXPECTS(horizon > 0.0);
+  RELDEV_EXPECTS(batches >= 2);
+}
+
+void AvailabilityTracker::advance_to(double now) {
+  RELDEV_EXPECTS(now >= last_time_);
+  if (!have_state_) {
+    last_time_ = now;
+    return;
+  }
+  double cursor = last_time_;
+  while (cursor < now) {
+    // Position of the cursor relative to the measurement phase.
+    if (cursor < warmup_) {
+      const double hop = std::min(now, warmup_);
+      cursor = hop;
+      continue;
+    }
+    if (current_batch_ >= batch_limit_) break;  // horizon exhausted
+    const double batch_end =
+        warmup_ + batch_length_ * static_cast<double>(current_batch_ + 1);
+    const double hop = std::min(now, batch_end);
+    const double span = hop - cursor;
+    if (state_) {
+      batch_up_time_ += span;
+      total_up_ += span;
+    }
+    total_observed_ += span;
+    cursor = hop;
+    if (cursor == batch_end) {
+      batch_means_.add_batch(batch_up_time_ / batch_length_);
+      batch_up_time_ = 0.0;
+      ++current_batch_;
+    }
+  }
+  last_time_ = now;
+}
+
+void AvailabilityTracker::record(double now, bool available) {
+  RELDEV_EXPECTS(!finished_);
+  advance_to(now);
+  have_state_ = true;
+  state_ = available;
+}
+
+void AvailabilityTracker::finish(double end_time) {
+  RELDEV_EXPECTS(!finished_);
+  RELDEV_EXPECTS(have_state_);
+  advance_to(end_time);
+  finished_ = true;
+}
+
+double AvailabilityTracker::availability() const {
+  RELDEV_EXPECTS(finished_);
+  RELDEV_EXPECTS(total_observed_ > 0.0);
+  return total_up_ / total_observed_;
+}
+
+double AvailabilityTracker::half_width() const {
+  RELDEV_EXPECTS(finished_);
+  return batch_means_.half_width();
+}
+
+}  // namespace reldev::sim

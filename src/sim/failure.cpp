@@ -1,0 +1,80 @@
+#include "reldev/sim/failure.hpp"
+
+#include <utility>
+
+namespace reldev::sim {
+
+FailureProcess::FailureProcess(Simulator& simulator, Rng rng,
+                               std::vector<FailureRates> rates,
+                               FailureListener* listener)
+    : simulator_(simulator),
+      rng_(rng),
+      rates_(std::move(rates)),
+      listener_(listener),
+      up_(rates_.size(), true),
+      up_count_(rates_.size()) {
+  RELDEV_EXPECTS(!rates_.empty());
+  for (const auto& r : rates_) {
+    RELDEV_EXPECTS(r.failure_rate >= 0.0);
+    RELDEV_EXPECTS(r.repair_rate > 0.0);
+    RELDEV_EXPECTS(r.repair_shape >= 1);
+  }
+}
+
+void FailureProcess::start() {
+  RELDEV_EXPECTS(!started_);
+  started_ = true;
+  for (std::size_t site = 0; site < rates_.size(); ++site) {
+    schedule_failure(site);
+  }
+}
+
+bool FailureProcess::is_up(std::size_t site) const {
+  RELDEV_EXPECTS(site < up_.size());
+  return up_[site];
+}
+
+void FailureProcess::schedule_failure(std::size_t site) {
+  if (rates_[site].failure_rate == 0.0) return;  // perfectly reliable site
+  const double delay = rng_.exponential(rates_[site].failure_rate);
+  simulator_.schedule_after(delay, [this, site] {
+    RELDEV_ASSERT(up_[site]);
+    up_[site] = false;
+    --up_count_;
+    if (listener_ != nullptr) {
+      listener_->on_site_failed(site, simulator_.now());
+    }
+    schedule_repair(site);
+  });
+}
+
+void FailureProcess::schedule_repair(std::size_t site) {
+  // Erlang-k repair: sum of k exponential stages, each with rate k * mu,
+  // keeps the mean at 1/mu while reducing the CV to 1/sqrt(k).
+  const std::size_t shape = rates_[site].repair_shape;
+  const double stage_rate =
+      rates_[site].repair_rate * static_cast<double>(shape);
+  double delay = 0.0;
+  for (std::size_t stage = 0; stage < shape; ++stage) {
+    delay += rng_.exponential(stage_rate);
+  }
+  simulator_.schedule_after(delay, [this, site] {
+    RELDEV_ASSERT(!up_[site]);
+    up_[site] = true;
+    ++up_count_;
+    if (listener_ != nullptr) {
+      listener_->on_site_repaired(site, simulator_.now());
+    }
+    schedule_failure(site);
+  });
+}
+
+std::vector<FailureRates> uniform_rates(std::size_t n, double rho,
+                                        std::size_t repair_shape) {
+  RELDEV_EXPECTS(n > 0);
+  RELDEV_EXPECTS(rho >= 0.0);
+  RELDEV_EXPECTS(repair_shape >= 1);
+  return std::vector<FailureRates>(n, FailureRates{rho, 1.0, repair_shape});
+}
+
+}  // namespace reldev::sim

@@ -1,0 +1,41 @@
+// Poisson arrival process for workload generation (read/write requests in
+// the traffic experiments of §5). Reschedules itself until stopped.
+#pragma once
+
+#include <functional>
+
+#include "reldev/sim/simulator.hpp"
+#include "reldev/util/rng.hpp"
+
+namespace reldev::sim {
+
+class ArrivalProcess {
+ public:
+  using Handler = std::function<void(double now)>;
+
+  /// `rate` arrivals per unit time; each arrival invokes `handler`.
+  ArrivalProcess(Simulator& simulator, Rng rng, double rate, Handler handler);
+  ~ArrivalProcess();
+  ArrivalProcess(const ArrivalProcess&) = delete;
+  ArrivalProcess& operator=(const ArrivalProcess&) = delete;
+
+  /// Schedule the first arrival. Call once.
+  void start();
+  /// Cancel any pending arrival; no handler runs after this returns.
+  void stop();
+
+  [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& simulator_;
+  Rng rng_;
+  double rate_;
+  Handler handler_;
+  EventId pending_ = 0;
+  std::uint64_t arrivals_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace reldev::sim

@@ -1,0 +1,53 @@
+// Measures steady-state availability in a simulation run: a time-weighted
+// 0/1 signal with an optional warm-up period discarded, and batch-means
+// confidence intervals over the measurement horizon.
+#pragma once
+
+#include <cstddef>
+
+#include "reldev/util/stats.hpp"
+
+namespace reldev::sim {
+
+class AvailabilityTracker {
+ public:
+  /// Observations before `warmup` are discarded; the remaining horizon is
+  /// split into `batches` equal batches for the confidence interval.
+  AvailabilityTracker(double warmup, double horizon, std::size_t batches);
+
+  /// Report that the system is available (or not) from `now` onward.
+  /// Must be called with non-decreasing times; call once at t=0 with the
+  /// initial state.
+  void record(double now, bool available);
+
+  /// Close the window at `end_time` (>= warmup + horizon start) and compute
+  /// results. Call exactly once, after the simulation finishes.
+  void finish(double end_time);
+
+  [[nodiscard]] double availability() const;
+  /// 95% confidence half-width from batch means.
+  [[nodiscard]] double half_width() const;
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  void advance_to(double now);
+
+  double warmup_;
+  double batch_length_;
+  std::size_t batch_limit_;
+
+  bool have_state_ = false;
+  bool state_ = false;
+  double last_time_ = 0.0;
+
+  // Accumulation within the current batch.
+  std::size_t current_batch_ = 0;
+  double batch_up_time_ = 0.0;
+
+  reldev::BatchMeans batch_means_;
+  double total_up_ = 0.0;
+  double total_observed_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace reldev::sim

@@ -1,0 +1,60 @@
+#include "reldev/sim/simulator.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace reldev::sim {
+
+EventId Simulator::schedule_at(double when, Callback callback) {
+  RELDEV_EXPECTS(when >= now_);
+  RELDEV_EXPECTS(callback != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  live_.emplace(id, std::move(callback));
+  return id;
+}
+
+EventId Simulator::schedule_after(double delay, Callback callback) {
+  RELDEV_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+void Simulator::cancel(EventId id) { live_.erase(id); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    auto it = live_.find(entry.id);
+    if (it == live_.end()) continue;  // cancelled; skip lazily
+    Callback callback = std::move(it->second);
+    live_.erase(it);
+    RELDEV_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    ++executed_;
+    callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(double deadline) {
+  RELDEV_EXPECTS(deadline >= now_);
+  while (!queue_.empty()) {
+    // Skip cancelled entries so queue_.top() reflects a live event.
+    if (live_.find(queue_.top().id) == live_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    step();
+  }
+  now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace reldev::sim

@@ -1,0 +1,25 @@
+#include "reldev/storage/block_store.hpp"
+
+namespace reldev::storage {
+
+Status BlockStore::check_block(BlockId block) const {
+  if (block >= block_count()) {
+    return errors::invalid_argument("block " + std::to_string(block) +
+                                    " out of range (device has " +
+                                    std::to_string(block_count()) + " blocks)");
+  }
+  return Status::ok();
+}
+
+Status BlockStore::check_write(BlockId block,
+                               std::span<const std::byte> data) const {
+  if (auto status = check_block(block); !status.is_ok()) return status;
+  if (data.size() != block_size()) {
+    return errors::invalid_argument(
+        "payload size " + std::to_string(data.size()) + " != block size " +
+        std::to_string(block_size()));
+  }
+  return Status::ok();
+}
+
+}  // namespace reldev::storage

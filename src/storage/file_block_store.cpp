@@ -1,0 +1,268 @@
+#include "reldev/storage/file_block_store.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "reldev/util/assert.hpp"
+#include "reldev/util/crc32.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::storage {
+
+namespace {
+
+// File layout:
+//   [header: 40 bytes] [metadata region: 8 + kMetadataCapacity bytes]
+//   [block records: block_count x (8 version + 4 crc + block_size data)]
+constexpr std::uint32_t kMagic = 0x52444256;  // "RDBV"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 40;
+constexpr std::size_t kBlockRecordHeader = 12;  // u64 version + u32 crc
+
+struct Header {
+  std::uint64_t block_count;
+  std::uint64_t block_size;
+};
+
+std::vector<std::byte> encode_header(const Header& header) {
+  BufferWriter writer(kHeaderSize);
+  writer.put_u32(kMagic);
+  writer.put_u32(kFormatVersion);
+  writer.put_u64(header.block_count);
+  writer.put_u64(header.block_size);
+  writer.put_u64(0);  // reserved
+  writer.put_u32(0);  // reserved; pads the pre-CRC header to 36 bytes
+  // CRC over everything above.
+  writer.put_u32(crc32c(writer.bytes()));
+  RELDEV_ENSURES(writer.size() == kHeaderSize);
+  return std::move(writer).take();
+}
+
+Result<Header> decode_header(std::span<const std::byte> raw) {
+  if (raw.size() != kHeaderSize) {
+    return errors::corruption("short store header");
+  }
+  const std::uint32_t expected = crc32c(raw.first(kHeaderSize - 4));
+  BufferReader reader(raw);
+  auto magic = reader.get_u32();
+  auto format = reader.get_u32();
+  auto block_count = reader.get_u64();
+  auto block_size = reader.get_u64();
+  auto reserved = reader.get_u64();
+  auto reserved2 = reader.get_u32();
+  auto crc = reader.get_u32();
+  if (!magic || !format || !block_count || !block_size || !reserved ||
+      !reserved2 || !crc) {
+    return errors::corruption("unreadable store header");
+  }
+  if (magic.value() != kMagic) return errors::corruption("bad store magic");
+  if (format.value() != kFormatVersion) {
+    return errors::corruption("unsupported store format " +
+                              std::to_string(format.value()));
+  }
+  if (crc.value() != expected) return errors::corruption("store header CRC");
+  return Header{block_count.value(), block_size.value()};
+}
+
+Status write_at(std::FILE* file, long offset, const void* data,
+                std::size_t size) {
+  if (std::fseek(file, offset, SEEK_SET) != 0) {
+    return errors::io_error("seek failed");
+  }
+  if (std::fwrite(data, 1, size, file) != size) {
+    return errors::io_error("write failed");
+  }
+  return Status::ok();
+}
+
+Status read_at(std::FILE* file, long offset, void* data, std::size_t size) {
+  if (std::fseek(file, offset, SEEK_SET) != 0) {
+    return errors::io_error("seek failed");
+  }
+  if (std::fread(data, 1, size, file) != size) {
+    return errors::io_error("read failed (truncated file?)");
+  }
+  return Status::ok();
+}
+
+constexpr long metadata_offset() { return kHeaderSize; }
+
+long first_block_offset() {
+  return static_cast<long>(kHeaderSize + 8 + FileBlockStore::kMetadataCapacity);
+}
+
+}  // namespace
+
+FileBlockStore::FileBlockStore(std::string path, std::FILE* file,
+                               std::size_t block_count, std::size_t block_size)
+    : path_(std::move(path)),
+      file_(file),
+      block_count_(block_count),
+      block_size_(block_size),
+      versions_(block_count, 0) {}
+
+FileBlockStore::~FileBlockStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+long FileBlockStore::block_offset(BlockId block) const noexcept {
+  return first_block_offset() +
+         static_cast<long>(block * (kBlockRecordHeader + block_size_));
+}
+
+Result<std::unique_ptr<FileBlockStore>> FileBlockStore::create(
+    const std::string& path, std::size_t block_count, std::size_t block_size) {
+  if (block_count == 0 || block_size == 0) {
+    return errors::invalid_argument("block_count and block_size must be > 0");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return errors::io_error("cannot create " + path);
+  }
+  auto store = std::unique_ptr<FileBlockStore>(
+      new FileBlockStore(path, file, block_count, block_size));
+
+  const auto header = encode_header(Header{block_count, block_size});
+  if (auto status = write_at(file, 0, header.data(), header.size());
+      !status.is_ok()) {
+    return status;
+  }
+  // Empty metadata region.
+  if (auto status = store->put_metadata({}); !status.is_ok()) return status;
+  // Zero-fill every block with version 0.
+  const std::vector<std::byte> zeros(block_size, std::byte{0});
+  for (BlockId block = 0; block < block_count; ++block) {
+    if (auto status = store->write(block, zeros, 0); !status.is_ok()) {
+      return status;
+    }
+  }
+  if (auto status = store->sync(); !status.is_ok()) return status;
+  return store;
+}
+
+Result<std::unique_ptr<FileBlockStore>> FileBlockStore::open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return errors::io_error("cannot open " + path);
+  }
+  std::vector<std::byte> raw(kHeaderSize);
+  if (auto status = read_at(file, 0, raw.data(), raw.size()); !status.is_ok()) {
+    std::fclose(file);
+    return status;
+  }
+  auto header = decode_header(raw);
+  if (!header) {
+    std::fclose(file);
+    return header.status();
+  }
+  auto store = std::unique_ptr<FileBlockStore>(
+      new FileBlockStore(path, file, header.value().block_count,
+                         header.value().block_size));
+  if (auto status = store->load_versions(); !status.is_ok()) return status;
+  return store;
+}
+
+Status FileBlockStore::load_versions() {
+  std::vector<std::byte> record(kBlockRecordHeader);
+  for (BlockId block = 0; block < block_count_; ++block) {
+    if (auto status = read_at(file_, block_offset(block), record.data(),
+                              record.size());
+        !status.is_ok()) {
+      return status;
+    }
+    BufferReader reader(record);
+    versions_[block] = reader.get_u64().value();
+  }
+  return Status::ok();
+}
+
+Result<VersionedBlock> FileBlockStore::read(BlockId block) const {
+  if (auto status = check_block(block); !status.is_ok()) return status;
+  std::vector<std::byte> record(kBlockRecordHeader + block_size_);
+  if (auto status =
+          read_at(file_, block_offset(block), record.data(), record.size());
+      !status.is_ok()) {
+    return status;
+  }
+  BufferReader reader(record);
+  VersionedBlock result;
+  result.version = reader.get_u64().value();
+  const std::uint32_t stored_crc = reader.get_u32().value();
+  result.data = reader.get_raw(block_size_).value();
+  const std::uint32_t computed =
+      crc32c(std::span<const std::byte>(result.data));
+  if (stored_crc != computed) {
+    return errors::corruption("block " + std::to_string(block) +
+                              " CRC mismatch");
+  }
+  return result;
+}
+
+Status FileBlockStore::write(BlockId block, std::span<const std::byte> data,
+                             VersionNumber version) {
+  if (auto status = check_write(block, data); !status.is_ok()) return status;
+  BufferWriter writer(kBlockRecordHeader + block_size_);
+  writer.put_u64(version);
+  writer.put_u32(crc32c(data));
+  writer.put_raw(data);
+  if (auto status = write_at(file_, block_offset(block), writer.bytes().data(),
+                             writer.size());
+      !status.is_ok()) {
+    return status;
+  }
+  versions_[block] = version;
+  return Status::ok();
+}
+
+Result<VersionNumber> FileBlockStore::version_of(BlockId block) const {
+  if (auto status = check_block(block); !status.is_ok()) return status;
+  return versions_[block];
+}
+
+VersionVector FileBlockStore::version_vector() const {
+  return VersionVector(versions_);
+}
+
+Status FileBlockStore::put_metadata(std::span<const std::byte> blob) {
+  if (blob.size() > kMetadataCapacity) {
+    return errors::invalid_argument("metadata blob exceeds capacity");
+  }
+  BufferWriter writer(8 + kMetadataCapacity);
+  writer.put_u32(static_cast<std::uint32_t>(blob.size()));
+  writer.put_u32(crc32c(blob));
+  writer.put_raw(blob);
+  // Pad the region so the file geometry never changes.
+  const std::vector<std::byte> pad(kMetadataCapacity - blob.size(),
+                                   std::byte{0});
+  writer.put_raw(pad);
+  return write_at(file_, metadata_offset(), writer.bytes().data(),
+                  writer.size());
+}
+
+Result<std::vector<std::byte>> FileBlockStore::get_metadata() const {
+  std::vector<std::byte> region(8 + kMetadataCapacity);
+  if (auto status =
+          read_at(file_, metadata_offset(), region.data(), region.size());
+      !status.is_ok()) {
+    return status;
+  }
+  BufferReader reader(region);
+  const std::uint32_t size = reader.get_u32().value();
+  const std::uint32_t stored_crc = reader.get_u32().value();
+  if (size > kMetadataCapacity) {
+    return errors::corruption("metadata length field out of range");
+  }
+  auto blob = reader.get_raw(size).value();
+  if (crc32c(std::span<const std::byte>(blob)) != stored_crc) {
+    return errors::corruption("metadata CRC mismatch");
+  }
+  return blob;
+}
+
+Status FileBlockStore::sync() {
+  if (std::fflush(file_) != 0) return errors::io_error("fflush failed");
+  return Status::ok();
+}
+
+}  // namespace reldev::storage

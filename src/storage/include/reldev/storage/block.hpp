@@ -1,0 +1,31 @@
+// Block primitives for the reliable device: blocks are the unit of
+// replication, recovery, and versioning (§1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reldev::storage {
+
+/// Index of a block within a device; dense in [0, block_count).
+using BlockId = std::uint64_t;
+
+/// Per-block version number, incremented by every successful write (§3.1).
+using VersionNumber = std::uint64_t;
+
+/// A block's payload. Always exactly the device's block size.
+using BlockData = std::vector<std::byte>;
+
+/// Default device geometry used by examples and tests; stores accept any
+/// power-of-two block size at construction.
+inline constexpr std::size_t kDefaultBlockSize = 512;
+
+/// A block payload together with its version, as exchanged during reads
+/// and repair (the paper's (v, {blocks}) pairs).
+struct VersionedBlock {
+  BlockData data;
+  VersionNumber version = 0;
+};
+
+}  // namespace reldev::storage

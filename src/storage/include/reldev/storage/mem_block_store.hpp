@@ -1,0 +1,40 @@
+// In-memory block store: the workhorse for simulations and tests, and the
+// baseline device in the micro-benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "reldev/storage/block_store.hpp"
+
+namespace reldev::storage {
+
+class MemBlockStore final : public BlockStore {
+ public:
+  MemBlockStore(std::size_t block_count, std::size_t block_size);
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return blocks_.size();
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return block_size_;
+  }
+
+  Result<VersionedBlock> read(BlockId block) const override;
+  Status write(BlockId block, std::span<const std::byte> data,
+               VersionNumber version) override;
+  Result<VersionNumber> version_of(BlockId block) const override;
+  [[nodiscard]] VersionVector version_vector() const override;
+
+  Status put_metadata(std::span<const std::byte> blob) override;
+  [[nodiscard]] Result<std::vector<std::byte>> get_metadata() const override;
+
+  /// Test hook: wipe all data and versions, as if the disk were replaced.
+  void reset();
+
+ private:
+  std::size_t block_size_;
+  std::vector<VersionedBlock> blocks_;
+  std::vector<std::byte> metadata_;
+};
+
+}  // namespace reldev::storage

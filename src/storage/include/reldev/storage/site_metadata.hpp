@@ -1,0 +1,38 @@
+// Persistent per-site metadata for the available-copy algorithms: the
+// site's identity, whether its last shutdown was clean, and its
+// was-available set W_s (Definition 3.1). The naive scheme persists no
+// was-available information — that is precisely its point — so the set is
+// optional here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "reldev/util/result.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::storage {
+
+/// Site identifier within a replication group; dense in [0, n).
+using SiteId = std::uint32_t;
+
+/// An ordered set of sites (was-available sets, closures, quorums).
+using SiteSet = std::set<SiteId>;
+
+struct SiteMetadata {
+  SiteId site = 0;
+  /// True when the site's store was closed by an orderly shutdown; a crash
+  /// leaves it false so recovery knows the data may be stale.
+  bool clean_shutdown = false;
+  /// W_s — absent under the naive scheme.
+  std::optional<SiteSet> was_available;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<SiteMetadata> decode(std::span<const std::byte> blob);
+
+  friend bool operator==(const SiteMetadata&, const SiteMetadata&) = default;
+};
+
+}  // namespace reldev::storage

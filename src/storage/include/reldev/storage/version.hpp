@@ -1,0 +1,58 @@
+// The version vector v of §3.2: one version number per block of the
+// device. A recovering site sends its vector to a peer; the peer answers
+// with its own vector plus the blocks that are newer (procedure RECOVERY,
+// Figure 5). This header supplies the comparison and diff operations that
+// flow requires.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reldev/storage/block.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::storage {
+
+class VersionVector {
+ public:
+  VersionVector() = default;
+  explicit VersionVector(std::size_t block_count) : versions_(block_count, 0) {}
+  explicit VersionVector(std::vector<VersionNumber> versions)
+      : versions_(std::move(versions)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return versions_.size(); }
+  [[nodiscard]] VersionNumber at(BlockId block) const;
+  void set(BlockId block, VersionNumber version);
+  /// Increment and return the new version of `block`.
+  VersionNumber bump(BlockId block);
+
+  /// True when every entry of this vector is >= the corresponding entry of
+  /// `other` (this replica holds data at least as recent everywhere).
+  [[nodiscard]] bool dominates(const VersionVector& other) const;
+
+  /// Blocks where `other` is strictly newer than this vector — exactly the
+  /// blocks a recovering site must fetch.
+  [[nodiscard]] std::vector<BlockId> stale_against(
+      const VersionVector& other) const;
+
+  /// Pointwise maximum, in place.
+  void merge_max(const VersionVector& other);
+
+  /// Sum of all entries; a convenient total order for "who is most
+  /// current" tiebreaks in tests.
+  [[nodiscard]] VersionNumber total() const noexcept;
+
+  [[nodiscard]] const std::vector<VersionNumber>& raw() const noexcept {
+    return versions_;
+  }
+
+  void encode(BufferWriter& writer) const;
+  static Result<VersionVector> decode(BufferReader& reader);
+
+  friend bool operator==(const VersionVector&, const VersionVector&) = default;
+
+ private:
+  std::vector<VersionNumber> versions_;
+};
+
+}  // namespace reldev::storage

@@ -1,0 +1,60 @@
+#include "reldev/storage/mem_block_store.hpp"
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::storage {
+
+MemBlockStore::MemBlockStore(std::size_t block_count, std::size_t block_size)
+    : block_size_(block_size) {
+  RELDEV_EXPECTS(block_count > 0);
+  RELDEV_EXPECTS(block_size > 0);
+  blocks_.resize(block_count);
+  for (auto& block : blocks_) {
+    block.data.assign(block_size, std::byte{0});
+    block.version = 0;
+  }
+}
+
+Result<VersionedBlock> MemBlockStore::read(BlockId block) const {
+  if (auto status = check_block(block); !status.is_ok()) return status;
+  return blocks_[block];
+}
+
+Status MemBlockStore::write(BlockId block, std::span<const std::byte> data,
+                            VersionNumber version) {
+  if (auto status = check_write(block, data); !status.is_ok()) return status;
+  blocks_[block].data.assign(data.begin(), data.end());
+  blocks_[block].version = version;
+  return Status::ok();
+}
+
+Result<VersionNumber> MemBlockStore::version_of(BlockId block) const {
+  if (auto status = check_block(block); !status.is_ok()) return status;
+  return blocks_[block].version;
+}
+
+VersionVector MemBlockStore::version_vector() const {
+  std::vector<VersionNumber> versions;
+  versions.reserve(blocks_.size());
+  for (const auto& block : blocks_) versions.push_back(block.version);
+  return VersionVector(std::move(versions));
+}
+
+Status MemBlockStore::put_metadata(std::span<const std::byte> blob) {
+  metadata_.assign(blob.begin(), blob.end());
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> MemBlockStore::get_metadata() const {
+  return metadata_;
+}
+
+void MemBlockStore::reset() {
+  for (auto& block : blocks_) {
+    block.data.assign(block_size_, std::byte{0});
+    block.version = 0;
+  }
+  metadata_.clear();
+}
+
+}  // namespace reldev::storage

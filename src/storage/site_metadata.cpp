@@ -1,0 +1,51 @@
+#include "reldev/storage/site_metadata.hpp"
+
+namespace reldev::storage {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x534d4431;  // "SMD1"
+}
+
+std::vector<std::byte> SiteMetadata::encode() const {
+  BufferWriter writer;
+  writer.put_u32(kMagic);
+  writer.put_u32(site);
+  writer.put_bool(clean_shutdown);
+  writer.put_bool(was_available.has_value());
+  if (was_available.has_value()) {
+    std::vector<std::uint64_t> members(was_available->begin(),
+                                       was_available->end());
+    writer.put_u64_vector(members);
+  }
+  return std::move(writer).take();
+}
+
+Result<SiteMetadata> SiteMetadata::decode(std::span<const std::byte> blob) {
+  BufferReader reader(blob);
+  auto magic = reader.get_u32();
+  if (!magic) return magic.status();
+  if (magic.value() != kMagic) {
+    return errors::corruption("bad site-metadata magic");
+  }
+  SiteMetadata meta;
+  auto site = reader.get_u32();
+  if (!site) return site.status();
+  meta.site = site.value();
+  auto clean = reader.get_bool();
+  if (!clean) return clean.status();
+  meta.clean_shutdown = clean.value();
+  auto has_set = reader.get_bool();
+  if (!has_set) return has_set.status();
+  if (has_set.value()) {
+    auto members = reader.get_u64_vector();
+    if (!members) return members.status();
+    SiteSet set;
+    for (const auto member : members.value()) {
+      set.insert(static_cast<SiteId>(member));
+    }
+    meta.was_available = std::move(set);
+  }
+  return meta;
+}
+
+}  // namespace reldev::storage

@@ -1,0 +1,65 @@
+#include "reldev/storage/version.hpp"
+
+#include <algorithm>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::storage {
+
+VersionNumber VersionVector::at(BlockId block) const {
+  RELDEV_EXPECTS(block < versions_.size());
+  return versions_[block];
+}
+
+void VersionVector::set(BlockId block, VersionNumber version) {
+  RELDEV_EXPECTS(block < versions_.size());
+  versions_[block] = version;
+}
+
+VersionNumber VersionVector::bump(BlockId block) {
+  RELDEV_EXPECTS(block < versions_.size());
+  return ++versions_[block];
+}
+
+bool VersionVector::dominates(const VersionVector& other) const {
+  RELDEV_EXPECTS(size() == other.size());
+  for (std::size_t i = 0; i < versions_.size(); ++i) {
+    if (versions_[i] < other.versions_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<BlockId> VersionVector::stale_against(
+    const VersionVector& other) const {
+  RELDEV_EXPECTS(size() == other.size());
+  std::vector<BlockId> stale;
+  for (std::size_t i = 0; i < versions_.size(); ++i) {
+    if (versions_[i] < other.versions_[i]) stale.push_back(i);
+  }
+  return stale;
+}
+
+void VersionVector::merge_max(const VersionVector& other) {
+  RELDEV_EXPECTS(size() == other.size());
+  for (std::size_t i = 0; i < versions_.size(); ++i) {
+    versions_[i] = std::max(versions_[i], other.versions_[i]);
+  }
+}
+
+VersionNumber VersionVector::total() const noexcept {
+  VersionNumber sum = 0;
+  for (const auto v : versions_) sum += v;
+  return sum;
+}
+
+void VersionVector::encode(BufferWriter& writer) const {
+  writer.put_u64_vector(versions_);
+}
+
+Result<VersionVector> VersionVector::decode(BufferReader& reader) {
+  auto raw = reader.get_u64_vector();
+  if (!raw) return raw.status();
+  return VersionVector(std::move(raw).value());
+}
+
+}  // namespace reldev::storage

@@ -1,0 +1,45 @@
+#include "reldev/util/crc32.hpp"
+
+#include <array>
+
+namespace reldev {
+
+namespace {
+
+// CRC-32C (Castagnoli) polynomial, reflected form.
+constexpr std::uint32_t kPolynomial = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^
+          kTable[(crc ^ static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(b))) & 0xffu];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  return crc32c(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+}  // namespace reldev

@@ -1,0 +1,148 @@
+#include "reldev/util/flags.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev {
+
+void FlagSet::add_int(const std::string& name, std::int64_t default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+void FlagSet::add_double(const std::string& name, double default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+void FlagSet::add_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+void FlagSet::add_bool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+
+Status FlagSet::set_from_text(const std::string& name,
+                              const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return errors::invalid_argument("unknown flag --" + name);
+  }
+  Value& value = it->second.value;
+  if (std::holds_alternative<std::int64_t>(value)) {
+    std::int64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return errors::invalid_argument("flag --" + name +
+                                      " expects an integer, got '" + text + "'");
+    }
+    value = parsed;
+  } else if (std::holds_alternative<double>(value)) {
+    try {
+      std::size_t used = 0;
+      const double parsed = std::stod(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      value = parsed;
+    } catch (const std::exception&) {
+      return errors::invalid_argument("flag --" + name +
+                                      " expects a number, got '" + text + "'");
+    }
+  } else if (std::holds_alternative<bool>(value)) {
+    if (text == "true" || text == "1") {
+      value = true;
+    } else if (text == "false" || text == "0") {
+      value = false;
+    } else {
+      return errors::invalid_argument("flag --" + name +
+                                      " expects true/false, got '" + text + "'");
+    }
+  } else {
+    value = text;
+  }
+  return Status::ok();
+}
+
+Status FlagSet::parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (auto status = set_from_text(body.substr(0, eq), body.substr(eq + 1));
+          !status.is_ok()) {
+        return status;
+      }
+      continue;
+    }
+    // Bare --flag is shorthand for a boolean true; otherwise consume the
+    // next argument as the value.
+    auto it = flags_.find(body);
+    if (it != flags_.end() && std::holds_alternative<bool>(it->second.value)) {
+      it->second.value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return errors::invalid_argument("flag --" + body + " is missing a value");
+    }
+    if (auto status = set_from_text(body, argv[++i]); !status.is_ok()) {
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+std::int64_t FlagSet::get_int(const std::string& name) const {
+  auto it = flags_.find(name);
+  RELDEV_EXPECTS(it != flags_.end());
+  return std::get<std::int64_t>(it->second.value);
+}
+double FlagSet::get_double(const std::string& name) const {
+  auto it = flags_.find(name);
+  RELDEV_EXPECTS(it != flags_.end());
+  return std::get<double>(it->second.value);
+}
+const std::string& FlagSet::get_string(const std::string& name) const {
+  auto it = flags_.find(name);
+  RELDEV_EXPECTS(it != flags_.end());
+  return std::get<std::string>(it->second.value);
+}
+bool FlagSet::get_bool(const std::string& name) const {
+  auto it = flags_.find(name);
+  RELDEV_EXPECTS(it != flags_.end());
+  return std::get<bool>(it->second.value);
+}
+
+std::string FlagSet::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (std::holds_alternative<std::int64_t>(flag.value)) {
+      out << "=<int, default " << std::get<std::int64_t>(flag.value) << '>';
+    } else if (std::holds_alternative<double>(flag.value)) {
+      out << "=<number, default " << std::get<double>(flag.value) << '>';
+    } else if (std::holds_alternative<bool>(flag.value)) {
+      out << "=<bool, default " << (std::get<bool>(flag.value) ? "true" : "false")
+          << '>';
+    } else {
+      out << "=<string, default '" << std::get<std::string>(flag.value) << "'>";
+    }
+    out << "\n      " << flag.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace reldev

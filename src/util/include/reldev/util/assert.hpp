@@ -1,0 +1,47 @@
+// Contract-checking macros in the spirit of the Core Guidelines' Expects()
+// and Ensures(). Violations throw ContractViolation so tests can observe
+// them; they are never compiled out, since this library favours catching
+// logic errors early over the last few percent of speed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace reldev {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace reldev
+
+#define RELDEV_EXPECTS(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::reldev::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                      __LINE__);                              \
+  } while (false)
+
+#define RELDEV_ENSURES(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::reldev::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                      __LINE__);                              \
+  } while (false)
+
+#define RELDEV_ASSERT(cond)                                                   \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::reldev::detail::contract_fail("invariant", #cond, __FILE__,           \
+                                      __LINE__);                              \
+  } while (false)

@@ -1,0 +1,21 @@
+// CRC-32C (Castagnoli), used to checksum stored blocks and framed network
+// messages so corruption surfaces as ErrorCode::kCorruption rather than as
+// silent bad data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace reldev {
+
+/// CRC-32C over `data`, continuing from `seed` (pass the previous result to
+/// checksum discontiguous buffers as one stream).
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed = 0) noexcept;
+
+/// Convenience overload for raw byte ranges.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0) noexcept;
+
+}  // namespace reldev

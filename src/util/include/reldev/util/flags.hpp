@@ -1,0 +1,56 @@
+// A minimal command-line flag parser for the examples and benchmark
+// binaries: --name=value or --name value; --help prints registered flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "reldev/util/result.hpp"
+
+namespace reldev {
+
+class FlagSet {
+ public:
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv; unknown flags or malformed values are errors. Leftover
+  /// positional arguments are collected in positional().
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  /// True when --help was seen; usage() has already been built.
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  using Value = std::variant<std::int64_t, double, std::string, bool>;
+  struct Flag {
+    Value value;
+    std::string help;
+  };
+
+  Status set_from_text(const std::string& name, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+}  // namespace reldev

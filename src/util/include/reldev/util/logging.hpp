@@ -1,0 +1,80 @@
+// A small leveled logger. One global sink (stderr by default, redirectable
+// for tests); thread-safe; disabled levels cost one atomic load.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace reldev {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Process-wide logging configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirect output (tests). Pass nullptr to restore stderr.
+  void set_sink(std::ostream* sink);
+
+  /// Emit one formatted line: "[level] component: message".
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger();
+  std::atomic<int> level_;
+  std::mutex mutex_;
+  std::ostream* sink_;  // not owned
+};
+
+namespace detail {
+/// Builds a message with stream syntax and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace reldev
+
+#define RELDEV_LOG(level, component)                        \
+  if (!::reldev::Logger::instance().enabled(level)) {      \
+  } else                                                    \
+    ::reldev::detail::LogLine(level, component)
+
+#define RELDEV_TRACE(component) RELDEV_LOG(::reldev::LogLevel::kTrace, component)
+#define RELDEV_DEBUG(component) RELDEV_LOG(::reldev::LogLevel::kDebug, component)
+#define RELDEV_INFO(component) RELDEV_LOG(::reldev::LogLevel::kInfo, component)
+#define RELDEV_WARN(component) RELDEV_LOG(::reldev::LogLevel::kWarn, component)
+#define RELDEV_ERROR(component) RELDEV_LOG(::reldev::LogLevel::kError, component)

@@ -1,0 +1,131 @@
+// Status and Result<T>: value-or-error types used across the library for
+// recoverable failures (unavailable replicas, I/O errors, malformed
+// messages). Exceptions are reserved for contract violations and
+// constructor failures; expected runtime outcomes flow through Result.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev {
+
+/// Coarse error taxonomy shared by every module.
+enum class ErrorCode {
+  kOk = 0,
+  kUnavailable,      // not enough live/available replicas (quorum failure)
+  kNotFound,         // no such block / file / site
+  kInvalidArgument,  // caller error detected at a module boundary
+  kIoError,          // underlying storage or socket failure
+  kCorruption,       // checksum mismatch or malformed persistent state
+  kProtocol,         // malformed or unexpected network message
+  kTimeout,          // operation deadline exceeded
+  kConflict,         // concurrent-update or state conflict
+  kInternal,         // invariant violation reported as a value
+};
+
+/// Human-readable name of an ErrorCode ("unavailable", "io-error", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// An error code plus a context message. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "unavailable: quorum not reached (2 of 5 up)" or "ok".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of T or a non-OK Status. Access to the wrong alternative
+/// is a contract violation.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    RELDEV_EXPECTS(!std::get<Status>(state_).is_ok());
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    RELDEV_EXPECTS(is_ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    RELDEV_EXPECTS(is_ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    RELDEV_EXPECTS(is_ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  /// value() if OK, otherwise the supplied fallback.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Convenience factories so call sites read as errors::unavailable("...").
+namespace errors {
+inline Status unavailable(std::string m) {
+  return {ErrorCode::kUnavailable, std::move(m)};
+}
+inline Status not_found(std::string m) {
+  return {ErrorCode::kNotFound, std::move(m)};
+}
+inline Status invalid_argument(std::string m) {
+  return {ErrorCode::kInvalidArgument, std::move(m)};
+}
+inline Status io_error(std::string m) {
+  return {ErrorCode::kIoError, std::move(m)};
+}
+inline Status corruption(std::string m) {
+  return {ErrorCode::kCorruption, std::move(m)};
+}
+inline Status protocol(std::string m) {
+  return {ErrorCode::kProtocol, std::move(m)};
+}
+inline Status timeout(std::string m) {
+  return {ErrorCode::kTimeout, std::move(m)};
+}
+inline Status conflict(std::string m) {
+  return {ErrorCode::kConflict, std::move(m)};
+}
+inline Status internal(std::string m) {
+  return {ErrorCode::kInternal, std::move(m)};
+}
+}  // namespace errors
+
+}  // namespace reldev

@@ -1,0 +1,59 @@
+// Deterministic random-number generation for simulations and tests.
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 with std::*_distribution — bit-for-bit reproducible across
+// standard libraries, which the experiment harness relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev {
+
+/// SplitMix64 step; used for seeding and as a cheap hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with explicit distribution methods.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// True with probability p. Requires p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A new generator whose stream is independent of this one; lets each
+  /// simulated site own a private stream derived from one experiment seed.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace reldev

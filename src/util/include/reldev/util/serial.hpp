@@ -1,0 +1,84 @@
+// Binary serialization: a growable little-endian writer and a bounds-checked
+// reader. Every protocol message and persistent metadata record is encoded
+// through these, so the wire/disk format is defined in exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "reldev/util/result.hpp"
+
+namespace reldev {
+
+/// Appends fixed-width little-endian values to an internal buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void put_u8(std::uint8_t value);
+  void put_u16(std::uint16_t value);
+  void put_u32(std::uint32_t value);
+  void put_u64(std::uint64_t value);
+  void put_i64(std::int64_t value);
+  void put_f64(double value);
+  void put_bool(bool value) { put_u8(value ? 1 : 0); }
+
+  /// Length-prefixed (u32) byte string.
+  void put_bytes(std::span<const std::byte> bytes);
+  void put_string(const std::string& text);
+
+  /// Raw bytes with no length prefix (block payloads of known size).
+  void put_raw(std::span<const std::byte> bytes);
+
+  /// Length-prefixed vector of u64 (site sets, version vectors).
+  void put_u64_vector(const std::vector<std::uint64_t>& values);
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {buffer_.data(), buffer_.size()};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Reads values back in the order they were written; every accessor returns
+/// a Result so truncated or corrupt input is a value-level error, never UB.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> get_u8();
+  Result<std::uint16_t> get_u16();
+  Result<std::uint32_t> get_u32();
+  Result<std::uint64_t> get_u64();
+  Result<std::int64_t> get_i64();
+  Result<double> get_f64();
+  Result<bool> get_bool();
+
+  Result<std::vector<std::byte>> get_bytes();
+  Result<std::string> get_string();
+
+  /// Exactly `size` raw bytes (no length prefix).
+  Result<std::vector<std::byte>> get_raw(std::size_t size);
+
+  Result<std::vector<std::uint64_t>> get_u64_vector();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  Status need(std::size_t count) const;
+
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace reldev

@@ -1,0 +1,95 @@
+// Statistics used by the simulator and the benchmark harness:
+//   OnlineStats       - Welford mean/variance over samples
+//   TimeWeightedStat  - integral-average of a piecewise-constant signal
+//                       (the estimator for steady-state availability)
+//   BatchMeans        - batch-means confidence intervals for DES output
+//   Histogram         - fixed-bin counts with quantile queries
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reldev {
+
+/// Numerically stable running mean and variance.
+class OnlineStats {
+ public:
+  void add(double sample) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-average of a signal that changes value at known instants.
+/// Used to measure availability: record(t, 1 or 0) at every state change,
+/// then average() over the observed horizon.
+class TimeWeightedStat {
+ public:
+  /// Record that the signal took `value` starting at time `now`.
+  /// Times must be non-decreasing.
+  void record(double now, double value);
+
+  /// Close the observation window at `now` and return the time average.
+  [[nodiscard]] double average(double now) const;
+
+  [[nodiscard]] double start_time() const noexcept { return start_; }
+  [[nodiscard]] bool empty() const noexcept { return !started_; }
+
+ private:
+  bool started_ = false;
+  double start_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Batch-means interval estimation for steady-state simulation output.
+/// Feed per-batch averages; query a (1-alpha) confidence half-width using
+/// a normal approximation (adequate for >= 20 batches).
+class BatchMeans {
+ public:
+  void add_batch(double batch_mean) { stats_.add(batch_mean); }
+  [[nodiscard]] std::size_t batches() const noexcept { return stats_.count(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  /// Half-width of the confidence interval; z defaults to 1.96 (95%).
+  [[nodiscard]] double half_width(double z = 1.96) const;
+
+ private:
+  OnlineStats stats_;
+};
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Value below which `q` (0..1) of the samples fall, by linear
+  /// interpolation within the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace reldev

@@ -1,0 +1,36 @@
+// ASCII table rendering for benchmark output: the bench binaries print the
+// same rows/series the paper's figures plot, and this keeps them legible.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reldev {
+
+/// Column-aligned text table with an optional title; also emits CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Row width must equal the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision; helper for row building.
+  static std::string fmt(double value, int precision = 6);
+
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reldev

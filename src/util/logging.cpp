@@ -1,0 +1,47 @@
+#include "reldev/util/logging.hpp"
+
+#include <iostream>
+
+namespace reldev {
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger()
+    : level_(static_cast<int>(LogLevel::kWarn)), sink_(&std::cerr) {}
+
+void Logger::set_sink(std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink != nullptr ? sink : &std::cerr;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (*sink_) << '[' << log_level_name(level) << "] " << component << ": "
+           << message << '\n';
+  sink_->flush();
+}
+
+}  // namespace reldev

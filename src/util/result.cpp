@@ -1,0 +1,41 @@
+#include "reldev/util/result.hpp"
+
+namespace reldev {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kCorruption:
+      return "corruption";
+    case ErrorCode::kProtocol:
+      return "protocol";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kConflict:
+      return "conflict";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string text = error_code_name(code_);
+  if (!message_.empty()) {
+    text += ": ";
+    text += message_;
+  }
+  return text;
+}
+
+}  // namespace reldev

@@ -1,0 +1,76 @@
+#include "reldev/util/rng.hpp"
+
+#include <cmath>
+
+namespace reldev {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the full 256-bit state from SplitMix64 as the xoshiro authors
+  // recommend; guards against the all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  RELDEV_EXPECTS(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return next_u64();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + draw % bound;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  RELDEV_EXPECTS(lo < hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double rate) {
+  RELDEV_EXPECTS(rate > 0.0);
+  // Inversion; 1 - U avoids log(0).
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+bool Rng::bernoulli(double p) {
+  RELDEV_EXPECTS(p >= 0.0 && p <= 1.0);
+  return next_double() < p;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+}  // namespace reldev

@@ -1,0 +1,148 @@
+#include "reldev/util/serial.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace reldev {
+
+namespace {
+// All integers are encoded little-endian regardless of host order so that
+// on-disk stores and network peers interoperate across architectures.
+template <typename T>
+void append_le(std::vector<std::byte>& buffer, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buffer.push_back(
+        static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) &
+                               0xffu));
+  }
+}
+
+template <typename T>
+T read_le(std::span<const std::byte> data) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(data[i]))
+             << (8 * i);
+  }
+  return static_cast<T>(value);
+}
+}  // namespace
+
+void BufferWriter::put_u8(std::uint8_t value) { append_le(buffer_, value); }
+void BufferWriter::put_u16(std::uint16_t value) { append_le(buffer_, value); }
+void BufferWriter::put_u32(std::uint32_t value) { append_le(buffer_, value); }
+void BufferWriter::put_u64(std::uint64_t value) { append_le(buffer_, value); }
+void BufferWriter::put_i64(std::int64_t value) {
+  append_le(buffer_, static_cast<std::uint64_t>(value));
+}
+
+void BufferWriter::put_f64(double value) {
+  put_u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void BufferWriter::put_bytes(std::span<const std::byte> bytes) {
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  put_raw(bytes);
+}
+
+void BufferWriter::put_string(const std::string& text) {
+  put_bytes(std::as_bytes(std::span<const char>(text.data(), text.size())));
+}
+
+void BufferWriter::put_raw(std::span<const std::byte> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void BufferWriter::put_u64_vector(const std::vector<std::uint64_t>& values) {
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  for (const auto v : values) put_u64(v);
+}
+
+Status BufferReader::need(std::size_t count) const {
+  if (remaining() < count) {
+    return errors::corruption("truncated input: need " + std::to_string(count) +
+                              " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::ok();
+}
+
+namespace {
+template <typename T>
+Result<T> read_fixed(std::span<const std::byte> data, std::size_t& offset,
+                     Status need_status) {
+  if (!need_status.is_ok()) return need_status;
+  T value = read_le<T>(data.subspan(offset, sizeof(T)));
+  offset += sizeof(T);
+  return value;
+}
+}  // namespace
+
+Result<std::uint8_t> BufferReader::get_u8() {
+  return read_fixed<std::uint8_t>(data_, offset_, need(1));
+}
+Result<std::uint16_t> BufferReader::get_u16() {
+  return read_fixed<std::uint16_t>(data_, offset_, need(2));
+}
+Result<std::uint32_t> BufferReader::get_u32() {
+  return read_fixed<std::uint32_t>(data_, offset_, need(4));
+}
+Result<std::uint64_t> BufferReader::get_u64() {
+  return read_fixed<std::uint64_t>(data_, offset_, need(8));
+}
+Result<std::int64_t> BufferReader::get_i64() {
+  auto raw = get_u64();
+  if (!raw) return raw.status();
+  return static_cast<std::int64_t>(raw.value());
+}
+
+Result<double> BufferReader::get_f64() {
+  auto raw = get_u64();
+  if (!raw) return raw.status();
+  return std::bit_cast<double>(raw.value());
+}
+
+Result<bool> BufferReader::get_bool() {
+  auto raw = get_u8();
+  if (!raw) return raw.status();
+  if (raw.value() > 1) return errors::corruption("bool byte out of range");
+  return raw.value() == 1;
+}
+
+Result<std::vector<std::byte>> BufferReader::get_bytes() {
+  auto size = get_u32();
+  if (!size) return size.status();
+  return get_raw(size.value());
+}
+
+Result<std::string> BufferReader::get_string() {
+  auto bytes = get_bytes();
+  if (!bytes) return bytes.status();
+  const auto& raw = bytes.value();
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+Result<std::vector<std::byte>> BufferReader::get_raw(std::size_t size) {
+  if (auto status = need(size); !status.is_ok()) return status;
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(offset_ + size));
+  offset_ += size;
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> BufferReader::get_u64_vector() {
+  auto size = get_u32();
+  if (!size) return size.status();
+  if (auto status = need(std::size_t{size.value()} * 8); !status.is_ok()) {
+    return status;
+  }
+  std::vector<std::uint64_t> values;
+  values.reserve(size.value());
+  for (std::uint32_t i = 0; i < size.value(); ++i) {
+    values.push_back(get_u64().value());
+  }
+  return values;
+}
+
+}  // namespace reldev

@@ -1,0 +1,98 @@
+#include "reldev/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev {
+
+void OnlineStats::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void TimeWeightedStat::record(double now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+  } else {
+    RELDEV_EXPECTS(now >= last_time_);
+    weighted_sum_ += last_value_ * (now - last_time_);
+  }
+  last_time_ = now;
+  last_value_ = value;
+}
+
+double TimeWeightedStat::average(double now) const {
+  RELDEV_EXPECTS(started_);
+  RELDEV_EXPECTS(now >= last_time_);
+  const double horizon = now - start_;
+  if (horizon == 0.0) return last_value_;
+  const double total = weighted_sum_ + last_value_ * (now - last_time_);
+  return total / horizon;
+}
+
+double BatchMeans::half_width(double z) const {
+  if (stats_.count() < 2) return 0.0;
+  return z * stats_.stddev() / std::sqrt(static_cast<double>(stats_.count()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  RELDEV_EXPECTS(hi > lo);
+  RELDEV_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double sample) noexcept {
+  const double position = (sample - lo_) / width_;
+  std::size_t bin = 0;
+  if (position >= 0.0) {
+    bin = std::min(counts_.size() - 1, static_cast<std::size_t>(position));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  RELDEV_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::quantile(double q) const {
+  RELDEV_EXPECTS(q >= 0.0 && q <= 1.0);
+  RELDEV_EXPECTS(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double next = cumulative + static_cast<double>(counts_[bin]);
+    if (next >= target) {
+      // Interpolate within this bin.
+      const double fraction =
+          counts_[bin] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[bin]);
+      return lo_ + (static_cast<double>(bin) + fraction) * width_;
+    }
+    cumulative = next;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace reldev

@@ -1,0 +1,209 @@
+// Tests pinning the paper's §4 mathematics: equations (1)-(5), the
+// A_V(2k) = A_V(2k-1) identity, A_NA(2) = A_V(3), and Theorem 4.1.
+#include "reldev/analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::analysis {
+namespace {
+
+TEST(SiteAvailabilityTest, Formula) {
+  EXPECT_DOUBLE_EQ(site_availability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(site_availability(0.2), 1.0 / 1.2);
+  // rho = 0.20 corresponds to 83.33% as §4.4 notes.
+  EXPECT_NEAR(site_availability(0.20), 0.8333, 1e-4);
+}
+
+TEST(VotingAvailabilityTest, SingleCopyIsSiteAvailability) {
+  for (const double rho : {0.01, 0.1, 0.5}) {
+    EXPECT_NEAR(voting_availability(1, rho), site_availability(rho), 1e-12);
+  }
+}
+
+TEST(VotingAvailabilityTest, ThreeCopiesClosedForm) {
+  // A_V(3) = (1 + 3 rho) / (1 + rho)^3.
+  for (const double rho : {0.01, 0.05, 0.1, 0.2}) {
+    const double expected = (1.0 + 3.0 * rho) / std::pow(1.0 + rho, 3);
+    EXPECT_NEAR(voting_availability(3, rho), expected, 1e-12);
+  }
+}
+
+TEST(VotingAvailabilityTest, PerfectCopiesAreAlwaysAvailable) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    EXPECT_DOUBLE_EQ(voting_availability(n, 0.0), 1.0);
+  }
+}
+
+TEST(VotingAvailabilityTest, EvenEqualsPrecedingOdd) {
+  // §4.1: A_V(2k) = A_V(2k-1) under the epsilon tie-break.
+  for (std::size_t k = 1; k <= 5; ++k) {
+    for (const double rho : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+      EXPECT_NEAR(voting_availability(2 * k, rho),
+                  voting_availability(2 * k - 1, rho), 1e-12)
+          << "k=" << k << " rho=" << rho;
+    }
+  }
+}
+
+TEST(VotingAvailabilityTest, MoreCopiesHelpForGoodSites) {
+  // For rho < 1 availability increases with (odd) n.
+  for (const double rho : {0.05, 0.2}) {
+    EXPECT_GT(voting_availability(5, rho), voting_availability(3, rho));
+    EXPECT_GT(voting_availability(7, rho), voting_availability(5, rho));
+  }
+}
+
+TEST(VotingAvailabilityTest, DegradesWithRho) {
+  EXPECT_GT(voting_availability(5, 0.05), voting_availability(5, 0.1));
+  EXPECT_GT(voting_availability(5, 0.1), voting_availability(5, 0.2));
+}
+
+TEST(AvailableCopyTest, ClosedFormsAtRhoZero) {
+  for (std::size_t n = 2; n <= 4; ++n) {
+    EXPECT_NEAR(available_copy_closed_form(n, 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST(AvailableCopyTest, GeneralFunctionUsesChainAboveFour) {
+  // Continuity across the implementation switch: n=4 closed form vs n=5
+  // chain should both be sensible and ordered.
+  const double rho = 0.1;
+  EXPECT_GT(available_copy_availability(5, rho),
+            available_copy_availability(4, rho));
+}
+
+TEST(AvailableCopyTest, LowerBoundHolds) {
+  // Inequality (5): A_A(n) > 1 - n rho^n / (1+rho)^n.
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (const double rho : {0.05, 0.1, 0.3, 0.7, 1.0}) {
+      EXPECT_GT(available_copy_availability(n, rho),
+                available_copy_lower_bound(n, rho) - 1e-12)
+          << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+TEST(NaiveTest, TwoNaiveCopiesEqualThreeVotingCopies) {
+  // §4.3: A_NA(2) = A_V(3).
+  for (const double rho : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    EXPECT_NEAR(naive_available_copy_availability(2, rho),
+                voting_availability(3, rho), 1e-12)
+        << "rho=" << rho;
+  }
+}
+
+TEST(NaiveTest, BFormulaHandCheckedN2) {
+  // B(2; rho) = 3/2 + 1/(2 rho).
+  const double rho = 0.25;
+  EXPECT_NEAR(naive_b(2, rho), 1.5 + 1.0 / (2.0 * rho), 1e-12);
+}
+
+TEST(NaiveTest, AvailabilityWithinBounds) {
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (const double rho : {0.01, 0.1, 0.5, 1.0}) {
+      const double a = naive_available_copy_availability(n, rho);
+      EXPECT_GT(a, 0.0);
+      EXPECT_LT(a, 1.0);
+    }
+  }
+}
+
+TEST(Theorem41Test, AcBeatsVotingWithTwiceTheCopies) {
+  // Theorem 4.1: A_A(n) > A_V(2n-1) = A_V(2n) for rho <= 1.
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (const double rho :
+         {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const double ac = available_copy_availability(n, rho);
+      EXPECT_GT(ac, voting_availability(2 * n - 1, rho))
+          << "n=" << n << " rho=" << rho;
+      EXPECT_GT(ac, voting_availability(2 * n, rho))
+          << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+TEST(DiscussionTest, AcAndNaiveIndistinguishableForSmallRho) {
+  // §4.4: no significant difference for rho < 0.10.
+  for (std::size_t n = 3; n <= 4; ++n) {
+    for (const double rho : {0.01, 0.05, 0.09}) {
+      const double ac = available_copy_availability(n, rho);
+      const double naive = naive_available_copy_availability(n, rho);
+      // The gap peaks at ~1.5e-3 for n=3, rho=0.09 — invisible on the
+      // paper's 0.9..1.0 graph scale.
+      EXPECT_NEAR(ac, naive, 2e-3) << "n=" << n << " rho=" << rho;
+      EXPECT_GE(ac + 1e-15, naive);
+    }
+  }
+}
+
+TEST(DiscussionTest, BothAvailableCopySchemesBeatVotingInFigures) {
+  // The Figure 9/10 configurations: 3 AC copies vs 6 voting copies and
+  // 4 AC copies vs 8 voting copies, rho in (0, 0.20].
+  for (double rho = 0.02; rho <= 0.20 + 1e-9; rho += 0.02) {
+    EXPECT_GT(available_copy_availability(3, rho),
+              voting_availability(6, rho));
+    EXPECT_GT(naive_available_copy_availability(3, rho),
+              voting_availability(6, rho));
+    EXPECT_GT(available_copy_availability(4, rho),
+              voting_availability(8, rho));
+    EXPECT_GT(naive_available_copy_availability(4, rho),
+              voting_availability(8, rho));
+  }
+}
+
+TEST(ParameterChecksTest, InvalidInputsRejected) {
+  EXPECT_THROW((void)voting_availability(0, 0.1), reldev::ContractViolation);
+  EXPECT_THROW((void)voting_availability(3, -0.1), reldev::ContractViolation);
+  EXPECT_THROW((void)available_copy_closed_form(5, 0.1),
+               reldev::ContractViolation);
+  EXPECT_THROW((void)naive_b(2, 0.0), reldev::ContractViolation);
+}
+
+// Parameterized sweep: voting availability is a proper probability and is
+// monotone in rho across a grid of configurations.
+class VotingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VotingSweep, ProbabilityAndMonotonicity) {
+  const std::size_t n = GetParam();
+  double previous = 1.1;
+  for (double rho = 0.0; rho <= 1.0 + 1e-9; rho += 0.05) {
+    const double a = voting_availability(n, rho);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    EXPECT_LE(a, previous + 1e-12);
+    previous = a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroupSizes, VotingSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// The same sweep for both available-copy schemes.
+class AvailableCopySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AvailableCopySweep, ProbabilityAndMonotonicity) {
+  const std::size_t n = GetParam();
+  double previous_ac = 1.1;
+  double previous_naive = 1.1;
+  for (double rho = 0.01; rho <= 1.0 + 1e-9; rho += 0.05) {
+    const double ac = available_copy_availability(n, rho);
+    const double naive = naive_available_copy_availability(n, rho);
+    EXPECT_GT(ac, 0.0);
+    EXPECT_LE(ac, 1.0);
+    EXPECT_LE(ac, previous_ac + 1e-12);
+    EXPECT_LE(naive, previous_naive + 1e-12);
+    EXPECT_GE(ac + 1e-12, naive);
+    previous_ac = ac;
+    previous_naive = naive;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroupSizes, AvailableCopySweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace reldev::analysis

@@ -1,0 +1,67 @@
+#include "reldev/analysis/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::analysis {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(8, 4), 70.0);
+}
+
+TEST(BinomialTest, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(binomial(3, 4), 0.0);
+}
+
+TEST(BinomialTest, Symmetry) {
+  for (std::size_t n = 1; n <= 20; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial(n, k), binomial(n, n - k));
+    }
+  }
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (std::size_t n = 2; n <= 30; ++n) {
+    for (std::size_t k = 1; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial(n, k),
+                       binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(BinomialU64Test, MatchesDoubleVersion) {
+  for (std::size_t n = 0; n <= 30; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(static_cast<double>(binomial_u64(n, k)), binomial(n, k));
+    }
+  }
+}
+
+TEST(BinomialU64Test, LargeExactValue) {
+  EXPECT_EQ(binomial_u64(62, 31), 465428353255261088ull);
+}
+
+TEST(FactorialTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+TEST(FactorialTest, RatioIsBinomial) {
+  // C(n,k) = n! / (k! (n-k)!) for moderate n.
+  for (std::size_t n = 1; n <= 15; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(factorial(n) / (factorial(k) * factorial(n - k)),
+                  binomial(n, k), 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reldev::analysis

@@ -1,0 +1,110 @@
+#include "reldev/analysis/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::analysis {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const Matrix product = a.multiply(Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(product.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(product.at(1, 0), 3.0);
+}
+
+TEST(MatrixTest, GeneralMultiplication) {
+  Matrix a(2, 3);
+  Matrix b(3, 1);
+  // a = [1 2 3; 4 5 6], b = [1; 2; 3] => a*b = [14; 32]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = v++;
+  }
+  b.at(0, 0) = 1.0;
+  b.at(1, 0) = 2.0;
+  b.at(2, 0) = 3.0;
+  const Matrix product = a.multiply(b);
+  EXPECT_DOUBLE_EQ(product.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(product.at(1, 0), 32.0);
+}
+
+TEST(SolveTest, TwoByTwo) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  auto x = solve_linear(a, {5.0, 10.0});
+  ASSERT_TRUE(x.is_ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  auto x = solve_linear(a, {2.0, 3.0});
+  ASSERT_TRUE(x.is_ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, SingularMatrixRejected) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  auto x = solve_linear(a, {1.0, 2.0});
+  EXPECT_EQ(x.status().code(), reldev::ErrorCode::kConflict);
+}
+
+TEST(SolveTest, ShapeMismatchRejected) {
+  Matrix a(2, 3);
+  EXPECT_EQ(solve_linear(a, {1.0, 2.0}).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+  Matrix b(2, 2);
+  EXPECT_EQ(solve_linear(b, {1.0}).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST(SolveTest, LargerSystemAgainstKnownSolution) {
+  // Build A x = b with known x by construction.
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<double>(i) - 3.5;
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = 1.0 / static_cast<double>(i + j + 1);  // Hilbert-like
+    }
+    a.at(i, i) += 2.0;  // keep it well-conditioned
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * truth[j];
+  }
+  auto x = solve_linear(a, b);
+  ASSERT_TRUE(x.is_ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x.value()[i], truth[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace reldev::analysis

@@ -1,0 +1,131 @@
+#include "reldev/analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "reldev/analysis/availability.hpp"
+
+namespace reldev::analysis {
+namespace {
+
+TEST(MarkovChainTest, TwoStateChain) {
+  // up --l--> down, down --m--> up: pi_up = m/(l+m).
+  MarkovChain chain(2);
+  chain.add_rate(0, 1, 0.2);
+  chain.add_rate(1, 0, 1.0);
+  auto pi = chain.steady_state();
+  ASSERT_TRUE(pi.is_ok());
+  EXPECT_NEAR(pi.value()[0], 1.0 / 1.2, 1e-12);
+  EXPECT_NEAR(pi.value()[1], 0.2 / 1.2, 1e-12);
+}
+
+TEST(MarkovChainTest, DistributionSumsToOne) {
+  MarkovChain chain(4);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 3, 3.0);
+  chain.add_rate(3, 0, 4.0);
+  auto pi = chain.steady_state();
+  ASSERT_TRUE(pi.is_ok());
+  const double sum =
+      std::accumulate(pi.value().begin(), pi.value().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (const double p : pi.value()) EXPECT_GT(p, 0.0);
+}
+
+TEST(MarkovChainTest, BirthDeathDetailedBalance) {
+  // 3-state birth-death chain: pi_i+1 / pi_i = birth_i / death_i+1.
+  MarkovChain chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(1, 2, 3.0);
+  chain.add_rate(2, 1, 4.0);
+  auto pi = chain.steady_state().value();
+  EXPECT_NEAR(pi[1] / pi[0], 2.0, 1e-12);
+  EXPECT_NEAR(pi[2] / pi[1], 0.75, 1e-12);
+}
+
+TEST(MarkovChainTest, InvalidRatesRejected) {
+  MarkovChain chain(2);
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), reldev::ContractViolation);
+  EXPECT_THROW(chain.add_rate(0, 1, 0.0), reldev::ContractViolation);
+  EXPECT_THROW(chain.add_rate(0, 5, 1.0), reldev::ContractViolation);
+}
+
+TEST(AvailableCopyChainTest, MatchesClosedFormN2) {
+  for (const double rho : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const auto chain = solve_available_copy_chain(2, rho);
+    EXPECT_NEAR(chain.availability(), available_copy_closed_form(2, rho),
+                1e-12)
+        << "rho=" << rho;
+  }
+}
+
+TEST(AvailableCopyChainTest, MatchesClosedFormN3) {
+  for (const double rho : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const auto chain = solve_available_copy_chain(3, rho);
+    EXPECT_NEAR(chain.availability(), available_copy_closed_form(3, rho),
+                1e-12)
+        << "rho=" << rho;
+  }
+}
+
+TEST(AvailableCopyChainTest, MatchesClosedFormN4) {
+  for (const double rho : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const auto chain = solve_available_copy_chain(4, rho);
+    EXPECT_NEAR(chain.availability(), available_copy_closed_form(4, rho),
+                1e-12)
+        << "rho=" << rho;
+  }
+}
+
+TEST(NaiveChainTest, MatchesBFormula) {
+  for (std::size_t n = 2; n <= 6; ++n) {
+    for (const double rho : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+      const auto chain = solve_naive_available_copy_chain(n, rho);
+      EXPECT_NEAR(chain.availability(),
+                  naive_available_copy_availability(n, rho), 1e-10)
+          << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+TEST(ReplicationChainTest, ProbabilitiesArePartitioned) {
+  const auto chain = solve_available_copy_chain(4, 0.1);
+  double sum = 0.0;
+  for (std::size_t j = 1; j <= 4; ++j) sum += chain.p_available(j);
+  for (std::size_t j = 0; j < 4; ++j) sum += chain.p_comatose(j);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ReplicationChainTest, ParticipationBetweenOneAndN) {
+  for (std::size_t n = 2; n <= 6; ++n) {
+    for (const double rho : {0.01, 0.1, 0.5}) {
+      const double u = solve_available_copy_chain(n, rho).participation();
+      EXPECT_GT(u, 1.0);
+      EXPECT_LE(u, static_cast<double>(n));
+    }
+  }
+}
+
+TEST(ReplicationChainTest, ParticipationApproachesNAsRhoVanishes) {
+  const double u = solve_available_copy_chain(5, 1e-6).participation();
+  EXPECT_NEAR(u, 5.0, 1e-4);
+}
+
+TEST(ChainComparisonTest, AcAtLeastNaiveEverywhere) {
+  // The conventional scheme can only do better: it returns to service on
+  // the last-failed copy instead of waiting for everyone.
+  for (std::size_t n = 2; n <= 7; ++n) {
+    for (const double rho : {0.02, 0.1, 0.3, 0.8}) {
+      const double ac = solve_available_copy_chain(n, rho).availability();
+      const double naive =
+          solve_naive_available_copy_chain(n, rho).availability();
+      EXPECT_GE(ac + 1e-12, naive) << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reldev::analysis

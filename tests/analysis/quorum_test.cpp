@@ -1,0 +1,142 @@
+#include "reldev/analysis/quorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reldev/analysis/availability.hpp"
+
+namespace reldev::analysis {
+namespace {
+
+TEST(ThresholdAvailabilityTest, ZeroThresholdIsCertain) {
+  EXPECT_DOUBLE_EQ(threshold_availability({1, 1, 1}, 0, 0.5), 1.0);
+}
+
+TEST(ThresholdAvailabilityTest, SingleSite) {
+  const double rho = 0.25;
+  EXPECT_NEAR(threshold_availability({1}, 1, rho), 1.0 / (1.0 + rho), 1e-12);
+}
+
+TEST(ThresholdAvailabilityTest, AllSitesNeeded) {
+  // Threshold = total weight: every site must be up — a^n.
+  const double rho = 0.2;
+  const double a = 1.0 / (1.0 + rho);
+  EXPECT_NEAR(threshold_availability({1, 1, 1, 1}, 4, rho), std::pow(a, 4),
+              1e-12);
+}
+
+TEST(ThresholdAvailabilityTest, AnySiteSuffices) {
+  // Threshold 1 with unit weights: 1 - (1-a)^n.
+  const double rho = 0.3;
+  const double a = 1.0 / (1.0 + rho);
+  EXPECT_NEAR(threshold_availability({1, 1, 1}, 1, rho),
+              1.0 - std::pow(1.0 - a, 3), 1e-12);
+}
+
+TEST(ThresholdAvailabilityTest, MajorityMatchesPaperFormula) {
+  // Equal-weight majority must reproduce A_V(n) for odd n.
+  for (const std::size_t n : {3u, 5u, 7u}) {
+    for (const double rho : {0.05, 0.2, 0.5}) {
+      EXPECT_NEAR(threshold_availability(std::vector<std::uint32_t>(n, 1),
+                                         n / 2 + 1, rho),
+                  voting_availability(n, rho), 1e-12)
+          << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+TEST(ThresholdAvailabilityTest, EpsilonWeightMatchesEvenFormula) {
+  // The §4.1 epsilon tie-break in millivotes reproduces A_V(2k).
+  for (const std::size_t n : {4u, 6u, 8u}) {
+    for (const double rho : {0.05, 0.2}) {
+      std::vector<std::uint32_t> weights(n, 1000);
+      weights[0] = 1001;
+      const std::uint64_t total = 1000ull * n + 1;
+      EXPECT_NEAR(threshold_availability(weights, total / 2 + 1, rho),
+                  voting_availability(n, rho), 1e-12)
+          << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+TEST(ThresholdAvailabilityTest, MonotoneInThreshold) {
+  const std::vector<std::uint32_t> weights{3, 1, 4, 1, 5};
+  double previous = 1.1;
+  for (std::uint64_t threshold = 0; threshold <= 14; ++threshold) {
+    const double a = threshold_availability(weights, threshold, 0.2);
+    EXPECT_LE(a, previous + 1e-12);
+    previous = a;
+  }
+}
+
+TEST(VotingQuorumSpecTest, Validity) {
+  VotingQuorumSpec majority{{1, 1, 1}, 2, 2};
+  EXPECT_TRUE(majority.valid());
+  VotingQuorumSpec rowa{{1, 1, 1}, 1, 3};  // read-one / write-all
+  EXPECT_TRUE(rowa.valid());
+  VotingQuorumSpec broken_rw{{1, 1, 1}, 1, 2};  // r + w = total
+  EXPECT_FALSE(broken_rw.valid());
+  VotingQuorumSpec broken_ww{{1, 1, 1, 1}, 3, 2};  // 2w = total
+  EXPECT_FALSE(broken_ww.valid());
+}
+
+TEST(VotingQuorumAvailabilityTest, RowaTradesWritesForReads) {
+  const double rho = 0.1;
+  const VotingQuorumSpec rowa{{1, 1, 1, 1, 1}, 1, 5};
+  const VotingQuorumSpec majority{{1, 1, 1, 1, 1}, 3, 3};
+  const auto a_rowa = voting_quorum_availability(rowa, rho);
+  const auto a_major = voting_quorum_availability(majority, rho);
+  EXPECT_GT(a_rowa.read, a_major.read);
+  EXPECT_LT(a_rowa.write, a_major.write);
+}
+
+TEST(AdmissibleQuorumsTest, PairsSatisfyConstraints) {
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 8u}) {
+    const auto pairs = admissible_equal_quorums(n);
+    EXPECT_FALSE(pairs.empty());
+    for (const auto& [read, write] : pairs) {
+      EXPECT_EQ(read + write, n + 1);  // minimal r/w intersection
+      EXPECT_GT(2 * write, n);         // write/write intersection
+      EXPECT_GE(read, 1u);
+    }
+  }
+}
+
+TEST(OptimalQuorumsTest, ReadOnlyWorkloadPrefersReadOne) {
+  const auto choice = optimal_equal_weight_quorums(5, 0.1, 1.0);
+  EXPECT_EQ(choice.read_sites, 1u);
+  EXPECT_EQ(choice.write_sites, 5u);
+}
+
+TEST(OptimalQuorumsTest, OptimalReadQuorumShrinksWithReadFraction) {
+  std::size_t previous = 0;
+  for (const double fraction : {0.0, 0.5, 0.9, 1.0}) {
+    const auto choice = optimal_equal_weight_quorums(5, 0.1, fraction);
+    if (fraction > 0.0) {
+      EXPECT_LE(choice.read_sites, previous)
+          << "read quorum grew as reads became more common";
+    }
+    previous = choice.read_sites;
+  }
+}
+
+TEST(OptimalQuorumsTest, WriteHeavyWorkloadPrefersSmallWriteQuorum) {
+  const auto choice = optimal_equal_weight_quorums(5, 0.1, 0.01);
+  EXPECT_EQ(choice.write_sites, 3u);  // minimal admissible write quorum
+  EXPECT_EQ(choice.read_sites, 3u);
+}
+
+TEST(OptimalQuorumsTest, MixedEqualsComputedMixture) {
+  const auto choice = optimal_equal_weight_quorums(5, 0.2, 0.7);
+  EXPECT_NEAR(choice.mixed, choice.availability.mixed(0.7), 1e-12);
+}
+
+TEST(OptimalQuorumsTest, BalancedWorkloadUsesMajorityOnOddGroups) {
+  const auto choice = optimal_equal_weight_quorums(7, 0.1, 0.5);
+  EXPECT_EQ(choice.read_sites, 4u);
+  EXPECT_EQ(choice.write_sites, 4u);
+}
+
+}  // namespace
+}  // namespace reldev::analysis

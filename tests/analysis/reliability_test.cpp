@@ -1,0 +1,115 @@
+#include "reldev/analysis/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reldev/sim/failure.hpp"
+#include "reldev/sim/simulator.hpp"
+#include "reldev/util/rng.hpp"
+#include "reldev/util/stats.hpp"
+
+namespace reldev::analysis {
+namespace {
+
+TEST(ReliabilityTest, SingleSiteMttfIsMeanLifetime) {
+  // One copy dies when the site dies: MTTF = 1/lambda.
+  for (const double rho : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(available_copy_mttf(1, rho), 1.0 / rho, 1e-12);
+    EXPECT_NEAR(voting_mttf(1, rho), 1.0 / rho, 1e-12);
+  }
+}
+
+TEST(ReliabilityTest, TwoCopyClosedForm) {
+  // Classic 2-unit parallel system with repair: MTTF = (3l + m) / (2 l^2)
+  // with m = 1.
+  for (const double rho : {0.1, 0.25, 1.0}) {
+    EXPECT_NEAR(available_copy_mttf(2, rho),
+                (3.0 * rho + 1.0) / (2.0 * rho * rho), 1e-9)
+        << "rho=" << rho;
+  }
+}
+
+TEST(ReliabilityTest, MoreCopiesLastLonger) {
+  for (const double rho : {0.1, 0.5}) {
+    double previous = 0.0;
+    for (std::size_t n = 1; n <= 6; ++n) {
+      const double mttf = available_copy_mttf(n, rho);
+      EXPECT_GT(mttf, previous) << "n=" << n;
+      previous = mttf;
+    }
+  }
+}
+
+TEST(ReliabilityTest, LowerRhoLastsLonger) {
+  EXPECT_GT(available_copy_mttf(3, 0.05), available_copy_mttf(3, 0.1));
+  EXPECT_GT(voting_mttf(5, 0.05), voting_mttf(5, 0.1));
+}
+
+TEST(ReliabilityTest, VotingDiesBeforeTotalFailure) {
+  // A voting group is interrupted at quorum loss, strictly earlier than
+  // the all-down event for n >= 2... n=1 they coincide.
+  for (const std::size_t n : {3u, 5u, 7u}) {
+    for (const double rho : {0.1, 0.5}) {
+      EXPECT_LT(voting_mttf(n, rho), available_copy_mttf(n, rho))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(ReliabilityTest, AvailableCopyBeatsVotingWithTwiceTheCopies) {
+  // The reliability counterpart of Theorem 4.1: n AC copies survive longer
+  // than a 2n-1 voting group for rho <= 1.
+  for (const std::size_t n : {2u, 3u, 4u}) {
+    for (const double rho : {0.05, 0.2, 0.5, 1.0}) {
+      EXPECT_GT(available_copy_mttf(n, rho), voting_mttf(2 * n - 1, rho))
+          << "n=" << n << " rho=" << rho;
+    }
+  }
+}
+
+TEST(ReliabilityTest, BirthDeathValidatedAgainstSimulation) {
+  // Measure the time until the first total failure of 3 sites at rho=0.5
+  // and compare with the absorbing-chain answer.
+  const double rho = 0.5;
+  const double expected = available_copy_mttf(3, rho);
+  reldev::Rng rng(31337);
+  reldev::OnlineStats stats;
+  for (int replication = 0; replication < 400; ++replication) {
+    sim::Simulator simulator;
+    struct Watcher : sim::FailureListener {
+      explicit Watcher(sim::FailureProcess*& p) : process(p) {}
+      void on_site_failed(std::size_t, double now) override {
+        if (process->up_count() == 0 && death < 0.0) death = now;
+      }
+      void on_site_repaired(std::size_t, double) override {}
+      sim::FailureProcess*& process;
+      double death = -1.0;
+    };
+    sim::FailureProcess* handle = nullptr;
+    Watcher watcher(handle);
+    sim::FailureProcess process(simulator, rng.split(),
+                                sim::uniform_rates(3, rho), &watcher);
+    handle = &process;
+    process.start();
+    // Run until death (bound the horizon generously).
+    while (watcher.death < 0.0 && simulator.step()) {
+      if (simulator.now() > 1e5) break;
+    }
+    ASSERT_GT(watcher.death, 0.0);
+    stats.add(watcher.death);
+  }
+  // MTTF distributions are roughly exponential: stderr = mean/sqrt(k).
+  const double tolerance = 3.0 * expected / std::sqrt(400.0);
+  EXPECT_NEAR(stats.mean(), expected, tolerance);
+}
+
+TEST(ReliabilityTest, InvalidInputsRejected) {
+  EXPECT_THROW((void)birth_death_mttf(3, 0, 0.1), reldev::ContractViolation);
+  EXPECT_THROW((void)birth_death_mttf(3, 4, 0.1), reldev::ContractViolation);
+  EXPECT_THROW((void)available_copy_mttf(2, 0.0),
+               reldev::ContractViolation);
+}
+
+}  // namespace
+}  // namespace reldev::analysis

@@ -1,0 +1,183 @@
+// Tests pinning the §5 traffic model: participation factors, per-operation
+// costs in both network modes, and the orderings the paper's Figures 11
+// and 12 display.
+#include "reldev/analysis/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace reldev::analysis {
+namespace {
+
+using net::AddressingMode;
+
+TEST(ParticipationTest, VotingClosedForm) {
+  // U_V^n = n (1+rho)^(n-1) / ((1+rho)^n - rho^n).
+  const std::size_t n = 5;
+  const double rho = 0.05;
+  const double expected = 5.0 * std::pow(1.05, 4.0) /
+                          (std::pow(1.05, 5.0) - std::pow(0.05, 5.0));
+  EXPECT_NEAR(voting_participation(n, rho), expected, 1e-12);
+}
+
+TEST(ParticipationTest, FirstOrderExpansion) {
+  // U_V^n = n (1 - rho) + O(rho^2) (§5).
+  const std::size_t n = 6;
+  const double rho = 1e-4;
+  EXPECT_NEAR(voting_participation(n, rho),
+              static_cast<double>(n) * (1.0 - rho), 1e-5);
+}
+
+TEST(ParticipationTest, AllSchemesAgreeToSecondOrder) {
+  // §5: U_V, U_A and U_N agree to within O(rho^2).
+  const std::size_t n = 5;
+  const double rho = 0.01;
+  const double uv = voting_participation(n, rho);
+  const double ua = available_copy_participation(n, rho);
+  const double un = naive_participation(n, rho);
+  EXPECT_NEAR(uv, ua, 5.0 * rho * rho);
+  EXPECT_NEAR(uv, un, 5.0 * rho * rho);
+}
+
+TEST(ParticipationTest, PerfectSitesGiveN) {
+  EXPECT_DOUBLE_EQ(voting_participation(4, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(available_copy_participation(4, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(naive_participation(4, 0.0), 4.0);
+}
+
+TEST(MulticastCostsTest, PaperFormulas) {
+  // §5.1: voting write = 1 + U_V, read = U_V, recovery = 0;
+  // AC write = U_A, read = 0, recovery = U_A + 2;
+  // NAC write = 1, read = 0, recovery = U_N + 2.
+  const std::size_t n = 5;
+  const double rho = 0.05;
+  const double uv = voting_participation(n, rho);
+  const double ua = available_copy_participation(n, rho);
+  const double un = naive_participation(n, rho);
+
+  const auto voting =
+      operation_costs(Scheme::kVoting, AddressingMode::kMulticast, n, rho);
+  EXPECT_NEAR(voting.write, 1.0 + uv, 1e-12);
+  EXPECT_NEAR(voting.read, uv, 1e-12);
+  EXPECT_DOUBLE_EQ(voting.recovery, 0.0);
+
+  const auto ac = operation_costs(Scheme::kAvailableCopy,
+                                  AddressingMode::kMulticast, n, rho);
+  EXPECT_NEAR(ac.write, ua, 1e-12);
+  EXPECT_DOUBLE_EQ(ac.read, 0.0);
+  EXPECT_NEAR(ac.recovery, ua + 2.0, 1e-12);
+
+  const auto naive = operation_costs(Scheme::kNaiveAvailableCopy,
+                                     AddressingMode::kMulticast, n, rho);
+  EXPECT_DOUBLE_EQ(naive.write, 1.0);
+  EXPECT_DOUBLE_EQ(naive.read, 0.0);
+  EXPECT_NEAR(naive.recovery, un + 2.0, 1e-12);
+}
+
+TEST(UniqueCostsTest, PaperFormulas) {
+  // §5.2: voting write = n + 2 U_V - 3, read = n + U_V - 2;
+  // AC write = n + U_A - 2, recovery = n + U_A;
+  // NAC write = n - 1, recovery = n + U_N.
+  const std::size_t n = 6;
+  const double rho = 0.05;
+  const double uv = voting_participation(n, rho);
+  const double ua = available_copy_participation(n, rho);
+  const double un = naive_participation(n, rho);
+  const auto dn = static_cast<double>(n);
+
+  const auto voting =
+      operation_costs(Scheme::kVoting, AddressingMode::kUnique, n, rho);
+  EXPECT_NEAR(voting.write, dn + 2.0 * uv - 3.0, 1e-12);
+  EXPECT_NEAR(voting.read, dn + uv - 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(voting.recovery, 0.0);
+
+  const auto ac =
+      operation_costs(Scheme::kAvailableCopy, AddressingMode::kUnique, n, rho);
+  EXPECT_NEAR(ac.write, dn + ua - 2.0, 1e-12);
+  EXPECT_NEAR(ac.recovery, dn + ua, 1e-12);
+
+  const auto naive = operation_costs(Scheme::kNaiveAvailableCopy,
+                                     AddressingMode::kUnique, n, rho);
+  EXPECT_DOUBLE_EQ(naive.write, dn - 1.0);
+  EXPECT_NEAR(naive.recovery, dn + un, 1e-12);
+}
+
+TEST(WorkloadCostTest, CombinesWriteAndReads) {
+  const double cost = workload_cost(Scheme::kVoting,
+                                    AddressingMode::kMulticast, 5, 0.05, 2.0);
+  const auto costs =
+      operation_costs(Scheme::kVoting, AddressingMode::kMulticast, 5, 0.05);
+  EXPECT_NEAR(cost, costs.write + 2.0 * costs.read, 1e-12);
+}
+
+TEST(Figure11Test, SchemeOrderingUnderMulticast) {
+  // Figure 11 at rho = 0.05: NAC < AC < voting for every read ratio, with
+  // voting's penalty growing with the read ratio.
+  const double rho = 0.05;
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (const double x : {1.0, 2.0, 4.0}) {
+      const double naive = workload_cost(Scheme::kNaiveAvailableCopy,
+                                         AddressingMode::kMulticast, n, rho, x);
+      const double ac = workload_cost(Scheme::kAvailableCopy,
+                                      AddressingMode::kMulticast, n, rho, x);
+      const double voting =
+          workload_cost(Scheme::kVoting, AddressingMode::kMulticast, n, rho, x);
+      EXPECT_LT(naive, ac) << "n=" << n << " x=" << x;
+      EXPECT_LT(ac, voting) << "n=" << n << " x=" << x;
+    }
+  }
+  // Read ratio moves voting but not the available-copy schemes.
+  EXPECT_GT(workload_cost(Scheme::kVoting, AddressingMode::kMulticast, 5, rho,
+                          4.0),
+            workload_cost(Scheme::kVoting, AddressingMode::kMulticast, 5, rho,
+                          1.0));
+  EXPECT_DOUBLE_EQ(
+      workload_cost(Scheme::kAvailableCopy, AddressingMode::kMulticast, 5, rho,
+                    4.0),
+      workload_cost(Scheme::kAvailableCopy, AddressingMode::kMulticast, 5, rho,
+                    1.0));
+}
+
+TEST(Figure12Test, SchemeOrderingUnderUniqueAddressing) {
+  const double rho = 0.05;
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (const double x : {1.0, 2.0, 4.0}) {
+      const double naive = workload_cost(Scheme::kNaiveAvailableCopy,
+                                         AddressingMode::kUnique, n, rho, x);
+      const double ac = workload_cost(Scheme::kAvailableCopy,
+                                      AddressingMode::kUnique, n, rho, x);
+      const double voting =
+          workload_cost(Scheme::kVoting, AddressingMode::kUnique, n, rho, x);
+      EXPECT_LE(naive, ac) << "n=" << n << " x=" << x;
+      EXPECT_LT(ac, voting) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Figure12Test, UniqueAddressingAmplifiesTheGap) {
+  // §5.2: "their relative differences remain intact" and grow in absolute
+  // terms: voting - NAC is larger under unique addressing.
+  const double rho = 0.05;
+  const std::size_t n = 6;
+  const double x = 2.0;
+  const double gap_multicast =
+      workload_cost(Scheme::kVoting, AddressingMode::kMulticast, n, rho, x) -
+      workload_cost(Scheme::kNaiveAvailableCopy, AddressingMode::kMulticast, n,
+                    rho, x);
+  const double gap_unique =
+      workload_cost(Scheme::kVoting, AddressingMode::kUnique, n, rho, x) -
+      workload_cost(Scheme::kNaiveAvailableCopy, AddressingMode::kUnique, n,
+                    rho, x);
+  EXPECT_GT(gap_unique, gap_multicast);
+}
+
+TEST(SchemeNameTest, Names) {
+  EXPECT_STREQ(scheme_name(Scheme::kVoting), "voting");
+  EXPECT_STREQ(scheme_name(Scheme::kAvailableCopy), "available-copy");
+  EXPECT_STREQ(scheme_name(Scheme::kNaiveAvailableCopy),
+               "naive-available-copy");
+}
+
+}  // namespace
+}  // namespace reldev::analysis

@@ -1,0 +1,211 @@
+#include "reldev/core/available_copy_replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/core/group.hpp"
+
+namespace reldev::core {
+namespace {
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  storage::BlockData data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>((seed * 7 + i) & 0xff);
+  }
+  return data;
+}
+
+class AvailableCopyTest : public ::testing::Test {
+ protected:
+  AvailableCopyTest()
+      : group_(SchemeKind::kAvailableCopy, GroupConfig::majority(3, 8, 64)) {}
+
+  AvailableCopyReplica& ac(SiteId site) {
+    return static_cast<AvailableCopyReplica&>(group_.replica(site));
+  }
+
+  ReplicaGroup group_;
+};
+
+TEST_F(AvailableCopyTest, WriteReachesAllAvailableCopies) {
+  const auto data = payload(64, 1);
+  ASSERT_TRUE(group_.write(0, 2, data).is_ok());
+  for (SiteId site = 0; site < 3; ++site) {
+    EXPECT_EQ(group_.store(site).read(2).value().data, data);
+    EXPECT_EQ(group_.store(site).version_of(2).value(), 1u);
+  }
+}
+
+TEST_F(AvailableCopyTest, ReadIsLocalAndFree) {
+  ASSERT_TRUE(group_.write(0, 1, payload(64, 2)).is_ok());
+  group_.meter().reset();
+  ASSERT_TRUE(group_.read(1, 1).is_ok());
+  // §5: read access generates no network traffic under available copy.
+  EXPECT_EQ(group_.meter().total(), 0u);
+}
+
+TEST_F(AvailableCopyTest, SurvivesAllButOneFailure) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  const auto data = payload(64, 3);
+  ASSERT_TRUE(group_.write(2, 4, data).is_ok());
+  EXPECT_EQ(group_.read(2, 4).value(), data);
+  EXPECT_TRUE(group_.group_available());
+}
+
+TEST_F(AvailableCopyTest, WasAvailableTracksAckSet) {
+  EXPECT_EQ(ac(0).was_available(), (SiteSet{0, 1, 2}));
+  group_.crash_site(2);
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 4)).is_ok());
+  EXPECT_EQ(ac(0).was_available(), (SiteSet{0, 1}));
+  // Under the eager-broadcast policy the recipient learns the exact set.
+  EXPECT_EQ(ac(1).was_available(), (SiteSet{0, 1}));
+}
+
+TEST_F(AvailableCopyTest, RepairFromAvailableSite) {
+  group_.crash_site(2);
+  const auto data = payload(64, 5);
+  ASSERT_TRUE(group_.write(0, 3, data).is_ok());
+  ASSERT_TRUE(group_.recover_site(2).is_ok());
+  EXPECT_EQ(group_.replica(2).state(), SiteState::kAvailable);
+  // The missed write arrived through the version-vector exchange.
+  EXPECT_EQ(group_.store(2).read(3).value().data, data);
+  // And the repair source's W now includes the repaired site.
+  EXPECT_TRUE(ac(2).was_available().contains(2));
+}
+
+TEST_F(AvailableCopyTest, ComatoseSiteRejectsClientOps) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  group_.transport().set_up(2, true);
+  // Site 2 was NOT the last to fail in W terms... recover() runs its
+  // protocol; whatever the outcome, a comatose site must refuse reads.
+  // Total failure with everyone's W = {0,1,2}: site 2 alone cannot prove
+  // it has the most recent data.
+  (void)group_.replica(2).recover();
+  if (group_.replica(2).state() == SiteState::kComatose) {
+    EXPECT_EQ(group_.read(2, 0).status().code(),
+              reldev::ErrorCode::kUnavailable);
+    EXPECT_EQ(group_.write(2, 0, payload(64, 1)).code(),
+              reldev::ErrorCode::kUnavailable);
+  }
+}
+
+TEST_F(AvailableCopyTest, TotalFailureWaitsForClosure) {
+  // Make W sets precise first: fail 2, write (W={0,1}), fail 1,
+  // write (W={0}), fail 0. Failure order: 2, 1, 0 — 0 failed last.
+  group_.crash_site(2);
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 6)).is_ok());
+  group_.crash_site(1);
+  const auto final_data = payload(64, 7);
+  ASSERT_TRUE(group_.write(0, 1, final_data).is_ok());
+  group_.crash_site(0);
+
+  // Site 2 returns first: its W is stale ({0,1,2}) so it must wait.
+  group_.transport().set_up(2, true);
+  EXPECT_EQ(group_.replica(2).recover().code(),
+            reldev::ErrorCode::kUnavailable);
+  EXPECT_EQ(group_.replica(2).state(), SiteState::kComatose);
+
+  // Site 1 returns: its W is {0,1}; site 0 is still down, so it waits too.
+  group_.transport().set_up(1, true);
+  EXPECT_EQ(group_.replica(1).recover().code(),
+            reldev::ErrorCode::kUnavailable);
+
+  // Site 0 — the last to fail, W={0} — returns and recovers immediately
+  // without waiting for anyone.
+  ASSERT_TRUE(group_.recover_site(0).is_ok());
+  EXPECT_EQ(group_.replica(0).state(), SiteState::kAvailable);
+  // recover_site retried the comatose sites, which repaired from site 0.
+  EXPECT_EQ(group_.replica(1).state(), SiteState::kAvailable);
+  EXPECT_EQ(group_.replica(2).state(), SiteState::kAvailable);
+  // Everyone holds the final write.
+  for (SiteId site = 0; site < 3; ++site) {
+    EXPECT_EQ(group_.read(site, 1).value(), final_data);
+  }
+}
+
+TEST_F(AvailableCopyTest, LastSiteRecoversAloneFromItsOwnData) {
+  // The paper's key AC advantage: after a total failure the last-failed
+  // site restores service without waiting for the others.
+  group_.crash_site(1);
+  group_.crash_site(2);
+  const auto data = payload(64, 8);
+  ASSERT_TRUE(group_.write(0, 5, data).is_ok());  // W_0 = {0}
+  group_.crash_site(0);
+
+  group_.transport().set_up(0, true);
+  ASSERT_TRUE(group_.replica(0).recover().is_ok());
+  EXPECT_EQ(group_.replica(0).state(), SiteState::kAvailable);
+  EXPECT_EQ(group_.read(0, 5).value(), data);
+  EXPECT_TRUE(group_.group_available());
+}
+
+TEST_F(AvailableCopyTest, NoAcknowledgedWriteIsLostAcrossTotalFailure) {
+  // Sequence of writes with interleaved failures; after full recovery the
+  // surviving state must be the last acknowledged write.
+  const auto final_data = payload(64, 9);
+  ASSERT_TRUE(group_.write(0, 6, payload(64, 1)).is_ok());
+  group_.crash_site(0);
+  ASSERT_TRUE(group_.write(1, 6, payload(64, 2)).is_ok());
+  group_.crash_site(1);
+  ASSERT_TRUE(group_.write(2, 6, final_data).is_ok());
+  group_.crash_site(2);
+
+  // Recover in failure order (worst case for knowledge staleness).
+  group_.transport().set_up(0, true);
+  (void)group_.replica(0).recover();
+  group_.transport().set_up(1, true);
+  (void)group_.replica(1).recover();
+  ASSERT_TRUE(group_.recover_site(2).is_ok());
+  group_.retry_comatose();
+
+  for (SiteId site = 0; site < 3; ++site) {
+    ASSERT_EQ(group_.replica(site).state(), SiteState::kAvailable)
+        << "site " << site;
+    EXPECT_EQ(group_.read(site, 6).value(), final_data) << "site " << site;
+  }
+}
+
+TEST_F(AvailableCopyTest, MulticastWriteTrafficMatchesPaper) {
+  // §5.1: an AC write in an n-site multicast network costs U_A messages —
+  // here all 3 sites are up: 1 broadcast + 2 acks = 3. The eager W
+  // broadcast only fires when the ack set changes; steady state is silent.
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 1)).is_ok());  // W settles
+  group_.meter().reset();
+  group_.meter().set_current_op(net::OpKind::kWrite);
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 2)).is_ok());
+  EXPECT_EQ(group_.meter().count(net::OpKind::kWrite), 3u);
+}
+
+TEST_F(AvailableCopyTest, PiggybackedPolicyAlsoConverges) {
+  ReplicaGroup lazy(SchemeKind::kAvailableCopy, GroupConfig::majority(3, 4, 64),
+                    net::AddressingMode::kMulticast,
+                    WasAvailablePolicy::kPiggybacked);
+  auto& replica0 = static_cast<AvailableCopyReplica&>(lazy.replica(0));
+  lazy.crash_site(2);
+  ASSERT_TRUE(lazy.write(0, 0, payload(64, 1)).is_ok());
+  EXPECT_EQ(replica0.was_available(), (SiteSet{0, 1}));
+  // The recipient's knowledge lags by one write (still the full set).
+  auto& replica1 = static_cast<AvailableCopyReplica&>(lazy.replica(1));
+  EXPECT_EQ(replica1.was_available(), (SiteSet{0, 1, 2}));
+  // After a second write the piggybacked set has caught up.
+  ASSERT_TRUE(lazy.write(0, 0, payload(64, 2)).is_ok());
+  EXPECT_EQ(replica1.was_available(), (SiteSet{0, 1}));
+}
+
+TEST_F(AvailableCopyTest, MetadataPersistsWasAvailable) {
+  group_.crash_site(2);
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 1)).is_ok());
+  // Peek at the persisted metadata of site 0.
+  auto blob = group_.store(0).get_metadata();
+  ASSERT_TRUE(blob.is_ok());
+  auto meta = storage::SiteMetadata::decode(blob.value());
+  ASSERT_TRUE(meta.is_ok());
+  ASSERT_TRUE(meta.value().was_available.has_value());
+  EXPECT_EQ(*meta.value().was_available, (SiteSet{0, 1}));
+}
+
+}  // namespace
+}  // namespace reldev::core

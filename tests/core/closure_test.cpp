@@ -1,0 +1,84 @@
+#include "reldev/core/closure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::core {
+namespace {
+
+TEST(ClosureTest, EmptyKnowledgeReturnsSeed) {
+  EXPECT_EQ(closure(SiteSet{1, 2}, {}), (SiteSet{1, 2}));
+}
+
+TEST(ClosureTest, DirectExpansion) {
+  WasAvailableMap known{{1, SiteSet{1, 3}}};
+  EXPECT_EQ(closure(SiteSet{1}, known), (SiteSet{1, 3}));
+}
+
+TEST(ClosureTest, TransitiveExpansion) {
+  // 0 knows {0,1}; 1 knows {1,2}; 2 knows {2,3}: closure of {0} is all.
+  WasAvailableMap known{
+      {0, SiteSet{0, 1}}, {1, SiteSet{1, 2}}, {2, SiteSet{2, 3}}};
+  EXPECT_EQ(closure(SiteSet{0}, known), (SiteSet{0, 1, 2, 3}));
+}
+
+TEST(ClosureTest, UnknownMembersStayInResult) {
+  WasAvailableMap known{{0, SiteSet{0, 5}}};
+  const SiteSet result = closure(SiteSet{0}, known);
+  EXPECT_TRUE(result.contains(5));  // 5 has no known W but is a member
+}
+
+TEST(ClosureTest, Idempotent) {
+  WasAvailableMap known{{0, SiteSet{0, 1}}, {1, SiteSet{0, 1, 2}},
+                        {2, SiteSet{2}}};
+  const SiteSet once = closure(SiteSet{0}, known);
+  EXPECT_EQ(closure(once, known), once);
+}
+
+TEST(ClosureTest, MonotoneInSeed) {
+  WasAvailableMap known{{0, SiteSet{0, 1}}, {2, SiteSet{2, 3}}};
+  const SiteSet small = closure(SiteSet{0}, known);
+  const SiteSet large = closure(SiteSet{0, 2}, known);
+  for (const SiteId member : small) EXPECT_TRUE(large.contains(member));
+}
+
+TEST(ClosureTest, MonotoneInKnowledge) {
+  const SiteSet seed{0};
+  WasAvailableMap less{{0, SiteSet{0, 1}}};
+  WasAvailableMap more = less;
+  more[1] = SiteSet{1, 2};
+  const SiteSet small = closure(seed, less);
+  const SiteSet large = closure(seed, more);
+  for (const SiteId member : small) EXPECT_TRUE(large.contains(member));
+  EXPECT_TRUE(large.contains(2));
+}
+
+TEST(ClosureRecoveredTest, TrueWhenEveryMemberKnown) {
+  WasAvailableMap known{{0, SiteSet{0, 1}}, {1, SiteSet{0, 1}}};
+  EXPECT_TRUE(closure_recovered(SiteSet{0}, known));
+}
+
+TEST(ClosureRecoveredTest, FalseWhenAMemberIsStillDown) {
+  WasAvailableMap known{{0, SiteSet{0, 1}}};  // 1 has not reported
+  EXPECT_FALSE(closure_recovered(SiteSet{0}, known));
+}
+
+TEST(ClosureRecoveredTest, FalseWhenExpansionRevealsDownSite) {
+  // All of the seed is known, but chasing W sets reaches site 2 which is
+  // not recovered yet.
+  WasAvailableMap known{{0, SiteSet{0, 1}}, {1, SiteSet{1, 2}}};
+  EXPECT_FALSE(closure_recovered(SiteSet{0}, known));
+}
+
+TEST(ClosureRecoveredTest, SelfOnlySeed) {
+  WasAvailableMap known{{3, SiteSet{3}}};
+  EXPECT_TRUE(closure_recovered(SiteSet{3}, known));
+}
+
+TEST(ClosureTest, CyclicSetsTerminate) {
+  WasAvailableMap known{{0, SiteSet{1}}, {1, SiteSet{0}}};
+  EXPECT_EQ(closure(SiteSet{0}, known), (SiteSet{0, 1}));
+  EXPECT_TRUE(closure_recovered(SiteSet{0}, known));
+}
+
+}  // namespace
+}  // namespace reldev::core

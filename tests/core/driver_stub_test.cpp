@@ -1,0 +1,118 @@
+#include "reldev/core/driver_stub.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/core/group.hpp"
+
+namespace reldev::core {
+namespace {
+
+constexpr SiteId kClientId = 100;
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  return storage::BlockData(size, static_cast<std::byte>(seed));
+}
+
+class DriverStubTest : public ::testing::Test {
+ protected:
+  DriverStubTest()
+      : group_(SchemeKind::kAvailableCopy, GroupConfig::majority(3, 8, 64)) {}
+  ReplicaGroup group_;
+};
+
+TEST_F(DriverStubTest, ConnectDiscoversGeometry) {
+  auto stub = DriverStub::connect(group_.transport(), kClientId, {0, 1, 2});
+  ASSERT_TRUE(stub.is_ok());
+  EXPECT_EQ(stub.value().block_count(), 8u);
+  EXPECT_EQ(stub.value().block_size(), 64u);
+}
+
+TEST_F(DriverStubTest, ConnectFailsWhenAllServersDown) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  auto stub = DriverStub::connect(group_.transport(), kClientId, {0, 1, 2});
+  EXPECT_EQ(stub.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(DriverStubTest, ReadWriteRoundTrip) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  const auto data = payload(64, 3);
+  ASSERT_TRUE(stub.write_block(2, data).is_ok());
+  EXPECT_EQ(stub.read_block(2).value(), data);
+  EXPECT_EQ(stub.last_server(), 0u);
+}
+
+TEST_F(DriverStubTest, FailsOverToNextServer) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  const auto data = payload(64, 4);
+  ASSERT_TRUE(stub.write_block(1, data).is_ok());
+  group_.crash_site(0);
+  EXPECT_EQ(stub.read_block(1).value(), data);
+  EXPECT_EQ(stub.last_server(), 1u);  // the stub moved on
+}
+
+TEST_F(DriverStubTest, FailsOverPastComatoseServer) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  // Make site 0 comatose: total failure, then bring 0 back while the
+  // closure is still incomplete.
+  group_.crash_site(1);
+  group_.crash_site(2);
+  const auto data = payload(64, 5);
+  ASSERT_TRUE(stub.write_block(3, data).is_ok());  // via site 0; W_0 = {0}
+  group_.crash_site(0);
+  // Bring back 1: it cannot recover (0 failed last) — stays comatose.
+  group_.transport().set_up(1, true);
+  (void)group_.replica(1).recover();
+  ASSERT_EQ(group_.replica(1).state(), SiteState::kComatose);
+  // 0 returns and recovers alone; a client pointed first at the comatose
+  // site must skip it and reach an available one.
+  ASSERT_TRUE(group_.recover_site(0).is_ok());
+  DriverStub stub2(group_.transport(), kClientId, {1, 0}, 8, 64);
+  EXPECT_EQ(stub2.read_block(3).value(), data);
+}
+
+TEST_F(DriverStubTest, ReportsUnavailableWhenNoCopyServes) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  EXPECT_EQ(stub.read_block(0).status().code(),
+            reldev::ErrorCode::kUnavailable);
+  EXPECT_EQ(stub.write_block(0, payload(64, 1)).code(),
+            reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(DriverStubTest, WrongPayloadSizeRejectedClientSide) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0}).value();
+  EXPECT_EQ(stub.write_block(0, payload(63, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(DriverStubTest, ServerSideErrorsPropagate) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0}).value();
+  EXPECT_EQ(stub.read_block(999).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(DriverStubTest, WorksAgainstVotingGroupToo) {
+  ReplicaGroup voting(SchemeKind::kVoting, GroupConfig::majority(5, 4, 32));
+  auto stub =
+      DriverStub::connect(voting.transport(), kClientId, {0, 1}).value();
+  const auto data = payload(32, 6);
+  ASSERT_TRUE(stub.write_block(0, data).is_ok());
+  voting.crash_site(0);
+  voting.crash_site(1);
+  // Client must fail over: servers 0/1 are dead; reconfigure with all.
+  DriverStub wide(voting.transport(), kClientId, {0, 1, 2, 3, 4}, 4, 32);
+  EXPECT_EQ(wide.read_block(0).value(), data);
+}
+
+}  // namespace
+}  // namespace reldev::core

@@ -1,0 +1,126 @@
+#include "reldev/core/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::core {
+namespace {
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  return storage::BlockData(size, static_cast<std::byte>(seed));
+}
+
+TEST(ReplicaGroupTest, ConstructsAllSchemes) {
+  for (const auto scheme :
+       {SchemeKind::kVoting, SchemeKind::kAvailableCopy,
+        SchemeKind::kNaiveAvailableCopy}) {
+    ReplicaGroup group(scheme, GroupConfig::majority(3, 4, 64));
+    EXPECT_EQ(group.size(), 3u);
+    EXPECT_EQ(group.scheme(), scheme);
+    EXPECT_TRUE(group.group_available());
+    for (SiteId site = 0; site < 3; ++site) {
+      EXPECT_EQ(group.replica(site).state(), SiteState::kAvailable);
+      EXPECT_TRUE(group.transport().is_up(site));
+    }
+  }
+}
+
+TEST(ReplicaGroupTest, SchemeNames) {
+  EXPECT_STREQ(scheme_kind_name(SchemeKind::kVoting), "voting");
+  EXPECT_STREQ(scheme_kind_name(SchemeKind::kAvailableCopy),
+               "available-copy");
+  EXPECT_STREQ(scheme_kind_name(SchemeKind::kNaiveAvailableCopy),
+               "naive-available-copy");
+}
+
+TEST(ReplicaGroupTest, CrashMarksSiteDownAndFailed) {
+  ReplicaGroup group(SchemeKind::kVoting, GroupConfig::majority(3, 4, 64));
+  group.crash_site(1);
+  EXPECT_EQ(group.replica(1).state(), SiteState::kFailed);
+  EXPECT_FALSE(group.transport().is_up(1));
+  EXPECT_EQ(group.up(), (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(group.states()[1], SiteState::kFailed);
+}
+
+TEST(ReplicaGroupTest, VotingAvailabilityRule) {
+  ReplicaGroup group(SchemeKind::kVoting, GroupConfig::majority(5, 4, 64));
+  group.crash_site(0);
+  group.crash_site(1);
+  EXPECT_TRUE(group.group_available());  // 3 of 5 up
+  group.crash_site(2);
+  EXPECT_FALSE(group.group_available());  // 2 of 5 up
+  ASSERT_TRUE(group.recover_site(2).is_ok());
+  EXPECT_TRUE(group.group_available());
+}
+
+TEST(ReplicaGroupTest, AvailableCopyAvailabilityRule) {
+  ReplicaGroup group(SchemeKind::kAvailableCopy,
+                     GroupConfig::majority(3, 4, 64));
+  group.crash_site(0);
+  group.crash_site(1);
+  EXPECT_TRUE(group.group_available());  // one available copy is enough
+  group.crash_site(2);
+  EXPECT_FALSE(group.group_available());
+}
+
+TEST(ReplicaGroupTest, RetryComatoseMakesProgressInAnyOrder) {
+  ReplicaGroup group(SchemeKind::kNaiveAvailableCopy,
+                     GroupConfig::majority(3, 4, 64));
+  group.crash_site(0);
+  group.crash_site(1);
+  group.crash_site(2);
+  // Each site reboots and runs its recovery procedure, as a restarted
+  // server process would. The first two must wait (naive scheme: all
+  // sites); the last one's recover_site retries the fixpoint and the
+  // whole group converges to available.
+  group.transport().set_up(0, true);
+  EXPECT_EQ(group.replica(0).recover().code(),
+            reldev::ErrorCode::kUnavailable);
+  group.transport().set_up(1, true);
+  EXPECT_EQ(group.replica(1).recover().code(),
+            reldev::ErrorCode::kUnavailable);
+  ASSERT_TRUE(group.recover_site(2).is_ok());
+  for (SiteId site = 0; site < 3; ++site) {
+    EXPECT_EQ(group.replica(site).state(), SiteState::kAvailable);
+  }
+}
+
+TEST(ReplicaGroupTest, MeterSharedAcrossSites) {
+  ReplicaGroup group(SchemeKind::kVoting, GroupConfig::majority(3, 4, 64));
+  group.meter().reset();
+  ASSERT_TRUE(group.write(0, 0, payload(64, 1)).is_ok());
+  ASSERT_TRUE(group.write(1, 0, payload(64, 2)).is_ok());
+  EXPECT_GT(group.meter().total(), 0u);
+}
+
+TEST(ReplicaGroupTest, OutOfRangeSiteIsContractViolation) {
+  ReplicaGroup group(SchemeKind::kVoting, GroupConfig::majority(2, 4, 64));
+  EXPECT_THROW((void)group.replica(2), reldev::ContractViolation);
+  EXPECT_THROW((void)group.store(9), reldev::ContractViolation);
+}
+
+TEST(ReplicaDeviceTest, AdaptsReplicaToBlockDevice) {
+  ReplicaGroup group(SchemeKind::kAvailableCopy,
+                     GroupConfig::majority(3, 8, 64));
+  ReplicaDevice device(group.replica(0));
+  EXPECT_EQ(device.block_count(), 8u);
+  EXPECT_EQ(device.block_size(), 64u);
+  const auto data = payload(64, 5);
+  ASSERT_TRUE(device.write_block(3, data).is_ok());
+  EXPECT_EQ(device.read_block(3).value(), data);
+  // And the write replicated.
+  EXPECT_EQ(group.store(2).read(3).value().data, data);
+}
+
+TEST(LocalBlockDeviceTest, BaselineDeviceWorks) {
+  storage::MemBlockStore store(4, 32);
+  LocalBlockDevice device(store);
+  const auto data = payload(32, 9);
+  ASSERT_TRUE(device.write_block(1, data).is_ok());
+  EXPECT_EQ(device.read_block(1).value(), data);
+  EXPECT_EQ(store.version_of(1).value(), 1u);  // versions advance locally
+  ASSERT_TRUE(device.write_block(1, data).is_ok());
+  EXPECT_EQ(store.version_of(1).value(), 2u);
+}
+
+}  // namespace
+}  // namespace reldev::core

@@ -1,0 +1,192 @@
+// Randomized property tests: across arbitrary fail-stop schedules (no
+// partitions — the available-copy assumption), every scheme must satisfy
+//   P1  a successful read returns the most recently acknowledged write,
+//   P2  block versions never regress on any store,
+//   P3  after every site recovers, the whole group converges to the last
+//       acknowledged state.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "reldev/core/group.hpp"
+#include "reldev/util/rng.hpp"
+
+namespace reldev::core {
+namespace {
+
+constexpr std::size_t kBlocks = 4;
+constexpr std::size_t kBlockSize = 32;
+
+storage::BlockData stamp(std::uint64_t value) {
+  storage::BlockData data(kBlockSize, std::byte{0});
+  for (std::size_t i = 0; i < 8; ++i) {
+    data[i] = static_cast<std::byte>((value >> (8 * i)) & 0xff);
+  }
+  return data;
+}
+
+class SchemeProperties
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, std::uint64_t>> {
+};
+
+TEST_P(SchemeProperties, RandomScheduleKeepsConsistency) {
+  const auto [scheme, seed] = GetParam();
+  reldev::Rng rng(seed);
+  ReplicaGroup group(scheme, GroupConfig::majority(4, kBlocks, kBlockSize));
+  const std::size_t n = group.size();
+
+  // The reference: last acknowledged payload stamp per block.
+  std::map<storage::BlockId, std::uint64_t> model;
+  std::uint64_t next_stamp = 1;
+
+  // Previous version vector per site, for the no-regression property.
+  std::vector<storage::VersionVector> last_versions;
+  for (SiteId s = 0; s < n; ++s) {
+    last_versions.push_back(group.store(s).version_vector());
+  }
+
+  const auto check_versions_monotone = [&] {
+    for (SiteId s = 0; s < n; ++s) {
+      const auto current = group.store(s).version_vector();
+      ASSERT_TRUE(current.dominates(last_versions[s]))
+          << "version regression on site " << s;
+      last_versions[s] = current;
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const auto action = rng.uniform_u64(0, 9);
+    if (action < 4) {  // write
+      const SiteId via = static_cast<SiteId>(rng.uniform_u64(0, n - 1));
+      const storage::BlockId block = rng.uniform_u64(0, kBlocks - 1);
+      if (!group.transport().is_up(via)) continue;
+      const std::uint64_t value = next_stamp++;
+      if (group.write(via, block, stamp(value)).is_ok()) {
+        model[block] = value;
+      }
+    } else if (action < 8) {  // read (P1)
+      const SiteId via = static_cast<SiteId>(rng.uniform_u64(0, n - 1));
+      const storage::BlockId block = rng.uniform_u64(0, kBlocks - 1);
+      if (!group.transport().is_up(via)) continue;
+      auto read = group.read(via, block);
+      if (read.is_ok()) {
+        const auto expected =
+            model.count(block) != 0 ? stamp(model.at(block)) : stamp(0);
+        // Blocks never written read back as zeroes.
+        const auto want = model.count(block) != 0
+                              ? expected
+                              : storage::BlockData(kBlockSize, std::byte{0});
+        ASSERT_EQ(read.value(), want)
+            << scheme_kind_name(scheme) << " seed " << seed << " step "
+            << step << ": stale read of block " << block;
+      }
+    } else if (action == 8) {  // crash someone who is up
+      std::vector<SiteId> up;
+      for (SiteId s = 0; s < n; ++s) {
+        if (group.transport().is_up(s)) up.push_back(s);
+      }
+      if (!up.empty()) {
+        group.crash_site(
+            up[static_cast<std::size_t>(rng.uniform_u64(0, up.size() - 1))]);
+      }
+    } else {  // recover someone who is down
+      std::vector<SiteId> down;
+      for (SiteId s = 0; s < n; ++s) {
+        if (!group.transport().is_up(s)) down.push_back(s);
+      }
+      if (!down.empty()) {
+        (void)group.recover_site(down[static_cast<std::size_t>(
+            rng.uniform_u64(0, down.size() - 1))]);
+      }
+    }
+    check_versions_monotone();
+  }
+
+  // P3: bring everyone back; the group must converge on the model.
+  for (SiteId s = 0; s < n; ++s) {
+    if (!group.transport().is_up(s)) (void)group.recover_site(s);
+  }
+  group.retry_comatose();
+  ASSERT_TRUE(group.group_available());
+
+  for (storage::BlockId block = 0; block < kBlocks; ++block) {
+    const auto want = model.count(block) != 0
+                          ? stamp(model.at(block))
+                          : storage::BlockData(kBlockSize, std::byte{0});
+    // Read through every site that will serve.
+    for (SiteId s = 0; s < n; ++s) {
+      auto read = group.read(s, block);
+      if (read.is_ok()) {
+        EXPECT_EQ(read.value(), want)
+            << scheme_kind_name(scheme) << " site " << s << " block "
+            << block;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesManySeeds, SchemeProperties,
+    ::testing::Combine(::testing::Values(SchemeKind::kVoting,
+                                         SchemeKind::kAvailableCopy,
+                                         SchemeKind::kNaiveAvailableCopy),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12)));
+
+// The same schedule property with the piggybacked was-available policy:
+// staleness in W may delay recovery but must never corrupt data.
+class PiggybackProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PiggybackProperties, LaggingKnowledgeIsStillSafe) {
+  reldev::Rng rng(GetParam());
+  ReplicaGroup group(SchemeKind::kAvailableCopy,
+                     GroupConfig::majority(3, kBlocks, kBlockSize),
+                     net::AddressingMode::kMulticast,
+                     WasAvailablePolicy::kPiggybacked);
+  std::map<storage::BlockId, std::uint64_t> model;
+  std::uint64_t next_stamp = 1;
+
+  for (int step = 0; step < 300; ++step) {
+    const auto action = rng.uniform_u64(0, 9);
+    if (action < 5) {
+      const SiteId via = static_cast<SiteId>(rng.uniform_u64(0, 2));
+      const storage::BlockId block = rng.uniform_u64(0, kBlocks - 1);
+      if (!group.transport().is_up(via)) continue;
+      const std::uint64_t value = next_stamp++;
+      if (group.write(via, block, stamp(value)).is_ok()) model[block] = value;
+    } else if (action < 8) {
+      const SiteId via = static_cast<SiteId>(rng.uniform_u64(0, 2));
+      const storage::BlockId block = rng.uniform_u64(0, kBlocks - 1);
+      if (!group.transport().is_up(via)) continue;
+      auto read = group.read(via, block);
+      if (read.is_ok() && model.count(block) != 0) {
+        ASSERT_EQ(read.value(), stamp(model.at(block)))
+            << "seed " << GetParam() << " step " << step;
+      }
+    } else if (action == 8) {
+      const SiteId victim = static_cast<SiteId>(rng.uniform_u64(0, 2));
+      if (group.transport().is_up(victim)) group.crash_site(victim);
+    } else {
+      const SiteId lucky = static_cast<SiteId>(rng.uniform_u64(0, 2));
+      if (!group.transport().is_up(lucky)) (void)group.recover_site(lucky);
+    }
+  }
+  for (SiteId s = 0; s < 3; ++s) {
+    if (!group.transport().is_up(s)) (void)group.recover_site(s);
+  }
+  group.retry_comatose();
+  for (const auto& [block, value] : model) {
+    for (SiteId s = 0; s < 3; ++s) {
+      auto read = group.read(s, block);
+      if (read.is_ok()) {
+        EXPECT_EQ(read.value(), stamp(value));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, PiggybackProperties,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+}  // namespace
+}  // namespace reldev::core

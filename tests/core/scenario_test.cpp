@@ -1,0 +1,171 @@
+#include "reldev/core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::core {
+namespace {
+
+TEST(ScenarioParseTest, ConfigAndStepsParse) {
+  auto scenario = Scenario::parse(R"(
+# a comment
+sites 4
+blocks 16
+scheme voting
+crash 2
+write 0 3 hello
+read 1 3 hello
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  EXPECT_EQ(scenario.value().sites, 4u);
+  EXPECT_EQ(scenario.value().blocks, 16u);
+  EXPECT_EQ(scenario.value().scheme, SchemeKind::kVoting);
+  ASSERT_EQ(scenario.value().steps.size(), 3u);
+  EXPECT_EQ(scenario.value().steps[0].command, "crash");
+  EXPECT_EQ(scenario.value().steps[1].args[2], "hello");
+}
+
+TEST(ScenarioParseTest, UnknownCommandRejectedWithLineNumber) {
+  auto scenario = Scenario::parse("sites 3\nexplode 1\n");
+  ASSERT_FALSE(scenario.is_ok());
+  EXPECT_NE(scenario.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, ArityChecked) {
+  EXPECT_FALSE(Scenario::parse("crash\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("write 0 1\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("heal 3\n").is_ok());
+}
+
+TEST(ScenarioParseTest, ConfigAfterActionsRejected) {
+  auto scenario = Scenario::parse("crash 0\nsites 5\n");
+  ASSERT_FALSE(scenario.is_ok());
+  EXPECT_NE(scenario.status().message().find("precede"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, BoundsChecked) {
+  EXPECT_FALSE(Scenario::parse("sites 0\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("sites 99\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("blocks 0\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("scheme magic\n").is_ok());
+}
+
+TEST(ScenarioRunTest, SimpleWriteReadScript) {
+  auto scenario = Scenario::parse(R"(
+scheme naive-available-copy
+write 0 0 alpha
+read 2 0 alpha
+crash 1
+write 0 1 beta
+read 2 1 beta
+recover 1
+read 1 1 beta
+expect-available true
+)");
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  EXPECT_EQ(outcome.value().steps_executed, 8u);
+  EXPECT_EQ(outcome.value().transcript.size(), 8u);
+}
+
+TEST(ScenarioRunTest, AcTotalFailureWorkedExample) {
+  // The §4.4 story as a script: fail 2, 1, 0 with writes in between; site
+  // 2 (failed first) cannot restore service, site 0 (failed last) can.
+  auto scenario = Scenario::parse(R"(
+scheme available-copy
+crash 2
+write 0 0 v1
+crash 1
+write 0 0 v2
+crash 0
+expect-available false
+comeback 2
+expect-state 2 comatose
+comeback 1
+expect-state 1 comatose
+expect-available false
+recover 0
+expect-state 0 available
+expect-state 1 available
+expect-state 2 available
+read 2 0 v2
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, NaiveMustWaitForAllSites) {
+  auto scenario = Scenario::parse(R"(
+scheme naive-available-copy
+crash 2
+write 0 0 v1
+crash 1
+write 0 0 v2
+crash 0
+comeback 0
+expect-state 0 comatose
+comeback 1
+expect-state 1 comatose
+recover 2
+expect-state 0 available
+read 0 0 v2
+)");
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, VotingPartitionScript) {
+  auto scenario = Scenario::parse(R"(
+scheme voting
+sites 5
+write 0 0 agreed
+partition 0 1
+partition 1 1
+fail-write 0 0 minority
+write 2 0 majority
+heal
+read 0 0 majority
+)");
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, ViolatedExpectationReportsLine) {
+  auto scenario = Scenario::parse("write 0 0 actual\nread 0 0 different\n");
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kConflict);
+  EXPECT_NE(outcome.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(outcome.status().message().find("'actual'"), std::string::npos);
+}
+
+TEST(ScenarioRunTest, FailedRecoveryExpectationReportsError) {
+  // Under NAC, the first site back after a total failure cannot recover;
+  // demanding `recover` (not `comeback`) must fail the scenario.
+  auto scenario = Scenario::parse(R"(
+scheme naive-available-copy
+crash 0
+crash 1
+crash 2
+recover 0
+)");
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kConflict);
+}
+
+TEST(ScenarioRunTest, OutOfRangeReferencesRejectedAtRunTime) {
+  auto scenario = Scenario::parse("crash 7\n");  // sites defaults to 3
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace reldev::core

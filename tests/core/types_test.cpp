@@ -1,0 +1,115 @@
+#include "reldev/core/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::core {
+namespace {
+
+TEST(GroupConfigTest, MajorityOddGroup) {
+  const auto config = GroupConfig::majority(5, 100);
+  EXPECT_EQ(config.site_count(), 5u);
+  EXPECT_EQ(config.total_weight(), 5000u);
+  EXPECT_EQ(config.read_quorum_millivotes, 2501u);
+  EXPECT_EQ(config.write_quorum_millivotes, 2501u);
+  // 3 of 5 sites reach the quorum, 2 do not.
+  EXPECT_GE(3u * 1000u, config.read_quorum_millivotes - 1);
+  EXPECT_LT(2u * 1000u, config.read_quorum_millivotes);
+}
+
+TEST(GroupConfigTest, MajorityEvenGroupHasEpsilon) {
+  // §4.1: even groups get one perturbed weight so draws resolve.
+  const auto config = GroupConfig::majority(6, 100);
+  EXPECT_EQ(config.weight_of(0), 1001u);
+  EXPECT_EQ(config.weight_of(1), 1000u);
+  EXPECT_EQ(config.total_weight(), 6001u);
+  // Half the sites including the heavy one: quorum; without it: no quorum.
+  const std::uint64_t with_heavy = 1001 + 1000 + 1000;
+  const std::uint64_t without_heavy = 1000 * 3;
+  EXPECT_GE(with_heavy, config.read_quorum_millivotes);
+  EXPECT_LT(without_heavy, config.read_quorum_millivotes);
+}
+
+TEST(GroupConfigTest, SingleSiteGroupIsValid) {
+  const auto config = GroupConfig::majority(1, 10);
+  EXPECT_EQ(config.read_quorum_millivotes, 501u);
+  config.validate();
+}
+
+TEST(GroupConfigTest, AllSites) {
+  const auto config = GroupConfig::majority(3, 10);
+  EXPECT_EQ(config.all_sites(), (SiteSet{0, 1, 2}));
+}
+
+TEST(GroupConfigTest, QuorumIntersectionInvariantEnforced) {
+  GroupConfig config = GroupConfig::majority(3, 10);
+  // r + w must exceed the total: a read quorum of 1 vote with a majority
+  // write quorum violates nothing... but r+w = 1000+1501 < 3001 does.
+  config.read_quorum_millivotes = 1000;
+  EXPECT_THROW(config.validate(), reldev::ContractViolation);
+}
+
+TEST(GroupConfigTest, WriteWriteIntersectionEnforced) {
+  GroupConfig config = GroupConfig::majority(3, 10);
+  config.write_quorum_millivotes = 1500;  // 2w = 3000 <= 3000
+  config.read_quorum_millivotes = 3000;   // keep r+w > total satisfied
+  EXPECT_THROW(config.validate(), reldev::ContractViolation);
+}
+
+TEST(GroupConfigTest, CustomAsymmetricQuorumsAllowed) {
+  // Read-one/write-all (within voting's constraints): r=1 vote more than
+  // total-w. E.g. total=3000, w=3000, r=1 -> r+w=3001 > 3000, 2w > total.
+  GroupConfig config;
+  config.block_count = 4;
+  config.block_size = 64;
+  config.weights_millivotes = {1000, 1000, 1000};
+  config.write_quorum_millivotes = 3000;
+  config.read_quorum_millivotes = 1;
+  config.validate();
+}
+
+TEST(GroupConfigTest, EmptyGroupRejected) {
+  GroupConfig config;
+  config.block_count = 1;
+  config.block_size = 64;
+  EXPECT_THROW(config.validate(), reldev::ContractViolation);
+}
+
+TEST(GroupConfigTest, WeightOfOutOfRange) {
+  const auto config = GroupConfig::majority(2, 10);
+  EXPECT_THROW((void)config.weight_of(2), reldev::ContractViolation);
+}
+
+// Property sweep: for every group size, any majority-by-weight subset
+// intersects any other — the foundation of voting's correctness.
+class QuorumIntersection : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuorumIntersection, AnyTwoQuorumsShareASite) {
+  const std::size_t n = GetParam();
+  const auto config = GroupConfig::majority(n, 10);
+  const std::uint64_t total = config.total_weight();
+
+  // Enumerate all subsets (n <= 10 keeps this cheap) reaching the quorum;
+  // verify every pair of write quorums intersects, and every read/write
+  // pair intersects.
+  std::vector<std::uint32_t> quorums;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::uint64_t weight = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if ((mask >> s) & 1u) weight += config.weight_of(static_cast<SiteId>(s));
+    }
+    if (weight >= config.write_quorum_millivotes) quorums.push_back(mask);
+    EXPECT_EQ(weight >= config.write_quorum_millivotes, 2 * weight > total)
+        << "quorum rule must be exactly 'strict majority' for mask " << mask;
+  }
+  for (const auto a : quorums) {
+    for (const auto b : quorums) {
+      EXPECT_NE(a & b, 0u) << "disjoint quorums " << a << " and " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, QuorumIntersection,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace reldev::core

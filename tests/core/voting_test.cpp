@@ -1,0 +1,186 @@
+#include "reldev/core/voting_replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/core/group.hpp"
+
+namespace reldev::core {
+namespace {
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  storage::BlockData data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>((seed + i) & 0xff);
+  }
+  return data;
+}
+
+class VotingTest : public ::testing::Test {
+ protected:
+  VotingTest()
+      : group_(SchemeKind::kVoting, GroupConfig::majority(5, 8, 64)) {}
+  ReplicaGroup group_;
+};
+
+TEST_F(VotingTest, WriteThenReadThroughAnySite) {
+  const auto data = payload(64, 1);
+  ASSERT_TRUE(group_.write(0, 3, data).is_ok());
+  for (SiteId site = 0; site < 5; ++site) {
+    auto read = group_.read(site, 3);
+    ASSERT_TRUE(read.is_ok()) << "site " << site;
+    EXPECT_EQ(read.value(), data);
+  }
+}
+
+TEST_F(VotingTest, WritePropagatesToQuorumSites) {
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 2)).is_ok());
+  // All five sites were reachable, so all hold version 1.
+  for (SiteId site = 0; site < 5; ++site) {
+    EXPECT_EQ(group_.store(site).version_of(0).value(), 1u);
+  }
+}
+
+TEST_F(VotingTest, VersionsIncrementPerWrite) {
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(group_.write(0, 0, payload(64, static_cast<std::uint8_t>(i)))
+                    .is_ok());
+    EXPECT_EQ(group_.store(0).version_of(0).value(),
+              static_cast<storage::VersionNumber>(i));
+  }
+}
+
+TEST_F(VotingTest, MinorityCannotWrite) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  const auto status = group_.write(3, 0, payload(64, 3));
+  EXPECT_EQ(status.code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(VotingTest, MinorityCannotRead) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  EXPECT_EQ(group_.read(4, 0).status().code(),
+            reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(VotingTest, BareMajorityServes) {
+  group_.crash_site(3);
+  group_.crash_site(4);
+  const auto data = payload(64, 4);
+  ASSERT_TRUE(group_.write(0, 2, data).is_ok());
+  EXPECT_EQ(group_.read(1, 2).value(), data);
+}
+
+TEST_F(VotingTest, StaleSiteRefreshesOnRead) {
+  // Site 4 misses a write, then the read through it must fetch the newer
+  // version from the quorum (lazy per-block repair, Figure 3).
+  group_.crash_site(4);
+  const auto data = payload(64, 5);
+  ASSERT_TRUE(group_.write(0, 1, data).is_ok());
+  ASSERT_TRUE(group_.recover_site(4).is_ok());
+  EXPECT_EQ(group_.store(4).version_of(1).value(), 0u);  // still stale
+  auto read = group_.read(4, 1);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value(), data);
+  // The lazy repair wrote the block locally.
+  EXPECT_EQ(group_.store(4).version_of(1).value(), 1u);
+}
+
+TEST_F(VotingTest, StaleSiteRepairedOnWriteBySideEffect) {
+  group_.crash_site(4);
+  ASSERT_TRUE(group_.write(0, 1, payload(64, 6)).is_ok());
+  ASSERT_TRUE(group_.recover_site(4).is_ok());
+  // A write through another site pushes the new version to all reachable
+  // sites, including the stale one (Figure 4 repairs en passant).
+  const auto data = payload(64, 7);
+  ASSERT_TRUE(group_.write(0, 1, data).is_ok());
+  EXPECT_EQ(group_.store(4).version_of(1).value(), 2u);
+  EXPECT_EQ(group_.store(4).read(1).value().data, data);
+}
+
+TEST_F(VotingTest, RecoveryIsImmediateAndFree) {
+  group_.crash_site(2);
+  EXPECT_EQ(group_.replica(2).state(), SiteState::kFailed);
+  group_.meter().reset();
+  ASSERT_TRUE(group_.recover_site(2).is_ok());
+  EXPECT_EQ(group_.replica(2).state(), SiteState::kAvailable);
+  // §5: block-level voting incurs no traffic upon recovery.
+  EXPECT_EQ(group_.meter().total(), 0u);
+}
+
+TEST_F(VotingTest, OnlyLatestVersionWinsAfterPartialWrites) {
+  // Write v1 with all sites up, v2 with sites {0,1,2}; a read through a
+  // stale site must return v2.
+  const auto v1 = payload(64, 8);
+  const auto v2 = payload(64, 9);
+  ASSERT_TRUE(group_.write(0, 5, v1).is_ok());
+  group_.crash_site(3);
+  group_.crash_site(4);
+  ASSERT_TRUE(group_.write(0, 5, v2).is_ok());
+  ASSERT_TRUE(group_.recover_site(3).is_ok());
+  ASSERT_TRUE(group_.recover_site(4).is_ok());
+  EXPECT_EQ(group_.read(4, 5).value(), v2);
+}
+
+TEST_F(VotingTest, EvenGroupTieBreaks) {
+  // Six sites; exactly the half containing the heavy site 0 is up.
+  ReplicaGroup even(SchemeKind::kVoting, GroupConfig::majority(6, 4, 64));
+  even.crash_site(3);
+  even.crash_site(4);
+  even.crash_site(5);
+  EXPECT_TRUE(even.write(0, 0, payload(64, 1)).is_ok());
+  // Now the half without the heavy site: no quorum.
+  ReplicaGroup even2(SchemeKind::kVoting, GroupConfig::majority(6, 4, 64));
+  even2.crash_site(0);
+  even2.crash_site(1);
+  even2.crash_site(2);
+  EXPECT_EQ(even2.write(3, 0, payload(64, 1)).code(),
+            reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(VotingTest, InvalidArgumentsRejected) {
+  EXPECT_EQ(group_.write(0, 99, payload(64, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(group_.write(0, 0, payload(63, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(group_.read(0, 99).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(VotingTest, MulticastWriteTrafficMatchesPaper) {
+  // §5.1 with every site up: a write costs 1 (vote query) + (n-1) replies
+  // + 1 (block update broadcast) = n + 1 transmissions.
+  group_.meter().reset();
+  group_.meter().set_current_op(net::OpKind::kWrite);
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 1)).is_ok());
+  EXPECT_EQ(group_.meter().count(net::OpKind::kWrite), 6u);
+}
+
+TEST_F(VotingTest, MulticastReadTrafficMatchesPaper) {
+  // A read with the local copy current: 1 query + (n-1) replies = n.
+  ASSERT_TRUE(group_.write(0, 0, payload(64, 1)).is_ok());
+  group_.meter().reset();
+  group_.meter().set_current_op(net::OpKind::kRead);
+  ASSERT_TRUE(group_.read(0, 0).is_ok());
+  EXPECT_EQ(group_.meter().count(net::OpKind::kRead), 5u);
+}
+
+TEST_F(VotingTest, PartitionedMinoritiesStayConsistent) {
+  // Voting's selling point: under a partition, at most one side can form
+  // a quorum, so no split-brain writes occur.
+  const auto before = payload(64, 1);
+  ASSERT_TRUE(group_.write(0, 0, before).is_ok());
+  group_.transport().set_partition_group(0, 1);
+  group_.transport().set_partition_group(1, 1);
+  // Partition {0,1} vs {2,3,4}: only the majority side can write.
+  EXPECT_EQ(group_.write(0, 0, payload(64, 2)).code(),
+            reldev::ErrorCode::kUnavailable);
+  ASSERT_TRUE(group_.write(2, 0, payload(64, 3)).is_ok());
+  group_.transport().clear_partitions();
+  EXPECT_EQ(group_.read(0, 0).value(), payload(64, 3));
+}
+
+}  // namespace
+}  // namespace reldev::core

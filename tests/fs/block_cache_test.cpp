@@ -1,0 +1,138 @@
+#include "reldev/fs/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/core/group.hpp"
+#include "reldev/fs/minifs.hpp"
+#include "reldev/storage/mem_block_store.hpp"
+
+namespace reldev::fs {
+namespace {
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  return storage::BlockData(size, static_cast<std::byte>(seed));
+}
+
+class BlockCacheTest : public ::testing::Test {
+ protected:
+  BlockCacheTest() : store_(16, 64), device_(store_), cache_(device_, 4) {}
+
+  storage::MemBlockStore store_;
+  core::LocalBlockDevice device_;
+  BlockCache cache_;
+};
+
+TEST_F(BlockCacheTest, GeometryPassesThrough) {
+  EXPECT_EQ(cache_.block_count(), 16u);
+  EXPECT_EQ(cache_.block_size(), 64u);
+  EXPECT_EQ(cache_.capacity(), 4u);
+}
+
+TEST_F(BlockCacheTest, FirstReadMissesSecondHits) {
+  ASSERT_TRUE(cache_.read_block(0).is_ok());
+  EXPECT_EQ(cache_.stats().misses, 1u);
+  EXPECT_EQ(cache_.stats().hits, 0u);
+  ASSERT_TRUE(cache_.read_block(0).is_ok());
+  EXPECT_EQ(cache_.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache_.stats().hit_rate(), 0.5);
+}
+
+TEST_F(BlockCacheTest, WriteThroughUpdatesDeviceAndCache) {
+  const auto data = payload(64, 7);
+  ASSERT_TRUE(cache_.write_block(3, data).is_ok());
+  // The device has the data...
+  EXPECT_EQ(device_.read_block(3).value(), data);
+  // ...and the subsequent cache read is a hit.
+  ASSERT_TRUE(cache_.read_block(3).is_ok());
+  EXPECT_EQ(cache_.stats().hits, 1u);
+  EXPECT_EQ(cache_.stats().misses, 0u);
+}
+
+TEST_F(BlockCacheTest, LruEvictionOrder) {
+  for (storage::BlockId b = 0; b < 4; ++b) {
+    ASSERT_TRUE(cache_.read_block(b).is_ok());
+  }
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_TRUE(cache_.read_block(0).is_ok());
+  ASSERT_TRUE(cache_.read_block(4).is_ok());  // evicts 1
+  EXPECT_EQ(cache_.stats().evictions, 1u);
+  ASSERT_TRUE(cache_.read_block(0).is_ok());  // still cached
+  EXPECT_EQ(cache_.stats().hits, 2u);
+  ASSERT_TRUE(cache_.read_block(1).is_ok());  // miss: was evicted
+  EXPECT_EQ(cache_.stats().misses, 6u);
+}
+
+TEST_F(BlockCacheTest, CapacityNeverExceeded) {
+  for (storage::BlockId b = 0; b < 16; ++b) {
+    ASSERT_TRUE(cache_.read_block(b).is_ok());
+    EXPECT_LE(cache_.cached_blocks(), 4u);
+  }
+}
+
+TEST_F(BlockCacheTest, InvalidateSingleAndAll) {
+  ASSERT_TRUE(cache_.read_block(0).is_ok());
+  ASSERT_TRUE(cache_.read_block(1).is_ok());
+  cache_.invalidate(0);
+  EXPECT_EQ(cache_.cached_blocks(), 1u);
+  cache_.invalidate();
+  EXPECT_EQ(cache_.cached_blocks(), 0u);
+  // Reading again misses.
+  ASSERT_TRUE(cache_.read_block(1).is_ok());
+  EXPECT_EQ(cache_.stats().misses, 3u);
+}
+
+TEST_F(BlockCacheTest, ErrorsPassThroughUncached) {
+  EXPECT_EQ(cache_.read_block(99).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cache_.write_block(99, payload(64, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cache_.cached_blocks(), 0u);
+}
+
+TEST(BlockCacheReplicatedTest, CacheHidesReplicaReadTraffic) {
+  // On a voting device every uncached read costs a quorum round; the
+  // buffer cache absorbs repeat reads — the Figure 1 stack working as
+  // intended.
+  core::ReplicaGroup group(core::SchemeKind::kVoting,
+                           core::GroupConfig::majority(5, 16, 64));
+  core::ReplicaDevice device(group.replica(0));
+  BlockCache cache(device, 8);
+  ASSERT_TRUE(cache.read_block(0).is_ok());
+  const auto traffic_after_first = group.meter().total();
+  EXPECT_GT(traffic_after_first, 0u);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache.read_block(0).is_ok());
+  }
+  EXPECT_EQ(group.meter().total(), traffic_after_first);  // all hits
+}
+
+TEST(BlockCacheReplicatedTest, FailedReplicatedWriteLeavesCacheClean) {
+  core::ReplicaGroup group(core::SchemeKind::kVoting,
+                           core::GroupConfig::majority(3, 16, 64));
+  core::ReplicaDevice device(group.replica(0));
+  BlockCache cache(device, 8);
+  ASSERT_TRUE(cache.write_block(0, payload(64, 1)).is_ok());
+  // Lose the quorum; the write must fail and the cache must keep v1.
+  group.crash_site(1);
+  group.crash_site(2);
+  EXPECT_EQ(cache.write_block(0, payload(64, 2)).code(),
+            reldev::ErrorCode::kUnavailable);
+  EXPECT_EQ(cache.read_block(0).value(), payload(64, 1));
+}
+
+TEST(BlockCacheMiniFsTest, MiniFsRunsOnCachedReplicatedDevice) {
+  // The full stack: MiniFS -> cache -> replicated device.
+  core::ReplicaGroup group(core::SchemeKind::kAvailableCopy,
+                           core::GroupConfig::majority(3, 128, 512));
+  core::ReplicaDevice device(group.replica(0));
+  BlockCache cache(device, 32);
+  auto fs = MiniFs::format(cache);
+  ASSERT_TRUE(fs.is_ok());
+  std::vector<std::byte> contents(700, std::byte{0x42});
+  ASSERT_TRUE(fs.value().write_file("cached", contents).is_ok());
+  EXPECT_EQ(fs.value().read_file("cached").value(), contents);
+  EXPECT_GT(cache.stats().hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace reldev::fs

@@ -1,0 +1,145 @@
+// The paper's headline claim, demonstrated end to end: the *unmodified*
+// MiniFS, written only against the BlockDevice interface, runs on a
+// replicated reliable device and survives site failures that would kill a
+// single-disk system.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "reldev/core/driver_stub.hpp"
+#include "reldev/core/group.hpp"
+#include "reldev/fs/minifs.hpp"
+
+namespace reldev::fs {
+namespace {
+
+using core::ReplicaGroup;
+using core::SchemeKind;
+
+std::vector<std::byte> text(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+class ReplicatedFsTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  ReplicatedFsTest()
+      : group_(GetParam(), core::GroupConfig::majority(3, 128, 512)),
+        device_(group_.replica(0)) {}
+
+  ReplicaGroup group_;
+  core::ReplicaDevice device_;
+};
+
+TEST_P(ReplicatedFsTest, FormatWriteReadOnReplicatedDevice) {
+  auto fs = MiniFs::format(device_);
+  ASSERT_TRUE(fs.is_ok()) << fs.status().to_string();
+  ASSERT_TRUE(fs.value().write_file("hello", text("replicated!")).is_ok());
+  EXPECT_EQ(fs.value().read_file("hello").value(), text("replicated!"));
+}
+
+TEST_P(ReplicatedFsTest, SurvivesSiteFailureMidUse) {
+  auto fs = MiniFs::format(device_).value();
+  ASSERT_TRUE(fs.write_file("a.txt", text("before the crash")).is_ok());
+  group_.crash_site(2);
+  if (GetParam() == SchemeKind::kVoting) {
+    // 2 of 3 is still a quorum.
+    ASSERT_TRUE(fs.write_file("b.txt", text("after the crash")).is_ok());
+  } else {
+    ASSERT_TRUE(fs.write_file("b.txt", text("after the crash")).is_ok());
+  }
+  EXPECT_EQ(fs.read_file("a.txt").value(), text("before the crash"));
+  EXPECT_EQ(fs.read_file("b.txt").value(), text("after the crash"));
+}
+
+TEST_P(ReplicatedFsTest, FilesReadableFromAnotherSiteAfterCoordinatorDies) {
+  auto fs = MiniFs::format(device_).value();
+  ASSERT_TRUE(fs.write_file("doc", text("important data")).is_ok());
+  // Coordinator site 0 dies; mount the file system from site 1's replica.
+  group_.crash_site(0);
+  core::ReplicaDevice device1(group_.replica(1));
+  if (GetParam() == SchemeKind::kVoting) {
+    auto fs1 = MiniFs::mount(device1);
+    ASSERT_TRUE(fs1.is_ok());
+    EXPECT_EQ(fs1.value().read_file("doc").value(), text("important data"));
+  } else {
+    auto fs1 = MiniFs::mount(device1);
+    ASSERT_TRUE(fs1.is_ok());
+    EXPECT_EQ(fs1.value().read_file("doc").value(), text("important data"));
+  }
+}
+
+TEST_P(ReplicatedFsTest, RecoveredSiteServesTheFileSystem) {
+  auto fs = MiniFs::format(device_).value();
+  group_.crash_site(1);
+  ASSERT_TRUE(fs.write_file("during", text("written while 1 down")).is_ok());
+  ASSERT_TRUE(group_.recover_site(1).is_ok());
+  // For voting the repair is lazy; for AC/NAC eager. Either way the file
+  // system mounted on site 1 must see the write.
+  core::ReplicaDevice device1(group_.replica(1));
+  auto fs1 = MiniFs::mount(device1);
+  ASSERT_TRUE(fs1.is_ok());
+  EXPECT_EQ(fs1.value().read_file("during").value(),
+            text("written while 1 down"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ReplicatedFsTest,
+                         ::testing::Values(SchemeKind::kVoting,
+                                           SchemeKind::kAvailableCopy,
+                                           SchemeKind::kNaiveAvailableCopy));
+
+TEST(ReplicatedFsStubTest, FileSystemOverDriverStub) {
+  // MiniFS mounted on the *network* device: client -> stub -> server ->
+  // replica group, the diskless-workstation picture of §2.
+  ReplicaGroup group(SchemeKind::kAvailableCopy,
+                     core::GroupConfig::majority(3, 128, 512));
+  auto stub = core::DriverStub::connect(group.transport(), 100, {0, 1, 2});
+  ASSERT_TRUE(stub.is_ok());
+  auto fs = MiniFs::format(stub.value());
+  ASSERT_TRUE(fs.is_ok());
+  ASSERT_TRUE(fs.value().write_file("remote", text("over the wire")).is_ok());
+  EXPECT_EQ(fs.value().read_file("remote").value(), text("over the wire"));
+
+  // And the same bits are visible when mounted directly on a replica.
+  core::ReplicaDevice direct(group.replica(2));
+  auto fs2 = MiniFs::mount(direct);
+  ASSERT_TRUE(fs2.is_ok());
+  EXPECT_EQ(fs2.value().read_file("remote").value(), text("over the wire"));
+}
+
+TEST(ReplicatedFsStubTest, IdenticalBehaviourOnLocalAndReplicatedDevices) {
+  // The "file system requires no modification" claim, as a literal test:
+  // run the same operation script against a local disk and a replicated
+  // device and compare every observable result.
+  storage::MemBlockStore local_store(128, 512);
+  core::LocalBlockDevice local_device(local_store);
+  ReplicaGroup group(SchemeKind::kNaiveAvailableCopy,
+                     core::GroupConfig::majority(3, 128, 512));
+  core::ReplicaDevice replicated_device(group.replica(0));
+
+  auto local_fs = MiniFs::format(local_device).value();
+  auto replicated_fs = MiniFs::format(replicated_device).value();
+
+  const std::vector<std::pair<std::string, std::string>> script{
+      {"a", "alpha"}, {"b", "beta"}, {"a", "alpha v2"}, {"c", "gamma"}};
+  for (const auto& [name, contents] : script) {
+    ASSERT_TRUE(local_fs.write_file(name, text(contents)).is_ok());
+    ASSERT_TRUE(replicated_fs.write_file(name, text(contents)).is_ok());
+  }
+  ASSERT_TRUE(local_fs.remove("b").is_ok());
+  ASSERT_TRUE(replicated_fs.remove("b").is_ok());
+
+  const auto local_list = local_fs.list().value();
+  const auto replicated_list = replicated_fs.list().value();
+  ASSERT_EQ(local_list.size(), replicated_list.size());
+  for (std::size_t i = 0; i < local_list.size(); ++i) {
+    EXPECT_EQ(local_list[i].name, replicated_list[i].name);
+    EXPECT_EQ(local_list[i].size, replicated_list[i].size);
+    EXPECT_EQ(local_fs.read_file(local_list[i].name).value(),
+              replicated_fs.read_file(replicated_list[i].name).value());
+  }
+}
+
+}  // namespace
+}  // namespace reldev::fs

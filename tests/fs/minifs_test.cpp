@@ -1,0 +1,178 @@
+#include "reldev/fs/minifs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "reldev/storage/mem_block_store.hpp"
+
+namespace reldev::fs {
+namespace {
+
+std::vector<std::byte> text(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+class MiniFsTest : public ::testing::Test {
+ protected:
+  MiniFsTest() : store_(256, 512), device_(store_) {}
+
+  storage::MemBlockStore store_;
+  core::LocalBlockDevice device_;
+};
+
+TEST_F(MiniFsTest, FormatAndMount) {
+  auto formatted = MiniFs::format(device_);
+  ASSERT_TRUE(formatted.is_ok()) << formatted.status().to_string();
+  auto mounted = MiniFs::mount(device_);
+  ASSERT_TRUE(mounted.is_ok());
+  EXPECT_EQ(mounted.value().block_size(), 512u);
+  EXPECT_TRUE(mounted.value().list().value().empty());
+}
+
+TEST_F(MiniFsTest, MountUnformattedDeviceFails) {
+  auto mounted = MiniFs::mount(device_);
+  EXPECT_EQ(mounted.status().code(), reldev::ErrorCode::kCorruption);
+}
+
+TEST_F(MiniFsTest, CreateListRemove) {
+  auto fs = MiniFs::format(device_).value();
+  ASSERT_TRUE(fs.create("alpha").is_ok());
+  ASSERT_TRUE(fs.create("beta").is_ok());
+  auto files = fs.list().value();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].name, "alpha");
+  EXPECT_EQ(files[1].name, "beta");
+  ASSERT_TRUE(fs.remove("alpha").is_ok());
+  EXPECT_EQ(fs.list().value().size(), 1u);
+  EXPECT_FALSE(fs.exists("alpha").value());
+  EXPECT_TRUE(fs.exists("beta").value());
+}
+
+TEST_F(MiniFsTest, DuplicateCreateRejected) {
+  auto fs = MiniFs::format(device_).value();
+  ASSERT_TRUE(fs.create("dup").is_ok());
+  EXPECT_EQ(fs.create("dup").code(), reldev::ErrorCode::kConflict);
+}
+
+TEST_F(MiniFsTest, RemoveMissingFileFails) {
+  auto fs = MiniFs::format(device_).value();
+  EXPECT_EQ(fs.remove("ghost").code(), reldev::ErrorCode::kNotFound);
+}
+
+TEST_F(MiniFsTest, WriteAndReadBack) {
+  auto fs = MiniFs::format(device_).value();
+  const auto contents = text("The quick brown fox jumps over the lazy dog.");
+  ASSERT_TRUE(fs.write_file("fox.txt", contents).is_ok());
+  EXPECT_EQ(fs.read_file("fox.txt").value(), contents);
+  const auto info = fs.stat("fox.txt").value();
+  EXPECT_EQ(info.size, contents.size());
+  EXPECT_EQ(info.blocks, 1u);
+}
+
+TEST_F(MiniFsTest, EmptyFile) {
+  auto fs = MiniFs::format(device_).value();
+  ASSERT_TRUE(fs.write_file("empty", {}).is_ok());
+  EXPECT_TRUE(fs.read_file("empty").value().empty());
+  EXPECT_EQ(fs.stat("empty").value().blocks, 0u);
+}
+
+TEST_F(MiniFsTest, MultiBlockFile) {
+  auto fs = MiniFs::format(device_).value();
+  std::vector<std::byte> big(512 * 3 + 123);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i * 7 & 0xff);
+  }
+  ASSERT_TRUE(fs.write_file("big.bin", big).is_ok());
+  EXPECT_EQ(fs.read_file("big.bin").value(), big);
+  EXPECT_EQ(fs.stat("big.bin").value().blocks, 4u);
+}
+
+TEST_F(MiniFsTest, OverwriteReplacesContents) {
+  auto fs = MiniFs::format(device_).value();
+  ASSERT_TRUE(fs.write_file("f", text("first version, rather long")).is_ok());
+  const auto before = fs.free_blocks().value();
+  ASSERT_TRUE(fs.write_file("f", text("second")).is_ok());
+  EXPECT_EQ(fs.read_file("f").value(), text("second"));
+  // The old block was released and one new block allocated.
+  EXPECT_EQ(fs.free_blocks().value(), before);
+}
+
+TEST_F(MiniFsTest, RemoveFreesBlocks) {
+  auto fs = MiniFs::format(device_).value();
+  const auto initial = fs.free_blocks().value();
+  std::vector<std::byte> data(512 * 2);
+  ASSERT_TRUE(fs.write_file("temp", data).is_ok());
+  EXPECT_EQ(fs.free_blocks().value(), initial - 2);
+  ASSERT_TRUE(fs.remove("temp").is_ok());
+  EXPECT_EQ(fs.free_blocks().value(), initial);
+}
+
+TEST_F(MiniFsTest, FileTooLargeRejected) {
+  auto fs = MiniFs::format(device_).value();
+  std::vector<std::byte> huge(fs.max_file_size() + 1);
+  EXPECT_EQ(fs.write_file("huge", huge).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  // Exactly the maximum works.
+  std::vector<std::byte> max(fs.max_file_size());
+  EXPECT_TRUE(fs.write_file("max", max).is_ok());
+  EXPECT_EQ(fs.read_file("max").value().size(), max.size());
+}
+
+TEST_F(MiniFsTest, BadNamesRejected) {
+  auto fs = MiniFs::format(device_).value();
+  EXPECT_EQ(fs.create("").code(), reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs.create(std::string(28, 'x')).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(fs.create(std::string(27, 'x')).is_ok());
+}
+
+TEST_F(MiniFsTest, OutOfSpaceReported) {
+  // Small device: fill it up.
+  storage::MemBlockStore small(16, 512);
+  core::LocalBlockDevice small_device(small);
+  auto fs = MiniFs::format(small_device, 8).value();
+  const auto free = fs.free_blocks().value();
+  std::vector<std::byte> filler(free * 512);
+  ASSERT_TRUE(fs.write_file("filler", filler).is_ok());
+  EXPECT_EQ(fs.write_file("more", text("x")).code(),
+            reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(MiniFsTest, InodeTableExhaustionReported) {
+  storage::MemBlockStore small(64, 512);
+  core::LocalBlockDevice small_device(small);
+  auto fs = MiniFs::format(small_device, 4).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fs.create("file" + std::to_string(i)).is_ok());
+  }
+  EXPECT_EQ(fs.create("one-too-many").code(),
+            reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(MiniFsTest, PersistsAcrossRemount) {
+  {
+    auto fs = MiniFs::format(device_).value();
+    ASSERT_TRUE(fs.write_file("persist", text("still here")).is_ok());
+  }
+  auto fs = MiniFs::mount(device_).value();
+  EXPECT_EQ(fs.read_file("persist").value(), text("still here"));
+}
+
+TEST_F(MiniFsTest, ManyFiles) {
+  auto fs = MiniFs::format(device_).value();
+  for (int i = 0; i < 30; ++i) {
+    const std::string name = "file_" + std::to_string(i);
+    ASSERT_TRUE(fs.write_file(name, text("contents of " + name)).is_ok());
+  }
+  EXPECT_EQ(fs.list().value().size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    const std::string name = "file_" + std::to_string(i);
+    EXPECT_EQ(fs.read_file(name).value(), text("contents of " + name));
+  }
+}
+
+}  // namespace
+}  // namespace reldev::fs

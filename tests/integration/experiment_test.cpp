@@ -1,0 +1,142 @@
+// End-to-end checks of the DES experiment harnesses: sane outputs,
+// determinism, and the qualitative orderings the paper predicts.
+#include "reldev/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::core {
+namespace {
+
+TEST(AvailabilityExperimentTest, DeterministicForSameSeed) {
+  AvailabilityOptions options;
+  options.scheme = SchemeKind::kVoting;
+  options.sites = 3;
+  options.rho = 0.2;
+  options.horizon = 2'000;
+  options.warmup = 100;
+  options.seed = 42;
+  const auto a = run_availability_experiment(options);
+  const auto b = run_availability_experiment(options);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.repairs, b.repairs);
+}
+
+TEST(AvailabilityExperimentTest, PerfectSitesAreAlwaysAvailable) {
+  AvailabilityOptions options;
+  options.scheme = SchemeKind::kAvailableCopy;
+  options.sites = 3;
+  options.rho = 0.0;
+  options.horizon = 1'000;
+  options.warmup = 10;
+  const auto result = run_availability_experiment(options);
+  EXPECT_DOUBLE_EQ(result.availability, 1.0);
+  EXPECT_EQ(result.failures, 0u);
+}
+
+TEST(AvailabilityExperimentTest, SchemeOrderingAtModerateRho) {
+  // AC >= NAC > voting(same n) for a harsh rho where differences show.
+  AvailabilityOptions options;
+  options.sites = 3;
+  options.rho = 0.4;
+  options.horizon = 30'000;
+  options.warmup = 500;
+  options.seed = 7;
+
+  options.scheme = SchemeKind::kAvailableCopy;
+  const auto ac = run_availability_experiment(options);
+  options.scheme = SchemeKind::kNaiveAvailableCopy;
+  const auto naive = run_availability_experiment(options);
+  options.scheme = SchemeKind::kVoting;
+  const auto voting = run_availability_experiment(options);
+
+  EXPECT_GT(ac.availability, voting.availability);
+  EXPECT_GT(naive.availability, voting.availability);
+  EXPECT_GE(ac.availability + 0.02, naive.availability);
+}
+
+TEST(AvailabilityExperimentTest, TotalFailuresHappenAtHighRho) {
+  AvailabilityOptions options;
+  options.scheme = SchemeKind::kNaiveAvailableCopy;
+  options.sites = 2;
+  options.rho = 1.0;
+  options.horizon = 20'000;
+  options.warmup = 100;
+  const auto result = run_availability_experiment(options);
+  EXPECT_GT(result.total_failures, 0u);
+  EXPECT_LT(result.availability, 0.9);
+  EXPECT_GT(result.availability, 0.1);
+}
+
+TEST(TrafficExperimentTest, NaiveWriteCostsOneTransmission) {
+  TrafficOptions options;
+  options.scheme = SchemeKind::kNaiveAvailableCopy;
+  options.mode = net::AddressingMode::kMulticast;
+  options.sites = 5;
+  options.rho = 0.05;
+  options.horizon = 500;
+  const auto result = run_traffic_experiment(options);
+  EXPECT_GT(result.writes, 100u);
+  EXPECT_DOUBLE_EQ(result.per_write, 1.0);
+  EXPECT_DOUBLE_EQ(result.per_read, 0.0);
+}
+
+TEST(TrafficExperimentTest, VotingCostsNearPaperFormula) {
+  TrafficOptions options;
+  options.scheme = SchemeKind::kVoting;
+  options.mode = net::AddressingMode::kMulticast;
+  options.sites = 5;
+  options.rho = 0.05;
+  options.horizon = 2'000;
+  options.seed = 3;
+  const auto result = run_traffic_experiment(options);
+  // §5.1: write = 1 + U_V ~ 5.76, read = U_V ~ 4.76 at rho=0.05, n=5.
+  EXPECT_NEAR(result.per_write, 5.76, 0.30);
+  EXPECT_NEAR(result.per_read, 4.76, 0.30);
+}
+
+TEST(TrafficExperimentTest, UniqueAddressingCostsMore) {
+  TrafficOptions options;
+  options.scheme = SchemeKind::kAvailableCopy;
+  options.sites = 5;
+  options.rho = 0.05;
+  options.horizon = 1'000;
+  options.mode = net::AddressingMode::kMulticast;
+  const auto multicast = run_traffic_experiment(options);
+  options.mode = net::AddressingMode::kUnique;
+  const auto unique = run_traffic_experiment(options);
+  EXPECT_GT(unique.per_write, multicast.per_write);
+}
+
+TEST(TrafficExperimentTest, FailedOpsAreSeparated) {
+  // With rho = 1 and only 2 sites, some operations find no coordinator.
+  TrafficOptions options;
+  options.scheme = SchemeKind::kVoting;
+  options.sites = 2;
+  options.rho = 1.0;
+  options.horizon = 2'000;
+  const auto result = run_traffic_experiment(options);
+  EXPECT_GT(result.failed_writes + result.failed_reads, 0u);
+}
+
+TEST(RecoveryExperimentTest, NaiveOutagesLastLongerAfterTotalFailure) {
+  RecoveryOptions options;
+  options.sites = 4;
+  options.rho = 0.6;  // total failures need to be reasonably common
+  options.horizon = 100'000;
+  options.seed = 11;
+
+  options.scheme = SchemeKind::kAvailableCopy;
+  const auto ac = run_recovery_experiment(options);
+  options.scheme = SchemeKind::kNaiveAvailableCopy;
+  const auto naive = run_recovery_experiment(options);
+
+  ASSERT_GT(ac.total_failures, 10u);
+  ASSERT_GT(naive.total_failures, 10u);
+  // §4.4: the conventional algorithm returns to service as soon as the
+  // last-failed site is back; naive waits for everyone.
+  EXPECT_LT(ac.mean_outage, naive.mean_outage);
+}
+
+}  // namespace
+}  // namespace reldev::core

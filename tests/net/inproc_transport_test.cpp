@@ -1,0 +1,163 @@
+#include "reldev/net/inproc_transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::net {
+namespace {
+
+/// Echo handler: replies to StateInquiry with its fixed state; records
+/// one-way deliveries.
+class EchoHandler : public MessageHandler {
+ public:
+  explicit EchoHandler(SiteId self) : self_(self) {}
+
+  Message handle(const Message& request) override {
+    ++calls;
+    last_from = request.from;
+    return Message{self_, StateInfo{SiteState::kAvailable, 0, {}}};
+  }
+  void handle_oneway(const Message& message) override {
+    ++oneways;
+    last_from = message.from;
+  }
+
+  SiteId self_;
+  int calls = 0;
+  int oneways = 0;
+  SiteId last_from = 999;
+};
+
+class InProcTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (SiteId s = 0; s < 3; ++s) {
+      handlers_.push_back(std::make_unique<EchoHandler>(s));
+      transport_.bind(s, handlers_.back().get());
+    }
+    transport_.set_traffic_meter(&meter_);
+  }
+
+  InProcTransport transport_{AddressingMode::kMulticast};
+  TrafficMeter meter_;
+  std::vector<std::unique_ptr<EchoHandler>> handlers_;
+};
+
+TEST_F(InProcTransportTest, CallDeliversAndReturnsReply) {
+  auto reply = transport_.call(0, 1, Message{0, StateInquiry{}});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().holds<StateInfo>());
+  EXPECT_EQ(handlers_[1]->calls, 1);
+  EXPECT_EQ(handlers_[1]->last_from, 0u);
+  EXPECT_EQ(meter_.total(), 2u);  // request + reply
+}
+
+TEST_F(InProcTransportTest, CallToDownSiteFails) {
+  transport_.set_up(1, false);
+  auto reply = transport_.call(0, 1, Message{0, StateInquiry{}});
+  EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kUnavailable);
+  EXPECT_EQ(handlers_[1]->calls, 0);
+  // The attempt still cost one transmission.
+  EXPECT_EQ(meter_.total(), 1u);
+}
+
+TEST_F(InProcTransportTest, CallToUnboundSiteFails) {
+  auto reply = transport_.call(0, 7, Message{0, StateInquiry{}});
+  EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(InProcTransportTest, SendDeliversOneWay) {
+  ASSERT_TRUE(transport_.send(0, 2, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handlers_[2]->oneways, 1);
+  EXPECT_EQ(meter_.total(), 1u);
+}
+
+TEST_F(InProcTransportTest, SendToDownSiteIsSilentlyDropped) {
+  transport_.set_up(2, false);
+  ASSERT_TRUE(transport_.send(0, 2, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handlers_[2]->oneways, 0);
+}
+
+TEST_F(InProcTransportTest, MulticastCountsOneTransmission) {
+  ASSERT_TRUE(
+      transport_.multicast(0, SiteSet{1, 2}, Message{0, StateInquiry{}})
+          .is_ok());
+  EXPECT_EQ(handlers_[1]->oneways, 1);
+  EXPECT_EQ(handlers_[2]->oneways, 1);
+  EXPECT_EQ(meter_.total(), 1u);  // one broadcast
+}
+
+TEST_F(InProcTransportTest, MulticastSkipsSelfAndDownSites) {
+  transport_.set_up(1, false);
+  ASSERT_TRUE(
+      transport_.multicast(0, SiteSet{0, 1, 2}, Message{0, StateInquiry{}})
+          .is_ok());
+  EXPECT_EQ(handlers_[0]->oneways, 0);
+  EXPECT_EQ(handlers_[1]->oneways, 0);
+  EXPECT_EQ(handlers_[2]->oneways, 1);
+}
+
+TEST_F(InProcTransportTest, MulticastCallGathersLiveReplies) {
+  transport_.set_up(1, false);
+  auto replies =
+      transport_.multicast_call(0, SiteSet{1, 2}, Message{0, StateInquiry{}});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].first, 2u);
+  // One broadcast + one reply.
+  EXPECT_EQ(meter_.total(), 2u);
+}
+
+TEST_F(InProcTransportTest, UniqueAddressingCountsPerDestination) {
+  InProcTransport unique(AddressingMode::kUnique);
+  TrafficMeter meter;
+  unique.set_traffic_meter(&meter);
+  std::vector<std::unique_ptr<EchoHandler>> handlers;
+  for (SiteId s = 0; s < 4; ++s) {
+    handlers.push_back(std::make_unique<EchoHandler>(s));
+    unique.bind(s, handlers.back().get());
+  }
+  auto replies =
+      unique.multicast_call(0, SiteSet{1, 2, 3}, Message{0, StateInquiry{}});
+  EXPECT_EQ(replies.size(), 3u);
+  // 3 addressed requests + 3 replies.
+  EXPECT_EQ(meter.total(), 6u);
+
+  meter.reset();
+  ASSERT_TRUE(
+      unique.multicast(0, SiteSet{1, 2, 3}, Message{0, StateInquiry{}})
+          .is_ok());
+  EXPECT_EQ(meter.total(), 3u);
+}
+
+TEST_F(InProcTransportTest, PartitionBlocksCrossGroupTraffic) {
+  transport_.set_partition_group(0, 1);
+  // 0 is alone in partition 1; 1 and 2 remain in partition 0.
+  auto reply = transport_.call(0, 1, Message{0, StateInquiry{}});
+  EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kUnavailable);
+  auto peer_reply = transport_.call(1, 2, Message{1, StateInquiry{}});
+  EXPECT_TRUE(peer_reply.is_ok());
+
+  transport_.clear_partitions();
+  EXPECT_TRUE(transport_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+}
+
+TEST_F(InProcTransportTest, RecoverySetsUpAgain) {
+  transport_.set_up(1, false);
+  EXPECT_FALSE(transport_.is_up(1));
+  transport_.set_up(1, true);
+  EXPECT_TRUE(transport_.is_up(1));
+  EXPECT_TRUE(transport_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+}
+
+TEST_F(InProcTransportTest, UnbindRemovesSite) {
+  transport_.unbind(2);
+  auto reply = transport_.call(0, 2, Message{0, StateInquiry{}});
+  EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(InProcTransportTest, WorksWithoutMeter) {
+  transport_.set_traffic_meter(nullptr);
+  EXPECT_TRUE(transport_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+}
+
+}  // namespace
+}  // namespace reldev::net

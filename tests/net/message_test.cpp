@@ -1,0 +1,165 @@
+#include "reldev/net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::net {
+namespace {
+
+BlockData payload(std::size_t size, std::uint8_t seed) {
+  BlockData data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>((seed + 3 * i) & 0xff);
+  }
+  return data;
+}
+
+template <typename T>
+T round_trip(SiteId from, T value) {
+  const Message original{from, std::move(value)};
+  const auto encoded = original.encode();
+  auto decoded = Message::decode(encoded);
+  EXPECT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().from, from);
+  EXPECT_TRUE(decoded.value().template holds<T>())
+      << "decoded as " << decoded.value().name();
+  return decoded.value().template as<T>();
+}
+
+TEST(MessageTest, VoteRequestRoundTrip) {
+  const auto m = round_trip(1, VoteRequest{AccessKind::kWrite, 42});
+  EXPECT_EQ(m.access, AccessKind::kWrite);
+  EXPECT_EQ(m.block, 42u);
+}
+
+TEST(MessageTest, VoteReplyRoundTrip) {
+  const auto m = round_trip(2, VoteReply{17, 1001});
+  EXPECT_EQ(m.version, 17u);
+  EXPECT_EQ(m.weight_millivotes, 1001u);
+}
+
+TEST(MessageTest, BlockFetchRoundTrip) {
+  const auto req = round_trip(0, BlockFetchRequest{5});
+  EXPECT_EQ(req.block, 5u);
+  const auto rep = round_trip(3, BlockFetchReply{9, payload(64, 1)});
+  EXPECT_EQ(rep.version, 9u);
+  EXPECT_EQ(rep.data, payload(64, 1));
+}
+
+TEST(MessageTest, BlockUpdateRoundTrip) {
+  const auto m = round_trip(1, BlockUpdate{7, 3, payload(32, 2)});
+  EXPECT_EQ(m.block, 7u);
+  EXPECT_EQ(m.version, 3u);
+  EXPECT_EQ(m.data, payload(32, 2));
+}
+
+TEST(MessageTest, WriteAllRoundTrip) {
+  const auto m = round_trip(
+      4, WriteAllRequest{11, 8, payload(16, 3), SiteSet{0, 1, 4}});
+  EXPECT_EQ(m.block, 11u);
+  EXPECT_EQ(m.version, 8u);
+  EXPECT_EQ(m.was_available, (SiteSet{0, 1, 4}));
+  round_trip(4, WriteAllAck{});
+}
+
+TEST(MessageTest, StateMessagesRoundTrip) {
+  round_trip(0, StateInquiry{});
+  const auto m = round_trip(
+      2, StateInfo{SiteState::kComatose, 123, SiteSet{1, 2}});
+  EXPECT_EQ(m.state, SiteState::kComatose);
+  EXPECT_EQ(m.version_total, 123u);
+  EXPECT_EQ(m.was_available, (SiteSet{1, 2}));
+}
+
+TEST(MessageTest, RepairMessagesRoundTrip) {
+  storage::VersionVector vv(3);
+  vv.set(1, 4);
+  const auto req = round_trip(1, RepairRequest{vv});
+  EXPECT_EQ(req.versions, vv);
+
+  RepairReply reply;
+  reply.versions = vv;
+  reply.blocks.push_back(BlockUpdate{1, 4, payload(8, 4)});
+  reply.blocks.push_back(BlockUpdate{2, 2, payload(8, 5)});
+  const auto rep = round_trip(2, std::move(reply));
+  EXPECT_EQ(rep.versions, vv);
+  ASSERT_EQ(rep.blocks.size(), 2u);
+  EXPECT_EQ(rep.blocks[0].block, 1u);
+  EXPECT_EQ(rep.blocks[1].data, payload(8, 5));
+}
+
+TEST(MessageTest, WasAvailableRoundTrip) {
+  const auto m = round_trip(3, WasAvailableUpdate{SiteSet{0, 3}, true});
+  EXPECT_EQ(m.was_available, (SiteSet{0, 3}));
+  EXPECT_TRUE(m.replace);
+  round_trip(3, WasAvailableAck{});
+}
+
+TEST(MessageTest, ClientMessagesRoundTrip) {
+  EXPECT_EQ(round_trip(9, ClientReadRequest{6}).block, 6u);
+  const auto rr = round_trip(1, ClientReadReply{0, payload(16, 6)});
+  EXPECT_EQ(rr.error_code, 0);
+  EXPECT_EQ(rr.data, payload(16, 6));
+  const auto wr = round_trip(9, ClientWriteRequest{2, payload(16, 7)});
+  EXPECT_EQ(wr.block, 2u);
+  EXPECT_EQ(round_trip(1, ClientWriteReply{1}).error_code, 1);
+}
+
+TEST(MessageTest, DeviceInfoRoundTrip) {
+  round_trip(9, DeviceInfoRequest{});
+  const auto m = round_trip(1, DeviceInfoReply{1024, 512});
+  EXPECT_EQ(m.block_count, 1024u);
+  EXPECT_EQ(m.block_size, 512u);
+}
+
+TEST(MessageTest, ErrorReplyRoundTrip) {
+  const auto m = round_trip(1, ErrorReply{3, "bad things"});
+  EXPECT_EQ(m.error_code, 3);
+  EXPECT_EQ(m.message, "bad things");
+}
+
+TEST(MessageTest, MakeErrorCarriesStatus) {
+  const Message m = make_error(5, reldev::errors::unavailable("down"));
+  ASSERT_TRUE(m.holds<ErrorReply>());
+  EXPECT_EQ(m.as<ErrorReply>().error_code,
+            static_cast<std::uint8_t>(reldev::ErrorCode::kUnavailable));
+  EXPECT_EQ(m.as<ErrorReply>().message, "down");
+}
+
+TEST(MessageTest, DecodeRejectsUnknownTag) {
+  reldev::BufferWriter writer;
+  writer.put_u32(0);   // from
+  writer.put_u8(250);  // bogus tag
+  EXPECT_EQ(Message::decode(writer.bytes()).status().code(),
+            reldev::ErrorCode::kProtocol);
+}
+
+TEST(MessageTest, DecodeRejectsTrailingBytes) {
+  Message m{1, StateInquiry{}};
+  auto encoded = m.encode();
+  encoded.push_back(std::byte{0});
+  EXPECT_EQ(Message::decode(encoded).status().code(),
+            reldev::ErrorCode::kProtocol);
+}
+
+TEST(MessageTest, DecodeRejectsTruncation) {
+  Message m{1, BlockUpdate{0, 1, payload(64, 1)}};
+  auto encoded = m.encode();
+  encoded.resize(encoded.size() / 2);
+  EXPECT_FALSE(Message::decode(encoded).is_ok());
+}
+
+TEST(MessageTest, NamesAreDistinctive) {
+  EXPECT_STREQ((Message{0, VoteRequest{AccessKind::kRead, 0}}).name(),
+               "vote-request");
+  EXPECT_STREQ((Message{0, RepairReply{}}).name(), "repair-reply");
+  EXPECT_STREQ((Message{0, ErrorReply{0, ""}}).name(), "error-reply");
+}
+
+TEST(MessageTest, SiteStateNames) {
+  EXPECT_STREQ(site_state_name(SiteState::kFailed), "failed");
+  EXPECT_STREQ(site_state_name(SiteState::kComatose), "comatose");
+  EXPECT_STREQ(site_state_name(SiteState::kAvailable), "available");
+}
+
+}  // namespace
+}  // namespace reldev::net

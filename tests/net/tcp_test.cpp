@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+
+#include "reldev/net/tcp/tcp_client.hpp"
+#include "reldev/net/tcp/tcp_server.hpp"
+
+namespace reldev::net::tcp {
+namespace {
+
+/// Thread-safe counting echo: replies StateInfo to StateInquiry and echoes
+/// ClientWriteRequests with an ok ClientWriteReply.
+class EchoHandler : public MessageHandler {
+ public:
+  Message handle(const Message& request) override {
+    calls.fetch_add(1);
+    if (request.holds<ClientWriteRequest>()) {
+      return Message{0, ClientWriteReply{0}};
+    }
+    return Message{0, StateInfo{SiteState::kAvailable, 7, {}}};
+  }
+  void handle_oneway(const Message&) override {}
+  std::atomic<int> calls{0};
+};
+
+TEST(TcpSocketTest, ConnectToClosedPortFails) {
+  // Port 1 on localhost is essentially never listening.
+  auto socket = Socket::connect("127.0.0.1", 1);
+  EXPECT_FALSE(socket.is_ok());
+  EXPECT_EQ(socket.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST(TcpSocketTest, BadAddressRejected) {
+  auto socket = Socket::connect("not-an-address", 80);
+  EXPECT_EQ(socket.status().code(), reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST(TcpServerTest, EphemeralPortAssigned) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler);
+  ASSERT_TRUE(server.is_ok());
+  EXPECT_GT(server.value()->port(), 0);
+}
+
+TEST(TcpServerTest, RoundTripCall) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler).value();
+  TcpChannel channel("127.0.0.1", server->port());
+  auto reply = channel.call(Message{9, StateInquiry{}});
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  ASSERT_TRUE(reply.value().holds<StateInfo>());
+  EXPECT_EQ(reply.value().as<StateInfo>().version_total, 7u);
+  EXPECT_EQ(handler.calls.load(), 1);
+}
+
+TEST(TcpServerTest, ManySequentialCallsOnOneConnection) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler).value();
+  TcpChannel channel("127.0.0.1", server->port());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
+  }
+  EXPECT_EQ(handler.calls.load(), 50);
+}
+
+TEST(TcpServerTest, LargePayloadSurvives) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler).value();
+  TcpChannel channel("127.0.0.1", server->port());
+  BlockData big(256 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i & 0xff);
+  }
+  auto reply = channel.call(Message{1, ClientWriteRequest{0, big}});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().holds<ClientWriteReply>());
+}
+
+TEST(TcpServerTest, MultipleClients) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler).value();
+  TcpChannel a("127.0.0.1", server->port());
+  TcpChannel b("127.0.0.1", server->port());
+  EXPECT_TRUE(a.call(Message{1, StateInquiry{}}).is_ok());
+  EXPECT_TRUE(b.call(Message{2, StateInquiry{}}).is_ok());
+  EXPECT_TRUE(a.call(Message{1, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handler.calls.load(), 3);
+}
+
+TEST(TcpServerTest, ChannelReconnectsAfterDisconnect) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler).value();
+  TcpChannel channel("127.0.0.1", server->port());
+  ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
+  channel.disconnect();
+  ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handler.calls.load(), 2);
+}
+
+TEST(TcpServerTest, CallAfterServerStopFails) {
+  EchoHandler handler;
+  auto server = TcpServer::start(0, &handler).value();
+  const std::uint16_t port = server->port();
+  TcpChannel channel("127.0.0.1", port);
+  ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
+  server->stop();
+  auto reply = channel.call(Message{1, StateInquiry{}});
+  EXPECT_FALSE(reply.is_ok());
+}
+
+TEST(TcpPeerTransportTest, RoutesPerSite) {
+  EchoHandler h1;
+  EchoHandler h2;
+  auto s1 = TcpServer::start(0, &h1).value();
+  auto s2 = TcpServer::start(0, &h2).value();
+  TcpPeerTransport transport;
+  transport.set_endpoint(1, "127.0.0.1", s1->port());
+  transport.set_endpoint(2, "127.0.0.1", s2->port());
+
+  ASSERT_TRUE(transport.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+  ASSERT_TRUE(transport.call(0, 2, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_EQ(h1.calls.load(), 1);
+  EXPECT_EQ(h2.calls.load(), 1);
+}
+
+TEST(TcpPeerTransportTest, MulticastCallSkipsDeadPeers) {
+  EchoHandler h1;
+  auto s1 = TcpServer::start(0, &h1).value();
+  TcpPeerTransport transport;
+  transport.set_endpoint(1, "127.0.0.1", s1->port());
+  transport.set_endpoint(2, "127.0.0.1", 1);  // nothing listens there
+
+  auto replies = transport.multicast_call(0, SiteSet{1, 2},
+                                          Message{0, StateInquiry{}});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].first, 1u);
+}
+
+TEST(TcpPeerTransportTest, UnknownSiteIsUnavailable) {
+  TcpPeerTransport transport;
+  auto reply = transport.call(0, 5, Message{0, StateInquiry{}});
+  EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+/// Builds a connected stream-socket pair for framing tests.
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+TEST(FramingTest, RoundTrip) {
+  auto [a, b] = socket_pair();
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  ASSERT_TRUE(write_frame(a, payload).is_ok());
+  auto read = read_frame(b);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST(FramingTest, EmptyPayloadFrame) {
+  auto [a, b] = socket_pair();
+  ASSERT_TRUE(write_frame(a, {}).is_ok());
+  auto read = read_frame(b);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_TRUE(read.value().empty());
+}
+
+TEST(FramingTest, CorruptPayloadRejected) {
+  auto [a, b] = socket_pair();
+  const std::vector<std::byte> payload(100, std::byte{0x42});
+  ASSERT_TRUE(write_frame(a, payload).is_ok());
+  // Flip a payload byte in flight by reading raw and re-sending garbled.
+  std::vector<std::byte> raw(12 + 100);
+  ASSERT_TRUE(b.read_exact(raw).is_ok());
+  raw[50] ^= std::byte{0xFF};
+  auto [c, d] = socket_pair();
+  ASSERT_TRUE(c.write_all(raw).is_ok());
+  auto read = read_frame(d);
+  EXPECT_EQ(read.status().code(), reldev::ErrorCode::kCorruption);
+}
+
+TEST(FramingTest, BadMagicRejected) {
+  auto [a, b] = socket_pair();
+  const std::vector<std::byte> junk(12, std::byte{0x11});
+  ASSERT_TRUE(a.write_all(junk).is_ok());
+  auto read = read_frame(b);
+  EXPECT_EQ(read.status().code(), reldev::ErrorCode::kCorruption);
+}
+
+TEST(FramingTest, CleanEofIsUnavailable) {
+  auto [a, b] = socket_pair();
+  a.close();
+  auto read = read_frame(b);
+  EXPECT_EQ(read.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST(FramingTest, EofMidFrameIsIoError) {
+  auto [a, b] = socket_pair();
+  // A valid header promising 100 bytes, then nothing.
+  const std::vector<std::byte> payload(100, std::byte{0x01});
+  ASSERT_TRUE(write_frame(a, payload).is_ok());
+  std::vector<std::byte> partial(12 + 10);
+  ASSERT_TRUE(b.read_exact(partial).is_ok());
+  auto [c, d] = socket_pair();
+  ASSERT_TRUE(c.write_all(partial).is_ok());
+  c.close();
+  auto read = read_frame(d);
+  EXPECT_EQ(read.status().code(), reldev::ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace reldev::net::tcp

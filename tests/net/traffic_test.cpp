@@ -1,0 +1,66 @@
+#include "reldev/net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::net {
+namespace {
+
+TEST(TrafficMeterTest, StartsEmpty) {
+  TrafficMeter meter;
+  EXPECT_EQ(meter.total(), 0u);
+  EXPECT_EQ(meter.count(OpKind::kRead), 0u);
+  EXPECT_EQ(meter.current_op(), OpKind::kOther);
+}
+
+TEST(TrafficMeterTest, CountsIntoCurrentOp) {
+  TrafficMeter meter;
+  meter.set_current_op(OpKind::kWrite);
+  meter.add(3);
+  meter.set_current_op(OpKind::kRead);
+  meter.add(1);
+  EXPECT_EQ(meter.count(OpKind::kWrite), 3u);
+  EXPECT_EQ(meter.count(OpKind::kRead), 1u);
+  EXPECT_EQ(meter.total(), 4u);
+}
+
+TEST(TrafficMeterTest, ResetClearsCounts) {
+  TrafficMeter meter;
+  meter.add(5);
+  meter.reset();
+  EXPECT_EQ(meter.total(), 0u);
+}
+
+TEST(OpScopeTest, RestoresPreviousOp) {
+  TrafficMeter meter;
+  meter.set_current_op(OpKind::kRecovery);
+  {
+    OpScope scope(meter, OpKind::kWrite);
+    EXPECT_EQ(meter.current_op(), OpKind::kWrite);
+    meter.add(2);
+  }
+  EXPECT_EQ(meter.current_op(), OpKind::kRecovery);
+  EXPECT_EQ(meter.count(OpKind::kWrite), 2u);
+  EXPECT_EQ(meter.count(OpKind::kRecovery), 0u);
+}
+
+TEST(OpScopeTest, Nests) {
+  TrafficMeter meter;
+  OpScope outer(meter, OpKind::kRead);
+  {
+    OpScope inner(meter, OpKind::kWrite);
+    meter.add(1);
+  }
+  meter.add(1);
+  EXPECT_EQ(meter.count(OpKind::kRead), 1u);
+  EXPECT_EQ(meter.count(OpKind::kWrite), 1u);
+}
+
+TEST(TrafficTest, OpKindNames) {
+  EXPECT_STREQ(op_kind_name(OpKind::kRead), "read");
+  EXPECT_STREQ(op_kind_name(OpKind::kWrite), "write");
+  EXPECT_STREQ(op_kind_name(OpKind::kRecovery), "recovery");
+  EXPECT_STREQ(op_kind_name(OpKind::kOther), "other");
+}
+
+}  // namespace
+}  // namespace reldev::net

@@ -1,0 +1,69 @@
+#include "reldev/sim/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::sim {
+namespace {
+
+TEST(ArrivalProcessTest, RateMatchesExpectation) {
+  Simulator sim;
+  int count = 0;
+  ArrivalProcess arrivals(sim, Rng(1), 5.0, [&](double) { ++count; });
+  arrivals.start();
+  sim.run_until(10'000.0);
+  arrivals.stop();
+  // Expect ~50000 arrivals; Poisson stddev ~224.
+  EXPECT_NEAR(count, 50'000, 1'500);
+  EXPECT_EQ(arrivals.arrivals(), static_cast<std::uint64_t>(count));
+}
+
+TEST(ArrivalProcessTest, HandlerSeesIncreasingTimes) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  ArrivalProcess arrivals(sim, Rng(2), 1.0, [&](double now) {
+    if (now < last) monotone = false;
+    last = now;
+  });
+  arrivals.start();
+  sim.run_until(100.0);
+  EXPECT_TRUE(monotone);
+}
+
+TEST(ArrivalProcessTest, StopCancelsFutureArrivals) {
+  Simulator sim;
+  int count = 0;
+  ArrivalProcess arrivals(sim, Rng(3), 10.0, [&](double) { ++count; });
+  arrivals.start();
+  sim.run_until(10.0);
+  arrivals.stop();
+  const int at_stop = count;
+  sim.run_until(100.0);
+  EXPECT_EQ(count, at_stop);
+}
+
+TEST(ArrivalProcessTest, StopBeforeStartIsSafe) {
+  Simulator sim;
+  ArrivalProcess arrivals(sim, Rng(4), 1.0, [](double) {});
+  arrivals.stop();  // no-op
+  EXPECT_EQ(arrivals.arrivals(), 0u);
+}
+
+TEST(ArrivalProcessTest, DestructorCancelsCleanly) {
+  Simulator sim;
+  {
+    ArrivalProcess arrivals(sim, Rng(5), 100.0, [](double) {});
+    arrivals.start();
+  }
+  // The pending event was cancelled; running must not crash or fire it.
+  sim.run_until(10.0);
+}
+
+TEST(ArrivalProcessTest, InvalidConstructionRejected) {
+  Simulator sim;
+  EXPECT_THROW(ArrivalProcess(sim, Rng(6), 0.0, [](double) {}),
+               reldev::ContractViolation);
+}
+
+}  // namespace
+}  // namespace reldev::sim

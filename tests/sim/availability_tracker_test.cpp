@@ -1,0 +1,85 @@
+#include "reldev/sim/availability_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev::sim {
+namespace {
+
+TEST(AvailabilityTrackerTest, AlwaysUpIsOne) {
+  AvailabilityTracker tracker(0.0, 100.0, 10);
+  tracker.record(0.0, true);
+  tracker.finish(100.0);
+  EXPECT_DOUBLE_EQ(tracker.availability(), 1.0);
+}
+
+TEST(AvailabilityTrackerTest, AlwaysDownIsZero) {
+  AvailabilityTracker tracker(0.0, 100.0, 10);
+  tracker.record(0.0, false);
+  tracker.finish(100.0);
+  EXPECT_DOUBLE_EQ(tracker.availability(), 0.0);
+}
+
+TEST(AvailabilityTrackerTest, HalfUpHalfDown) {
+  AvailabilityTracker tracker(0.0, 100.0, 10);
+  tracker.record(0.0, true);
+  tracker.record(50.0, false);
+  tracker.finish(100.0);
+  EXPECT_DOUBLE_EQ(tracker.availability(), 0.5);
+}
+
+TEST(AvailabilityTrackerTest, WarmupIsDiscarded) {
+  AvailabilityTracker tracker(10.0, 100.0, 10);
+  tracker.record(0.0, false);  // down only during warm-up
+  tracker.record(10.0, true);
+  tracker.finish(110.0);
+  EXPECT_DOUBLE_EQ(tracker.availability(), 1.0);
+}
+
+TEST(AvailabilityTrackerTest, ConfidenceTightensWithUniformity) {
+  AvailabilityTracker steady(0.0, 100.0, 10);
+  steady.record(0.0, true);
+  steady.finish(100.0);
+  EXPECT_DOUBLE_EQ(steady.half_width(), 0.0);
+
+  AvailabilityTracker alternating(0.0, 100.0, 10);
+  // Up in even batches, down in odd: batch means alternate 1, 0.
+  bool up = true;
+  for (double t = 0.0; t < 100.0; t += 10.0) {
+    alternating.record(t, up);
+    up = !up;
+  }
+  alternating.finish(100.0);
+  EXPECT_GT(alternating.half_width(), 0.1);
+}
+
+TEST(AvailabilityTrackerTest, SignalBeyondHorizonIgnored) {
+  AvailabilityTracker tracker(0.0, 50.0, 5);
+  tracker.record(0.0, true);
+  tracker.record(200.0, false);  // after the horizon: no effect on average
+  tracker.finish(250.0);
+  EXPECT_DOUBLE_EQ(tracker.availability(), 1.0);
+}
+
+TEST(AvailabilityTrackerTest, FinishTwiceIsContractViolation) {
+  AvailabilityTracker tracker(0.0, 10.0, 2);
+  tracker.record(0.0, true);
+  tracker.finish(10.0);
+  EXPECT_THROW(tracker.finish(11.0), reldev::ContractViolation);
+}
+
+TEST(AvailabilityTrackerTest, QueryBeforeFinishIsContractViolation) {
+  AvailabilityTracker tracker(0.0, 10.0, 2);
+  tracker.record(0.0, true);
+  EXPECT_THROW((void)tracker.availability(), reldev::ContractViolation);
+}
+
+TEST(AvailabilityTrackerTest, InvalidConstructionRejected) {
+  EXPECT_THROW(AvailabilityTracker(-1.0, 10.0, 2), reldev::ContractViolation);
+  EXPECT_THROW(AvailabilityTracker(0.0, 0.0, 2), reldev::ContractViolation);
+  EXPECT_THROW(AvailabilityTracker(0.0, 10.0, 1), reldev::ContractViolation);
+}
+
+}  // namespace
+}  // namespace reldev::sim

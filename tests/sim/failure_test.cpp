@@ -1,0 +1,122 @@
+#include "reldev/sim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::sim {
+namespace {
+
+class CountingListener : public FailureListener {
+ public:
+  void on_site_failed(std::size_t site, double now) override {
+    ++failures;
+    last_failed = site;
+    last_time = now;
+  }
+  void on_site_repaired(std::size_t site, double now) override {
+    ++repairs;
+    last_repaired = site;
+    last_time = now;
+  }
+  int failures = 0;
+  int repairs = 0;
+  std::size_t last_failed = SIZE_MAX;
+  std::size_t last_repaired = SIZE_MAX;
+  double last_time = -1.0;
+};
+
+TEST(FailureProcessTest, AllSitesStartUp) {
+  Simulator sim;
+  FailureProcess process(sim, Rng(1), uniform_rates(4, 0.1), nullptr);
+  EXPECT_EQ(process.up_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(process.is_up(i));
+}
+
+TEST(FailureProcessTest, FailuresAndRepairsAlternate) {
+  Simulator sim;
+  CountingListener listener;
+  FailureProcess process(sim, Rng(2), uniform_rates(1, 1.0), &listener);
+  process.start();
+  sim.run_until(100.0);
+  // With lambda = mu = 1 over 100 time units we expect roughly 50 cycles.
+  EXPECT_GT(listener.failures, 10);
+  // Counts can differ by at most one (the site is either up or down now).
+  EXPECT_NEAR(listener.failures, listener.repairs, 1);
+  EXPECT_EQ(process.is_up(0), listener.failures == listener.repairs);
+}
+
+TEST(FailureProcessTest, UpCountConsistentWithEvents) {
+  Simulator sim;
+  CountingListener listener;
+  FailureProcess process(sim, Rng(3), uniform_rates(5, 0.5), &listener);
+  process.start();
+  sim.run_until(200.0);
+  std::size_t up = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (process.is_up(i)) ++up;
+  }
+  EXPECT_EQ(up, process.up_count());
+}
+
+TEST(FailureProcessTest, ZeroFailureRateNeverFails) {
+  Simulator sim;
+  CountingListener listener;
+  std::vector<FailureRates> rates{{0.0, 1.0}};
+  FailureProcess process(sim, Rng(4), rates, &listener);
+  process.start();
+  sim.run_until(1000.0);
+  EXPECT_EQ(listener.failures, 0);
+  EXPECT_TRUE(process.is_up(0));
+}
+
+TEST(FailureProcessTest, LongRunFractionMatchesTheory) {
+  // A single site with rho = lambda/mu should be up 1/(1+rho) of the time.
+  Simulator sim;
+  const double rho = 0.25;
+
+  class UptimeListener : public FailureListener {
+   public:
+    void on_site_failed(std::size_t, double now) override {
+      up_time += now - since;
+      since = now;
+    }
+    void on_site_repaired(std::size_t, double now) override { since = now; }
+    double up_time = 0.0;
+    double since = 0.0;
+  } listener;
+
+  FailureProcess process(sim, Rng(5), uniform_rates(1, rho), &listener);
+  process.start();
+  const double horizon = 200'000.0;
+  sim.run_until(horizon);
+  double up_time = listener.up_time;
+  if (process.is_up(0)) up_time += horizon - listener.since;
+  EXPECT_NEAR(up_time / horizon, 1.0 / (1.0 + rho), 0.01);
+}
+
+TEST(FailureProcessTest, DoubleStartIsContractViolation) {
+  Simulator sim;
+  FailureProcess process(sim, Rng(6), uniform_rates(2, 0.1), nullptr);
+  process.start();
+  EXPECT_THROW(process.start(), reldev::ContractViolation);
+}
+
+TEST(FailureProcessTest, InvalidRatesRejected) {
+  Simulator sim;
+  std::vector<FailureRates> bad{{0.1, 0.0}};
+  EXPECT_THROW(FailureProcess(sim, Rng(7), bad, nullptr),
+               reldev::ContractViolation);
+  EXPECT_THROW(FailureProcess(sim, Rng(7), {}, nullptr),
+               reldev::ContractViolation);
+}
+
+TEST(UniformRatesTest, BuildsExpectedVector) {
+  const auto rates = uniform_rates(3, 0.07);
+  ASSERT_EQ(rates.size(), 3u);
+  for (const auto& r : rates) {
+    EXPECT_DOUBLE_EQ(r.failure_rate, 0.07);
+    EXPECT_DOUBLE_EQ(r.repair_rate, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace reldev::sim

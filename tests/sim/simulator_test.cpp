@@ -1,0 +1,120 @@
+#include "reldev/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reldev::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(9999);  // must not throw
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtDeadlineIsIncluded) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.schedule_after(1.0, step);
+  };
+  sim.schedule_at(0.0, step);
+  sim.run_all();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, SchedulingInPastIsContractViolation) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), reldev::ContractViolation);
+  EXPECT_THROW(sim.schedule_after(-0.5, [] {}), reldev::ContractViolation);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, CancelledEventsDontBlockRunUntil) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace reldev::sim

@@ -1,0 +1,60 @@
+#include "reldev/storage/site_metadata.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::storage {
+namespace {
+
+TEST(SiteMetadataTest, RoundTripWithWasAvailable) {
+  SiteMetadata meta;
+  meta.site = 3;
+  meta.clean_shutdown = true;
+  meta.was_available = SiteSet{0, 2, 3};
+  const auto blob = meta.encode();
+  auto decoded = SiteMetadata::decode(blob);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), meta);
+}
+
+TEST(SiteMetadataTest, RoundTripWithoutWasAvailable) {
+  SiteMetadata meta;
+  meta.site = 1;
+  meta.clean_shutdown = false;
+  meta.was_available = std::nullopt;
+  auto decoded = SiteMetadata::decode(meta.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), meta);
+  EXPECT_FALSE(decoded.value().was_available.has_value());
+}
+
+TEST(SiteMetadataTest, EmptyWasAvailableSetSurvives) {
+  SiteMetadata meta;
+  meta.was_available = SiteSet{};
+  auto decoded = SiteMetadata::decode(meta.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_TRUE(decoded.value().was_available.has_value());
+  EXPECT_TRUE(decoded.value().was_available->empty());
+}
+
+TEST(SiteMetadataTest, BadMagicRejected) {
+  SiteMetadata meta;
+  auto blob = meta.encode();
+  blob[0] ^= std::byte{0xFF};
+  EXPECT_EQ(SiteMetadata::decode(blob).status().code(),
+            reldev::ErrorCode::kCorruption);
+}
+
+TEST(SiteMetadataTest, TruncatedBlobRejected) {
+  SiteMetadata meta;
+  meta.was_available = SiteSet{1, 2};
+  auto blob = meta.encode();
+  blob.resize(blob.size() - 4);
+  EXPECT_FALSE(SiteMetadata::decode(blob).is_ok());
+}
+
+TEST(SiteMetadataTest, EmptyBlobRejected) {
+  EXPECT_FALSE(SiteMetadata::decode({}).is_ok());
+}
+
+}  // namespace
+}  // namespace reldev::storage

@@ -1,0 +1,110 @@
+#include "reldev/storage/version.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev::storage {
+namespace {
+
+TEST(VersionVectorTest, StartsAtZero) {
+  const VersionVector vv(4);
+  EXPECT_EQ(vv.size(), 4u);
+  for (BlockId b = 0; b < 4; ++b) EXPECT_EQ(vv.at(b), 0u);
+  EXPECT_EQ(vv.total(), 0u);
+}
+
+TEST(VersionVectorTest, SetAndBump) {
+  VersionVector vv(3);
+  vv.set(1, 5);
+  EXPECT_EQ(vv.at(1), 5u);
+  EXPECT_EQ(vv.bump(1), 6u);
+  EXPECT_EQ(vv.at(1), 6u);
+  EXPECT_EQ(vv.bump(0), 1u);
+  EXPECT_EQ(vv.total(), 7u);
+}
+
+TEST(VersionVectorTest, DominatesIsReflexive) {
+  VersionVector vv(3);
+  vv.set(0, 2);
+  EXPECT_TRUE(vv.dominates(vv));
+}
+
+TEST(VersionVectorTest, DominanceAndStaleness) {
+  VersionVector older(3);
+  VersionVector newer(3);
+  newer.set(0, 1);
+  newer.set(2, 4);
+  EXPECT_TRUE(newer.dominates(older));
+  EXPECT_FALSE(older.dominates(newer));
+  EXPECT_EQ(older.stale_against(newer), (std::vector<BlockId>{0, 2}));
+  EXPECT_TRUE(newer.stale_against(older).empty());
+}
+
+TEST(VersionVectorTest, IncomparableVectors) {
+  VersionVector a(2);
+  VersionVector b(2);
+  a.set(0, 1);
+  b.set(1, 1);
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_EQ(a.stale_against(b), (std::vector<BlockId>{1}));
+  EXPECT_EQ(b.stale_against(a), (std::vector<BlockId>{0}));
+}
+
+TEST(VersionVectorTest, MergeMaxIsPointwise) {
+  VersionVector a(3);
+  VersionVector b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 3);
+  b.set(2, 2);
+  a.merge_max(b);
+  EXPECT_EQ(a.at(0), 5u);
+  EXPECT_EQ(a.at(1), 3u);
+  EXPECT_EQ(a.at(2), 2u);
+}
+
+TEST(VersionVectorTest, MergedVectorDominatesBothInputs) {
+  VersionVector a(4);
+  VersionVector b(4);
+  a.set(0, 2);
+  b.set(3, 7);
+  VersionVector merged = a;
+  merged.merge_max(b);
+  EXPECT_TRUE(merged.dominates(a));
+  EXPECT_TRUE(merged.dominates(b));
+}
+
+TEST(VersionVectorTest, SizeMismatchIsContractViolation) {
+  const VersionVector a(2);
+  const VersionVector b(3);
+  EXPECT_THROW((void)a.dominates(b), reldev::ContractViolation);
+  EXPECT_THROW((void)a.stale_against(b), reldev::ContractViolation);
+}
+
+TEST(VersionVectorTest, OutOfRangeAccessIsContractViolation) {
+  VersionVector vv(2);
+  EXPECT_THROW((void)vv.at(2), reldev::ContractViolation);
+  EXPECT_THROW(vv.set(5, 1), reldev::ContractViolation);
+}
+
+TEST(VersionVectorTest, EncodeDecodeRoundTrip) {
+  VersionVector vv(5);
+  vv.set(0, 10);
+  vv.set(4, 99);
+  reldev::BufferWriter writer;
+  vv.encode(writer);
+  reldev::BufferReader reader(writer.bytes());
+  auto decoded = VersionVector::decode(reader);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), vv);
+}
+
+TEST(VersionVectorTest, DecodeTruncatedFails) {
+  reldev::BufferWriter writer;
+  writer.put_u32(10);  // ten entries promised, none present
+  reldev::BufferReader reader(writer.bytes());
+  EXPECT_FALSE(VersionVector::decode(reader).is_ok());
+}
+
+}  // namespace
+}  // namespace reldev::storage

@@ -1,0 +1,58 @@
+#include "reldev/util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace reldev {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* text) {
+  std::vector<std::byte> out(std::strlen(text));
+  std::memcpy(out.data(), text, out.size());
+  return out;
+}
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(crc32c(std::span<const std::byte>{}), 0u);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (canonical check value).
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc32c(std::span<const std::byte>(data)), 0xE3069283u);
+}
+
+TEST(Crc32Test, DifferentInputsDiffer) {
+  const auto a = bytes_of("hello world");
+  const auto b = bytes_of("hello worle");
+  EXPECT_NE(crc32c(std::span<const std::byte>(a)),
+            crc32c(std::span<const std::byte>(b)));
+}
+
+TEST(Crc32Test, SeedChainingEqualsWholeBuffer) {
+  const auto whole = bytes_of("abcdefghij");
+  const auto head = bytes_of("abcde");
+  const auto tail = bytes_of("fghij");
+  const std::uint32_t chained =
+      crc32c(std::span<const std::byte>(tail),
+             crc32c(std::span<const std::byte>(head)));
+  EXPECT_EQ(chained, crc32c(std::span<const std::byte>(whole)));
+}
+
+TEST(Crc32Test, RawPointerOverloadAgrees) {
+  const auto data = bytes_of("block payload");
+  EXPECT_EQ(crc32c(data.data(), data.size()),
+            crc32c(std::span<const std::byte>(data)));
+}
+
+TEST(Crc32Test, SingleBitFlipDetected) {
+  std::vector<std::byte> data(512, std::byte{0xAB});
+  const std::uint32_t original = crc32c(std::span<const std::byte>(data));
+  data[255] ^= std::byte{0x01};
+  EXPECT_NE(crc32c(std::span<const std::byte>(data)), original);
+}
+
+}  // namespace
+}  // namespace reldev

@@ -1,0 +1,100 @@
+#include "reldev/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev {
+namespace {
+
+FlagSet make_flags() {
+  FlagSet flags;
+  flags.add_int("sites", 3, "number of sites");
+  flags.add_double("rho", 0.05, "failure/repair ratio");
+  flags.add_string("scheme", "voting", "consistency scheme");
+  flags.add_bool("csv", false, "emit CSV");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArguments) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv).is_ok());
+  EXPECT_EQ(flags.get_int("sites"), 3);
+  EXPECT_DOUBLE_EQ(flags.get_double("rho"), 0.05);
+  EXPECT_EQ(flags.get_string("scheme"), "voting");
+  EXPECT_FALSE(flags.get_bool("csv"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--sites=7", "--rho=0.1", "--scheme=ac",
+                        "--csv=true"};
+  ASSERT_TRUE(flags.parse(5, argv).is_ok());
+  EXPECT_EQ(flags.get_int("sites"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rho"), 0.1);
+  EXPECT_EQ(flags.get_string("scheme"), "ac");
+  EXPECT_TRUE(flags.get_bool("csv"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--sites", "9"};
+  ASSERT_TRUE(flags.parse(3, argv).is_ok());
+  EXPECT_EQ(flags.get_int("sites"), 9);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--csv"};
+  ASSERT_TRUE(flags.parse(2, argv).is_ok());
+  EXPECT_TRUE(flags.get_bool("csv"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EQ(flags.parse(2, argv).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedIntRejected) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--sites=three"};
+  EXPECT_EQ(flags.parse(2, argv).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedDoubleRejected) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--rho=0.1x"};
+  EXPECT_EQ(flags.parse(2, argv).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--sites"};
+  EXPECT_EQ(flags.parse(2, argv).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "input.dat", "--sites=2", "more"};
+  ASSERT_TRUE(flags.parse(4, argv).is_ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.dat", "more"}));
+}
+
+TEST(FlagsTest, HelpRequested) {
+  auto flags = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(flags.parse(2, argv).is_ok());
+  EXPECT_TRUE(flags.help_requested());
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--sites"), std::string::npos);
+  EXPECT_NE(usage.find("failure/repair ratio"), std::string::npos);
+}
+
+TEST(FlagsTest, UnregisteredGetIsContractViolation) {
+  auto flags = make_flags();
+  EXPECT_THROW((void)flags.get_int("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reldev

@@ -1,0 +1,51 @@
+#include "reldev/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reldev {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(&sink_);
+    saved_level_ = Logger::instance().level();
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(saved_level_);
+  }
+  std::ostringstream sink_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  RELDEV_INFO("test") << "visible " << 42;
+  EXPECT_NE(sink_.str().find("[info] test: visible 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowLevel) {
+  Logger::instance().set_level(LogLevel::kError);
+  RELDEV_DEBUG("test") << "hidden";
+  RELDEV_WARN("test") << "also hidden";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "trace");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "error");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "off");
+}
+
+TEST_F(LoggingTest, EnabledMatchesLevel) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+}
+
+}  // namespace
+}  // namespace reldev

@@ -1,0 +1,69 @@
+#include "reldev/util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = errors::unavailable("no quorum");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(status.message(), "no quorum");
+  EXPECT_EQ(status.to_string(), "unavailable: no quorum");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(errors::io_error("a"), errors::io_error("b"));
+  EXPECT_FALSE(errors::io_error("a") == errors::timeout("a"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kInternal); ++code) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(code)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> result(errors::not_found("gone"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOnErrorIsContractViolation) {
+  const Result<int> result(errors::not_found("gone"));
+  EXPECT_THROW((void)result.value(), ContractViolation);
+}
+
+TEST(ResultTest, OkStatusCannotConstructResult) {
+  EXPECT_THROW(Result<int>(Status::ok()), ContractViolation);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Result<int>(7).value_or(1), 7);
+  EXPECT_EQ(Result<int>(errors::timeout("t")).value_or(1), 1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace reldev

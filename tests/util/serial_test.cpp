@@ -1,0 +1,115 @@
+#include "reldev/util/serial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev {
+namespace {
+
+TEST(SerialTest, RoundTripFixedWidthIntegers) {
+  BufferWriter writer;
+  writer.put_u8(0xAB);
+  writer.put_u16(0xBEEF);
+  writer.put_u32(0xDEADBEEF);
+  writer.put_u64(0x0123456789ABCDEFull);
+  writer.put_i64(-42);
+  writer.put_bool(true);
+  writer.put_bool(false);
+
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_u8().value(), 0xAB);
+  EXPECT_EQ(reader.get_u16().value(), 0xBEEF);
+  EXPECT_EQ(reader.get_u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.get_u64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.get_i64().value(), -42);
+  EXPECT_TRUE(reader.get_bool().value());
+  EXPECT_FALSE(reader.get_bool().value());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(SerialTest, LittleEndianLayout) {
+  BufferWriter writer;
+  writer.put_u32(0x01020304);
+  const auto bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(bytes[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(bytes[3]), 0x01);
+}
+
+TEST(SerialTest, RoundTripDouble) {
+  BufferWriter writer;
+  writer.put_f64(3.141592653589793);
+  writer.put_f64(-0.0);
+  BufferReader reader(writer.bytes());
+  EXPECT_DOUBLE_EQ(reader.get_f64().value(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(reader.get_f64().value(), -0.0);
+}
+
+TEST(SerialTest, RoundTripStringAndBytes) {
+  BufferWriter writer;
+  writer.put_string("reliable device");
+  writer.put_string("");
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_string().value(), "reliable device");
+  EXPECT_EQ(reader.get_string().value(), "");
+}
+
+TEST(SerialTest, RoundTripU64Vector) {
+  BufferWriter writer;
+  writer.put_u64_vector({1, 2, 3, UINT64_MAX});
+  writer.put_u64_vector({});
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_u64_vector().value(),
+            (std::vector<std::uint64_t>{1, 2, 3, UINT64_MAX}));
+  EXPECT_TRUE(reader.get_u64_vector().value().empty());
+}
+
+TEST(SerialTest, RawBytesHaveNoPrefix) {
+  BufferWriter writer;
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  writer.put_raw(payload);
+  EXPECT_EQ(writer.size(), 3u);
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_raw(3).value(), payload);
+}
+
+TEST(SerialTest, TruncatedReadIsCorruption) {
+  BufferWriter writer;
+  writer.put_u16(7);
+  BufferReader reader(writer.bytes());
+  EXPECT_TRUE(reader.get_u32().status().code() == ErrorCode::kCorruption);
+}
+
+TEST(SerialTest, TruncatedVectorIsCorruption) {
+  BufferWriter writer;
+  writer.put_u32(100);  // claims 100 elements, provides none
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_u64_vector().status().code(), ErrorCode::kCorruption);
+}
+
+TEST(SerialTest, BadBoolByteIsCorruption) {
+  BufferWriter writer;
+  writer.put_u8(2);
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bool().status().code(), ErrorCode::kCorruption);
+}
+
+TEST(SerialTest, RemainingTracksOffset) {
+  BufferWriter writer;
+  writer.put_u64(1);
+  writer.put_u64(2);
+  BufferReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 16u);
+  (void)reader.get_u64();
+  EXPECT_EQ(reader.remaining(), 8u);
+}
+
+TEST(SerialTest, TakeMovesBuffer) {
+  BufferWriter writer;
+  writer.put_u32(9);
+  auto buffer = std::move(writer).take();
+  EXPECT_EQ(buffer.size(), 4u);
+}
+
+}  // namespace
+}  // namespace reldev

@@ -1,0 +1,98 @@
+#include "reldev/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev {
+namespace {
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(TimeWeightedStatTest, ConstantSignal) {
+  TimeWeightedStat stat;
+  stat.record(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(stat.average(10.0), 1.0);
+}
+
+TEST(TimeWeightedStatTest, SquareWave) {
+  TimeWeightedStat stat;
+  stat.record(0.0, 1.0);
+  stat.record(4.0, 0.0);  // up for 4
+  stat.record(8.0, 1.0);  // down for 4
+  EXPECT_DOUBLE_EQ(stat.average(10.0), 0.6);  // up 4 + 2 of 10
+}
+
+TEST(TimeWeightedStatTest, LateStartWindow) {
+  TimeWeightedStat stat;
+  stat.record(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(stat.average(15.0), 2.0);
+  EXPECT_DOUBLE_EQ(stat.start_time(), 5.0);
+}
+
+TEST(TimeWeightedStatTest, NonMonotonicTimeIsContractViolation) {
+  TimeWeightedStat stat;
+  stat.record(5.0, 1.0);
+  EXPECT_THROW(stat.record(4.0, 0.0), ContractViolation);
+}
+
+TEST(BatchMeansTest, HalfWidthShrinksWithAgreement) {
+  BatchMeans tight;
+  BatchMeans loose;
+  for (int i = 0; i < 30; ++i) {
+    tight.add_batch(0.5 + (i % 2 == 0 ? 0.001 : -0.001));
+    loose.add_batch(0.5 + (i % 2 == 0 ? 0.2 : -0.2));
+  }
+  EXPECT_NEAR(tight.mean(), 0.5, 1e-9);
+  EXPECT_LT(tight.half_width(), loose.half_width());
+}
+
+TEST(BatchMeansTest, FewBatchesGiveZeroWidth) {
+  BatchMeans bm;
+  bm.add_batch(1.0);
+  EXPECT_DOUBLE_EQ(bm.half_width(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);    // bin 0
+  hist.add(9.5);    // bin 9
+  hist.add(-5.0);   // clamps to bin 0
+  hist.add(50.0);   // clamps to bin 9
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(9), 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) hist.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(hist.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(HistogramTest, InvalidConstructionRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reldev

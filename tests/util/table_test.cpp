@@ -1,0 +1,58 @@
+#include "reldev/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "reldev/util/assert.hpp"
+
+namespace reldev {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TextTable table({"rho", "A_V(5)"});
+  table.add_row({"0.05", "0.998"});
+  table.add_row({"0.10", "0.99"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("rho"), std::string::npos);
+  EXPECT_NE(text.find("0.998"), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(TableTest, TitleAppearsFirst) {
+  TextTable table({"a"});
+  table.set_title("Figure 9");
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str().rfind("Figure 9", 0), 0u);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable table({"x", "y"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, RowWidthMismatchRejected) {
+  TextTable table({"only"});
+  EXPECT_THROW(table.add_row({"a", "b"}), ContractViolation);
+}
+
+TEST(TableTest, FmtFixedPrecision) {
+  EXPECT_EQ(TextTable::fmt(0.123456789, 4), "0.1235");
+  EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+}
+
+TEST(TableTest, RowCount) {
+  TextTable table({"h"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"v"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace reldev
