@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quorums.dir/ablation_quorums.cpp.o"
+  "CMakeFiles/ablation_quorums.dir/ablation_quorums.cpp.o.d"
+  "ablation_quorums"
+  "ablation_quorums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quorums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

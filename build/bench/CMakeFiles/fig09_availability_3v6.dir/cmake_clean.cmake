@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_availability_3v6.dir/fig09_availability_3v6.cpp.o"
+  "CMakeFiles/fig09_availability_3v6.dir/fig09_availability_3v6.cpp.o.d"
+  "fig09_availability_3v6"
+  "fig09_availability_3v6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_availability_3v6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_availability_3v6.
+# This may be replaced when dependencies are built.

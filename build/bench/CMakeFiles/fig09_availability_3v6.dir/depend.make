@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_availability_3v6.
+# This may be replaced when dependencies are built.

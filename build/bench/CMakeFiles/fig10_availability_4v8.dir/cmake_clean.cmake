@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_availability_4v8.dir/fig10_availability_4v8.cpp.o"
+  "CMakeFiles/fig10_availability_4v8.dir/fig10_availability_4v8.cpp.o.d"
+  "fig10_availability_4v8"
+  "fig10_availability_4v8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_availability_4v8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_multicast_traffic.cpp" "bench/CMakeFiles/fig11_multicast_traffic.dir/fig11_multicast_traffic.cpp.o" "gcc" "bench/CMakeFiles/fig11_multicast_traffic.dir/fig11_multicast_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/reldev_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reldev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reldev_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reldev_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/reldev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reldev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/reldev_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_protocols.dir/micro_protocols.cpp.o"
+  "CMakeFiles/micro_protocols.dir/micro_protocols.cpp.o.d"
+  "micro_protocols"
+  "micro_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

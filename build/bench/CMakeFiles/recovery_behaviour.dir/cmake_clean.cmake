@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_behaviour.dir/recovery_behaviour.cpp.o"
+  "CMakeFiles/recovery_behaviour.dir/recovery_behaviour.cpp.o.d"
+  "recovery_behaviour"
+  "recovery_behaviour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_behaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

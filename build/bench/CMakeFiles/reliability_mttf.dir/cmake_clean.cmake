@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_mttf.dir/reliability_mttf.cpp.o"
+  "CMakeFiles/reliability_mttf.dir/reliability_mttf.cpp.o.d"
+  "reliability_mttf"
+  "reliability_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

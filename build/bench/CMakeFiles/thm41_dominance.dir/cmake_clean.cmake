@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm41_dominance.dir/thm41_dominance.cpp.o"
+  "CMakeFiles/thm41_dominance.dir/thm41_dominance.cpp.o.d"
+  "thm41_dominance"
+  "thm41_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm41_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

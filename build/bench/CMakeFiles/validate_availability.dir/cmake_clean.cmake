@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_availability.dir/validate_availability.cpp.o"
+  "CMakeFiles/validate_availability.dir/validate_availability.cpp.o.d"
+  "validate_availability"
+  "validate_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

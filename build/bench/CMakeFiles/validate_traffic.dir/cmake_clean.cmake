@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_traffic.dir/validate_traffic.cpp.o"
+  "CMakeFiles/validate_traffic.dir/validate_traffic.cpp.o.d"
+  "validate_traffic"
+  "validate_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

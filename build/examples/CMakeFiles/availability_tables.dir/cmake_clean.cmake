@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_tables.dir/availability_tables.cpp.o"
+  "CMakeFiles/availability_tables.dir/availability_tables.cpp.o.d"
+  "availability_tables"
+  "availability_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

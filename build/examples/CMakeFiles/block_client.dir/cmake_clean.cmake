@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_client.dir/block_client.cpp.o"
+  "CMakeFiles/block_client.dir/block_client.cpp.o.d"
+  "block_client"
+  "block_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_scenarios.dir/failure_scenarios.cpp.o"
+  "CMakeFiles/failure_scenarios.dir/failure_scenarios.cpp.o.d"
+  "failure_scenarios"
+  "failure_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

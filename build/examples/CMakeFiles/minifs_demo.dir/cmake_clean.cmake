@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minifs_demo.dir/minifs_demo.cpp.o"
+  "CMakeFiles/minifs_demo.dir/minifs_demo.cpp.o.d"
+  "minifs_demo"
+  "minifs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minifs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_device_daemon.dir/reliable_device_daemon.cpp.o"
+  "CMakeFiles/reliable_device_daemon.dir/reliable_device_daemon.cpp.o.d"
+  "reliable_device_daemon"
+  "reliable_device_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_device_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/availability.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/availability.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/availability.cpp.o.d"
+  "/root/repo/src/analysis/binomial.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/binomial.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/binomial.cpp.o.d"
+  "/root/repo/src/analysis/linalg.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/linalg.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/linalg.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/quorum.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/quorum.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/quorum.cpp.o.d"
+  "/root/repo/src/analysis/reliability.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/reliability.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/reliability.cpp.o.d"
+  "/root/repo/src/analysis/traffic.cpp" "src/analysis/CMakeFiles/reldev_analysis.dir/traffic.cpp.o" "gcc" "src/analysis/CMakeFiles/reldev_analysis.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/reldev_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reldev_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reldev_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

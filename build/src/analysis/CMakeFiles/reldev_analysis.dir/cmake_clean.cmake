@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_analysis.dir/availability.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/reldev_analysis.dir/binomial.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/binomial.cpp.o.d"
+  "CMakeFiles/reldev_analysis.dir/linalg.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/linalg.cpp.o.d"
+  "CMakeFiles/reldev_analysis.dir/markov.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/reldev_analysis.dir/quorum.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/quorum.cpp.o.d"
+  "CMakeFiles/reldev_analysis.dir/reliability.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/reliability.cpp.o.d"
+  "CMakeFiles/reldev_analysis.dir/traffic.cpp.o"
+  "CMakeFiles/reldev_analysis.dir/traffic.cpp.o.d"
+  "libreldev_analysis.a"
+  "libreldev_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

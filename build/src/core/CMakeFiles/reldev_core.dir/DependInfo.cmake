@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/available_copy_replica.cpp" "src/core/CMakeFiles/reldev_core.dir/available_copy_replica.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/available_copy_replica.cpp.o.d"
+  "/root/repo/src/core/closure.cpp" "src/core/CMakeFiles/reldev_core.dir/closure.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/closure.cpp.o.d"
+  "/root/repo/src/core/driver_stub.cpp" "src/core/CMakeFiles/reldev_core.dir/driver_stub.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/driver_stub.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/reldev_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/core/CMakeFiles/reldev_core.dir/group.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/group.cpp.o.d"
+  "/root/repo/src/core/naive_replica.cpp" "src/core/CMakeFiles/reldev_core.dir/naive_replica.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/naive_replica.cpp.o.d"
+  "/root/repo/src/core/replica.cpp" "src/core/CMakeFiles/reldev_core.dir/replica.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/replica.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/reldev_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/voting_replica.cpp" "src/core/CMakeFiles/reldev_core.dir/voting_replica.cpp.o" "gcc" "src/core/CMakeFiles/reldev_core.dir/voting_replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/reldev_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reldev_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reldev_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reldev_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_core.dir/available_copy_replica.cpp.o"
+  "CMakeFiles/reldev_core.dir/available_copy_replica.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/closure.cpp.o"
+  "CMakeFiles/reldev_core.dir/closure.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/driver_stub.cpp.o"
+  "CMakeFiles/reldev_core.dir/driver_stub.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/experiment.cpp.o"
+  "CMakeFiles/reldev_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/group.cpp.o"
+  "CMakeFiles/reldev_core.dir/group.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/naive_replica.cpp.o"
+  "CMakeFiles/reldev_core.dir/naive_replica.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/replica.cpp.o"
+  "CMakeFiles/reldev_core.dir/replica.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/scenario.cpp.o"
+  "CMakeFiles/reldev_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/reldev_core.dir/voting_replica.cpp.o"
+  "CMakeFiles/reldev_core.dir/voting_replica.cpp.o.d"
+  "libreldev_core.a"
+  "libreldev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_fs.dir/block_cache.cpp.o"
+  "CMakeFiles/reldev_fs.dir/block_cache.cpp.o.d"
+  "CMakeFiles/reldev_fs.dir/minifs.cpp.o"
+  "CMakeFiles/reldev_fs.dir/minifs.cpp.o.d"
+  "libreldev_fs.a"
+  "libreldev_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

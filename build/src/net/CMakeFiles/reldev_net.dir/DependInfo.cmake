@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc_transport.cpp" "src/net/CMakeFiles/reldev_net.dir/inproc_transport.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/reldev_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/tcp/framing.cpp" "src/net/CMakeFiles/reldev_net.dir/tcp/framing.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/tcp/framing.cpp.o.d"
+  "/root/repo/src/net/tcp/socket.cpp" "src/net/CMakeFiles/reldev_net.dir/tcp/socket.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/tcp/socket.cpp.o.d"
+  "/root/repo/src/net/tcp/tcp_client.cpp" "src/net/CMakeFiles/reldev_net.dir/tcp/tcp_client.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/tcp/tcp_client.cpp.o.d"
+  "/root/repo/src/net/tcp/tcp_server.cpp" "src/net/CMakeFiles/reldev_net.dir/tcp/tcp_server.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/tcp/tcp_server.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/reldev_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/reldev_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/reldev_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reldev_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

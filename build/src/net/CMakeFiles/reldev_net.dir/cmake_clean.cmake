@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/reldev_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/reldev_net.dir/message.cpp.o"
+  "CMakeFiles/reldev_net.dir/message.cpp.o.d"
+  "CMakeFiles/reldev_net.dir/tcp/framing.cpp.o"
+  "CMakeFiles/reldev_net.dir/tcp/framing.cpp.o.d"
+  "CMakeFiles/reldev_net.dir/tcp/socket.cpp.o"
+  "CMakeFiles/reldev_net.dir/tcp/socket.cpp.o.d"
+  "CMakeFiles/reldev_net.dir/tcp/tcp_client.cpp.o"
+  "CMakeFiles/reldev_net.dir/tcp/tcp_client.cpp.o.d"
+  "CMakeFiles/reldev_net.dir/tcp/tcp_server.cpp.o"
+  "CMakeFiles/reldev_net.dir/tcp/tcp_server.cpp.o.d"
+  "CMakeFiles/reldev_net.dir/traffic.cpp.o"
+  "CMakeFiles/reldev_net.dir/traffic.cpp.o.d"
+  "libreldev_net.a"
+  "libreldev_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_sim.dir/arrivals.cpp.o"
+  "CMakeFiles/reldev_sim.dir/arrivals.cpp.o.d"
+  "CMakeFiles/reldev_sim.dir/availability_tracker.cpp.o"
+  "CMakeFiles/reldev_sim.dir/availability_tracker.cpp.o.d"
+  "CMakeFiles/reldev_sim.dir/failure.cpp.o"
+  "CMakeFiles/reldev_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/reldev_sim.dir/simulator.cpp.o"
+  "CMakeFiles/reldev_sim.dir/simulator.cpp.o.d"
+  "libreldev_sim.a"
+  "libreldev_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_store.cpp" "src/storage/CMakeFiles/reldev_storage.dir/block_store.cpp.o" "gcc" "src/storage/CMakeFiles/reldev_storage.dir/block_store.cpp.o.d"
+  "/root/repo/src/storage/file_block_store.cpp" "src/storage/CMakeFiles/reldev_storage.dir/file_block_store.cpp.o" "gcc" "src/storage/CMakeFiles/reldev_storage.dir/file_block_store.cpp.o.d"
+  "/root/repo/src/storage/mem_block_store.cpp" "src/storage/CMakeFiles/reldev_storage.dir/mem_block_store.cpp.o" "gcc" "src/storage/CMakeFiles/reldev_storage.dir/mem_block_store.cpp.o.d"
+  "/root/repo/src/storage/site_metadata.cpp" "src/storage/CMakeFiles/reldev_storage.dir/site_metadata.cpp.o" "gcc" "src/storage/CMakeFiles/reldev_storage.dir/site_metadata.cpp.o.d"
+  "/root/repo/src/storage/version.cpp" "src/storage/CMakeFiles/reldev_storage.dir/version.cpp.o" "gcc" "src/storage/CMakeFiles/reldev_storage.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/reldev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

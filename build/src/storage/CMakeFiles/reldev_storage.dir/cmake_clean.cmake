@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_storage.dir/block_store.cpp.o"
+  "CMakeFiles/reldev_storage.dir/block_store.cpp.o.d"
+  "CMakeFiles/reldev_storage.dir/file_block_store.cpp.o"
+  "CMakeFiles/reldev_storage.dir/file_block_store.cpp.o.d"
+  "CMakeFiles/reldev_storage.dir/mem_block_store.cpp.o"
+  "CMakeFiles/reldev_storage.dir/mem_block_store.cpp.o.d"
+  "CMakeFiles/reldev_storage.dir/site_metadata.cpp.o"
+  "CMakeFiles/reldev_storage.dir/site_metadata.cpp.o.d"
+  "CMakeFiles/reldev_storage.dir/version.cpp.o"
+  "CMakeFiles/reldev_storage.dir/version.cpp.o.d"
+  "libreldev_storage.a"
+  "libreldev_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreldev_storage.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldev_util.dir/crc32.cpp.o"
+  "CMakeFiles/reldev_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/flags.cpp.o"
+  "CMakeFiles/reldev_util.dir/flags.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/logging.cpp.o"
+  "CMakeFiles/reldev_util.dir/logging.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/result.cpp.o"
+  "CMakeFiles/reldev_util.dir/result.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/rng.cpp.o"
+  "CMakeFiles/reldev_util.dir/rng.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/serial.cpp.o"
+  "CMakeFiles/reldev_util.dir/serial.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/stats.cpp.o"
+  "CMakeFiles/reldev_util.dir/stats.cpp.o.d"
+  "CMakeFiles/reldev_util.dir/table.cpp.o"
+  "CMakeFiles/reldev_util.dir/table.cpp.o.d"
+  "libreldev_util.a"
+  "libreldev_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldev_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

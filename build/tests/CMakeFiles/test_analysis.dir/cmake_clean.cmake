@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/availability_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/availability_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/binomial_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/binomial_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/linalg_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/linalg_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/markov_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/markov_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/quorum_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/quorum_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/reliability_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/reliability_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/traffic_model_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/traffic_model_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/available_copy_test.cpp" "tests/CMakeFiles/test_core.dir/core/available_copy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/available_copy_test.cpp.o.d"
+  "/root/repo/tests/core/closure_test.cpp" "tests/CMakeFiles/test_core.dir/core/closure_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/closure_test.cpp.o.d"
+  "/root/repo/tests/core/driver_stub_test.cpp" "tests/CMakeFiles/test_core.dir/core/driver_stub_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/driver_stub_test.cpp.o.d"
+  "/root/repo/tests/core/group_test.cpp" "tests/CMakeFiles/test_core.dir/core/group_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/group_test.cpp.o.d"
+  "/root/repo/tests/core/naive_test.cpp" "tests/CMakeFiles/test_core.dir/core/naive_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/naive_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/test_core.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  "/root/repo/tests/core/replica_edge_test.cpp" "tests/CMakeFiles/test_core.dir/core/replica_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/replica_edge_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/types_test.cpp" "tests/CMakeFiles/test_core.dir/core/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/types_test.cpp.o.d"
+  "/root/repo/tests/core/voting_test.cpp" "tests/CMakeFiles/test_core.dir/core/voting_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/voting_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/reldev_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reldev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reldev_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reldev_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/reldev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reldev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/reldev_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/available_copy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/available_copy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/closure_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/closure_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/driver_stub_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/driver_stub_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/group_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/group_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/naive_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/naive_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/replica_edge_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/replica_edge_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/types_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/types_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/voting_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/voting_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

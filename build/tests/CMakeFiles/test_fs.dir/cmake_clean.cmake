@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs.dir/fs/block_cache_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/block_cache_test.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/minifs_replicated_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/minifs_replicated_test.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/minifs_test.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/minifs_test.cpp.o.d"
+  "test_fs"
+  "test_fs.pdb"
+  "test_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/persistence_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/persistence_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/safety_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/safety_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/sim_vs_analytic_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/sim_vs_analytic_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/tcp_group_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/tcp_group_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
