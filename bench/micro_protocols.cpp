@@ -8,7 +8,10 @@
 #include <cstdio>
 
 #include "reldev/core/group.hpp"
+#include "reldev/core/voting_replica.hpp"
 #include "reldev/fs/minifs.hpp"
+#include "reldev/net/tcp/tcp_client.hpp"
+#include "reldev/net/tcp/tcp_server.hpp"
 #include "reldev/storage/file_block_store.hpp"
 #include "reldev/storage/mem_block_store.hpp"
 
@@ -135,6 +138,68 @@ void BM_AcFullRecovery(benchmark::State& state) {
   state.SetLabel("repair 64 of 64 stale blocks");
 }
 BENCHMARK(BM_AcFullRecovery);
+
+// The device path over real sockets: a voting group of `sites` replicas,
+// each behind its own TCP server on loopback, the coordinator's quorum
+// rounds fanned out by the FanOut dispatcher. The in-process numbers above
+// measure the protocol engines; this measures what a deployment pays —
+// and what the parallel fan-out saves (the round costs the slowest peer's
+// RTT, not the sum of all of them).
+class TcpVotingGroup {
+ public:
+  explicit TcpVotingGroup(std::size_t sites)
+      : config_(core::GroupConfig::majority(sites, kBlocks, kBlockSize)) {
+    for (storage::SiteId site = 0; site < sites; ++site) {
+      stores_.push_back(
+          std::make_unique<storage::MemBlockStore>(kBlocks, kBlockSize));
+      replicas_.push_back(std::make_unique<core::VotingReplica>(
+          site, config_, *stores_.back(), transport_));
+    }
+    for (storage::SiteId site = 0; site < sites; ++site) {
+      servers_.push_back(
+          net::tcp::TcpServer::start(0, replicas_[site].get()).value());
+      transport_.set_endpoint(site, "127.0.0.1", servers_.back()->port());
+    }
+  }
+
+  core::VotingReplica& coordinator() { return *replicas_[0]; }
+
+ private:
+  core::GroupConfig config_;
+  net::tcp::TcpPeerTransport transport_;
+  std::vector<std::unique_ptr<storage::MemBlockStore>> stores_;
+  std::vector<std::unique_ptr<core::VotingReplica>> replicas_;
+  std::vector<std::unique_ptr<net::tcp::TcpServer>> servers_;
+};
+
+void BM_TcpDeviceWrite(benchmark::State& state) {
+  TcpVotingGroup group(static_cast<std::size_t>(state.range(0)));
+  const storage::BlockData payload(kBlockSize, std::byte{0x77});
+  storage::BlockId block = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.coordinator().write(block, payload));
+    block = (block + 1) % kBlocks;
+  }
+  state.SetLabel("voting over TCP loopback");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockSize));
+}
+BENCHMARK(BM_TcpDeviceWrite)->Arg(3)->Arg(5)->Arg(7)->ArgName("sites");
+
+void BM_TcpDeviceRead(benchmark::State& state) {
+  TcpVotingGroup group(static_cast<std::size_t>(state.range(0)));
+  const storage::BlockData payload(kBlockSize, std::byte{0x77});
+  for (storage::BlockId b = 0; b < kBlocks; ++b) {
+    (void)group.coordinator().write(b, payload);
+  }
+  storage::BlockId block = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.coordinator().read(block));
+    block = (block + 1) % kBlocks;
+  }
+  state.SetLabel("voting over TCP loopback");
+}
+BENCHMARK(BM_TcpDeviceRead)->Arg(3)->Arg(5)->Arg(7)->ArgName("sites");
 
 void BM_VersionVectorDiff(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));

@@ -77,6 +77,8 @@ int main(int argc, char** argv) {
   flags.add_int("block-size", 512, "block size in bytes");
   flags.add_string("store", "", "path to the persistent store file "
                                 "(empty = fresh in this run's tmp)");
+  flags.add_int("call-timeout-ms", 5000,
+                "per-peer RPC deadline: a dead peer costs at most this long");
   flags.add_bool("verbose", false, "debug logging");
   if (auto status = flags.parse(argc, argv); !status.is_ok()) {
     std::cerr << status.to_string() << '\n' << flags.usage(argv[0]);
@@ -130,6 +132,8 @@ int main(int argc, char** argv) {
 
   // Wire up the peer transport.
   net::tcp::TcpPeerTransport transport;
+  transport.set_call_timeout(
+      std::chrono::milliseconds(flags.get_int("call-timeout-ms")));
   for (storage::SiteId peer = 0; peer < n; ++peer) {
     if (peer == site) continue;
     transport.set_endpoint(peer, peers.value()[peer].host,

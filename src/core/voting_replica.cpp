@@ -20,7 +20,28 @@ VotingReplica::Votes VotingReplica::collect_votes(net::AccessKind access,
   votes.max_site = self_;
 
   const net::Message request{self_, net::VoteRequest{access, block}};
-  votes.replies = transport_.multicast_call(self_, peers(), request);
+  // Reads stop gathering as soon as the read quorum is assembled: any read
+  // quorum intersects every write quorum, so the newest committed version
+  // is already among the early replies and stragglers add nothing but
+  // latency. Writes keep the full gather — the push that follows repairs
+  // every stale voter it reaches, and shrinking that set would change the
+  // repair propagation the paper's traffic analysis counts.
+  net::EarlyStop early_stop;
+  if (access == net::AccessKind::kRead) {
+    const std::uint64_t self_weight = votes.weight_millivotes;
+    const std::uint64_t quorum = config_.read_quorum_millivotes;
+    early_stop = [self_weight,
+                  quorum](const std::vector<net::GatherReply>& replies) {
+      std::uint64_t weight = self_weight;
+      for (const auto& [site, reply] : replies) {
+        if (!reply.holds<net::VoteReply>()) continue;
+        weight += reply.as<net::VoteReply>().weight_millivotes;
+      }
+      return weight >= quorum;
+    };
+  }
+  votes.replies = transport_.multicast_call(self_, peers(), request,
+                                            early_stop);
   for (const auto& [site, reply] : votes.replies) {
     if (!reply.holds<net::VoteReply>()) continue;
     const auto& vote = reply.as<net::VoteReply>();
@@ -130,6 +151,15 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
   if (request.holds<net::StateInquiry>()) {
     return net::Message{
         self_, net::StateInfo{state_, local_versions().total(), SiteSet{}}};
+  }
+  if (request.holds<net::BlockUpdate>()) {
+    // The post-write block push is normally one-way; answering the call
+    // form keeps the engine usable over request/reply-only transports such
+    // as TCP. Dropping it there would shrink the effective write quorum to
+    // the coordinator alone and break the read-quorum intersection that
+    // early-stopped reads rely on.
+    handle_peer_oneway(request);
+    return net::Message{self_, net::WriteAllAck{}};
   }
   return net::make_error(
       self_, errors::protocol(std::string("unexpected request ") +

@@ -1,0 +1,56 @@
+#include "reldev/net/fanout.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace reldev::net {
+
+std::size_t FanOut::default_thread_count() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(8, hw);
+}
+
+FanOut::FanOut(std::size_t threads) {
+  workers_.reserve(std::max<std::size_t>(1, threads));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, threads); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+FanOut::~FanOut() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+FanOut& FanOut::shared() {
+  static FanOut pool;
+  return pool;
+}
+
+void FanOut::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void FanOut::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace reldev::net

@@ -37,12 +37,19 @@ class InProcTransport final : public Transport {
   void set_traffic_meter(TrafficMeter* meter) noexcept { meter_ = meter; }
   [[nodiscard]] AddressingMode mode() const noexcept { return mode_; }
 
+  using Transport::multicast_call;
+
   Result<Message> call(SiteId from, SiteId to, const Message& request) override;
   Status send(SiteId from, SiteId to, const Message& message) override;
   Status multicast(SiteId from, const SiteSet& to,
                    const Message& message) override;
+  /// Synchronous model of the parallel gather: once `early_stop` is
+  /// satisfied the remaining reachable members still handle the request
+  /// and their replies are still metered (the request already reached
+  /// them), but they are not returned — exactly the TCP contract.
   std::vector<GatherReply> multicast_call(SiteId from, const SiteSet& to,
-                                          const Message& request) override;
+                                          const Message& request,
+                                          const EarlyStop& early_stop) override;
 
  private:
   [[nodiscard]] bool reachable(SiteId from, SiteId to) const;

@@ -3,8 +3,10 @@
 // reported as Status values.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -23,8 +25,19 @@ class Socket {
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  /// Connect to host:port (IPv4 dotted quad or "localhost").
-  static Result<Socket> connect(const std::string& host, std::uint16_t port);
+  /// Connect to host:port (IPv4 dotted quad or "localhost"). With a
+  /// timeout, a peer that neither accepts nor refuses (dead host, dropped
+  /// packets) costs one bounded wait reported as kUnavailable — the same
+  /// code as a refused connection, preserving fail-stop semantics.
+  static Result<Socket> connect(
+      const std::string& host, std::uint16_t port,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Bound every subsequent recv/send. A recv that exceeds the bound fails
+  /// with kUnavailable ("timed out") instead of hanging; zero or negative
+  /// durations clear the bound.
+  void set_recv_timeout(std::chrono::milliseconds timeout) noexcept;
+  void set_send_timeout(std::chrono::milliseconds timeout) noexcept;
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
@@ -64,11 +77,16 @@ class Acceptor {
   static Result<Acceptor> listen(std::uint16_t port);
 
   /// Block until a connection arrives. Fails with kUnavailable after
-  /// close() is called from another thread.
+  /// shutdown() is called from another thread.
   Result<Socket> accept();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Wake a thread blocked in accept() without invalidating the
+  /// descriptor. Safe to call concurrently with accept(); close() is not —
+  /// it must wait until the accepting thread has been joined.
+  void shutdown() noexcept;
 
   void close();
 

@@ -2,38 +2,64 @@
 // Message and blocks for the framed reply, reconnecting on demand; and a
 // Transport implementation that routes per-site over such channels so the
 // same protocol engines that run in-process can run across real processes.
+//
+// Concurrency: a channel keeps a small pool of connections per endpoint, so
+// concurrent calls to the same peer each get their own socket instead of
+// serializing on one mutex. The transport fans multicasts out over the
+// shared FanOut pool and gathers replies as they land; an EarlyStop
+// predicate lets a quorum return before the stragglers, whose late replies
+// are still metered.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
+#include <vector>
 
+#include "reldev/net/fanout.hpp"
 #include "reldev/net/tcp/framing.hpp"
 #include "reldev/net/transport.hpp"
 
 namespace reldev::net::tcp {
 
-/// One logical connection to a server; call() is serialized internally.
+/// Default per-call deadline: covers connect + request + reply. Generous
+/// for a LAN round trip, small enough that a dead peer costs one bounded
+/// hiccup rather than an indefinite hang.
+inline constexpr std::chrono::milliseconds kDefaultCallTimeout{5000};
+
+/// One logical connection to a server, backed by a pool of sockets so
+/// concurrent calls proceed in parallel.
 class TcpChannel {
  public:
-  TcpChannel(std::string host, std::uint16_t port);
+  TcpChannel(std::string host, std::uint16_t port,
+             std::chrono::milliseconds timeout = kDefaultCallTimeout);
 
-  /// Send `request`, wait for the reply. Reconnects once if the cached
-  /// connection has gone away (server restart).
+  /// Send `request`, wait for the reply, bounded by the channel timeout.
+  /// Retries once on a fresh connection if a pooled socket turned out
+  /// stale (server restart). Deadline overruns are kUnavailable.
   Result<Message> call(const Message& request);
 
-  /// Drop the cached connection (next call reconnects).
+  /// Drop all idle pooled connections (next calls reconnect). Calls in
+  /// flight keep their sockets.
   void disconnect();
 
+  void set_timeout(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::chrono::milliseconds timeout() const;
+
  private:
-  Status ensure_connected();
+  /// Pop an idle pooled socket, or connect a fresh one within `remaining`.
+  /// `pooled` reports which happened (pooled sockets may be stale).
+  Result<Socket> acquire(bool& pooled, std::chrono::milliseconds remaining);
+  void release(Socket socket);
 
   std::string host_;
   std::uint16_t port_;
-  std::mutex mutex_;
-  std::optional<Socket> socket_;
+  mutable std::mutex mutex_;
+  std::chrono::milliseconds timeout_;
+  std::vector<Socket> idle_;
 };
 
 /// Transport over per-site TCP channels. Always unique addressing: real
@@ -44,25 +70,47 @@ class TcpPeerTransport final : public Transport {
  public:
   TcpPeerTransport() = default;
 
+  /// Waits for every in-flight fan-out task (including early-stop
+  /// stragglers) before destroying the channels they use.
+  ~TcpPeerTransport() override;
+
   void set_endpoint(SiteId site, const std::string& host, std::uint16_t port);
   void remove_endpoint(SiteId site);
 
+  /// Per-call deadline applied to every channel (existing and future).
+  void set_call_timeout(std::chrono::milliseconds timeout);
+
+  /// The meter must outlive this transport: straggler replies are counted
+  /// from worker threads until the destructor has drained them.
   void set_traffic_meter(TrafficMeter* meter) noexcept { meter_ = meter; }
+
+  using Transport::multicast_call;
 
   Result<Message> call(SiteId from, SiteId to, const Message& request) override;
   Status send(SiteId from, SiteId to, const Message& message) override;
   Status multicast(SiteId from, const SiteSet& to,
                    const Message& message) override;
   std::vector<GatherReply> multicast_call(SiteId from, const SiteSet& to,
-                                          const Message& request) override;
+                                          const Message& request,
+                                          const EarlyStop& early_stop) override;
 
  private:
-  TcpChannel* channel(SiteId site);
+  std::shared_ptr<TcpChannel> channel(SiteId site);
   void count(std::uint64_t transmissions) const;
+  /// Channels for every member of `to` except `from` that has an endpoint.
+  std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>> channels_for(
+      SiteId from, const SiteSet& to);
 
   std::mutex mutex_;
-  std::map<SiteId, std::unique_ptr<TcpChannel>> channels_;
+  std::map<SiteId, std::shared_ptr<TcpChannel>> channels_;
+  std::chrono::milliseconds call_timeout_{kDefaultCallTimeout};
   TrafficMeter* meter_ = nullptr;
+
+  // Outstanding fan-out tasks; the destructor blocks until zero so no task
+  // can touch a dead channel or meter.
+  std::mutex outstanding_mutex_;
+  std::condition_variable outstanding_cv_;
+  std::size_t outstanding_ = 0;
 };
 
 }  // namespace reldev::net::tcp

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -36,16 +38,23 @@ class TcpServer {
   TcpServer(Acceptor acceptor, MessageHandler* handler);
   void accept_loop();
   void serve_connection(const std::shared_ptr<Socket>& socket);
+  /// Join workers whose connections have closed. A worker cannot join
+  /// itself, so it parks its id in `finished_` and the accept thread (or
+  /// stop()) joins it — keeping the worker map bounded by the number of
+  /// *live* connections instead of growing for the server's lifetime.
+  void reap_finished();
 
   Acceptor acceptor_;
   MessageHandler* handler_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex mutex_;
-  std::vector<std::thread> workers_;
+  std::uint64_t next_worker_id_ = 0;
+  std::map<std::uint64_t, std::thread> workers_;
+  std::vector<std::uint64_t> finished_;
   // Live connection sockets, shut down by stop() so workers blocked in
   // recv() wake up and exit.
-  std::vector<std::shared_ptr<Socket>> connections_;
+  std::map<std::uint64_t, std::shared_ptr<Socket>> connections_;
 };
 
 }  // namespace reldev::net::tcp

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 namespace reldev::net {
@@ -21,29 +22,47 @@ const char* op_kind_name(OpKind kind) noexcept;
 
 /// Counts transmissions per OpKind. The protocol engines set the current
 /// operation before doing work; the transport reports transmissions here.
+/// Counters are atomic: with parallel fan-out, worker threads report
+/// concurrently, and stragglers past an early-stop quorum report *after*
+/// the operation returned — under the OpKind captured when the fan-out was
+/// dispatched (add_for), so late replies land in the right bucket.
 class TrafficMeter {
  public:
-  void set_current_op(OpKind kind) noexcept { current_ = kind; }
-  [[nodiscard]] OpKind current_op() const noexcept { return current_; }
+  void set_current_op(OpKind kind) noexcept {
+    current_.store(kind, std::memory_order_relaxed);
+  }
+  [[nodiscard]] OpKind current_op() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
 
   void add(std::uint64_t transmissions) noexcept {
-    counts_[static_cast<std::size_t>(current_)] += transmissions;
+    add_for(current_op(), transmissions);
+  }
+
+  /// Report transmissions under an explicit operation, regardless of what
+  /// the engine thread is doing now.
+  void add_for(OpKind kind, std::uint64_t transmissions) noexcept {
+    counts_[static_cast<std::size_t>(kind)].fetch_add(
+        transmissions, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t count(OpKind kind) const noexcept {
-    return counts_[static_cast<std::size_t>(kind)];
+    return counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t total() const noexcept {
     std::uint64_t sum = 0;
-    for (const auto c : counts_) sum += c;
+    for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
     return sum;
   }
 
-  void reset() noexcept { counts_.fill(0); }
+  void reset() noexcept {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  OpKind current_ = OpKind::kOther;
-  std::array<std::uint64_t, 4> counts_{};
+  std::atomic<OpKind> current_{OpKind::kOther};
+  std::array<std::atomic<std::uint64_t>, 4> counts_{};
 };
 
 /// RAII helper: sets the meter's operation for a scope, restores on exit.

@@ -5,6 +5,7 @@
 // TCP (real deployment).
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -27,6 +28,16 @@ class MessageHandler {
 /// A (site, reply) pair from a scatter-gather call.
 using GatherReply = std::pair<SiteId, Message>;
 
+/// Optional predicate over the replies gathered so far: return true once
+/// enough have arrived (e.g. a read quorum by weight) and the gather
+/// returns immediately. Stragglers still complete in the background — the
+/// request already went out to everyone, so their replies are still
+/// transmitted and must still be metered — but they are not appended to
+/// the returned vector. Transports may invoke the predicate from the
+/// gathering thread while holding an internal lock: it must be fast and
+/// must not call back into the transport.
+using EarlyStop = std::function<bool(const std::vector<GatherReply>&)>;
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -44,11 +55,18 @@ class Transport {
   virtual Status multicast(SiteId from, const SiteSet& to,
                            const Message& message) = 0;
 
-  /// Scatter the request to `to`, gather replies from every reachable
-  /// member. Unreachable members are simply absent from the result.
-  virtual std::vector<GatherReply> multicast_call(SiteId from,
-                                                  const SiteSet& to,
-                                                  const Message& request) = 0;
+  /// Scatter the request to `to`, gather replies until `early_stop` is
+  /// satisfied (or from every reachable member when it is null).
+  /// Unreachable members are simply absent from the result.
+  virtual std::vector<GatherReply> multicast_call(
+      SiteId from, const SiteSet& to, const Message& request,
+      const EarlyStop& early_stop) = 0;
+
+  /// Full gather: every reachable member's reply.
+  std::vector<GatherReply> multicast_call(SiteId from, const SiteSet& to,
+                                          const Message& request) {
+    return multicast_call(from, to, request, EarlyStop{});
+  }
 };
 
 }  // namespace reldev::net

@@ -80,16 +80,20 @@ Status InProcTransport::multicast(SiteId from, const SiteSet& to,
 }
 
 std::vector<GatherReply> InProcTransport::multicast_call(
-    SiteId from, const SiteSet& to, const Message& request) {
+    SiteId from, const SiteSet& to, const Message& request,
+    const EarlyStop& early_stop) {
   std::vector<GatherReply> replies;
   if (to.empty()) return replies;
   count(mode_ == AddressingMode::kMulticast ? 1 : to.size());
+  bool stopped = false;
   for (const SiteId dest : to) {
     if (dest == from) continue;
     if (!reachable(from, dest)) continue;
     Message reply = handlers_.at(dest)->handle(request);
     count(1);  // each responder answers individually in either mode
+    if (stopped) continue;  // straggler: transmitted and metered, not gathered
     replies.emplace_back(dest, std::move(reply));
+    if (early_stop && early_stop(replies)) stopped = true;
   }
   return replies;
 }

@@ -1,9 +1,12 @@
 #include "reldev/net/tcp/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -43,7 +46,8 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
-Result<Socket> Socket::connect(const std::string& host, std::uint16_t port) {
+Result<Socket> Socket::connect(const std::string& host, std::uint16_t port,
+                               std::optional<std::chrono::milliseconds> timeout) {
   auto addr = make_address(host, port);
   if (!addr) return addr.status();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -51,17 +55,74 @@ Result<Socket> Socket::connect(const std::string& host, std::uint16_t port) {
   Socket socket(fd);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const auto unavailable = [&](const std::string& why) {
+    return errors::unavailable("connect to " + host + ":" +
+                               std::to_string(port) + ": " + why);
+  };
+  if (!timeout.has_value()) {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                     sizeof(sockaddr_in));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return unavailable(std::strerror(errno));
+    return socket;
+  }
+  // Bounded connect: non-blocking connect, poll for writability, then read
+  // the final outcome from SO_ERROR.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl");
+  }
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
                    sizeof(sockaddr_in));
   } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) return unavailable(std::strerror(errno));
   if (rc < 0) {
-    return errors::unavailable("connect to " + host + ":" +
-                               std::to_string(port) + ": " +
-                               std::strerror(errno));
+    pollfd waiter{fd, POLLOUT, 0};
+    const auto deadline = std::chrono::steady_clock::now() + *timeout;
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return unavailable("timed out");
+      rc = ::poll(&waiter, 1, static_cast<int>(remaining.count()));
+      if (rc > 0) break;
+      if (rc == 0) return unavailable("timed out");
+      if (errno != EINTR) return errno_status("poll");
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) < 0) {
+      return errno_status("getsockopt");
+    }
+    if (error != 0) return unavailable(std::strerror(error));
   }
+  if (::fcntl(fd, F_SETFL, flags) < 0) return errno_status("fcntl");
   return socket;
+}
+
+namespace {
+timeval to_timeval(std::chrono::milliseconds timeout) {
+  if (timeout.count() < 0) timeout = std::chrono::milliseconds{0};
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return tv;
+}
+}  // namespace
+
+void Socket::set_recv_timeout(std::chrono::milliseconds timeout) noexcept {
+  if (fd_ < 0) return;
+  const timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::set_send_timeout(std::chrono::milliseconds timeout) noexcept {
+  if (fd_ < 0) return;
+  const timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 Status Socket::write_all(std::span<const std::byte> data) {
@@ -72,6 +133,9 @@ Status Socket::write_all(std::span<const std::byte> data) {
         ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return errors::unavailable("send timed out");
+      }
       return errno_status("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -86,6 +150,11 @@ Status Socket::read_exact(std::span<std::byte> data) {
     const ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the peer is unresponsive. kUnavailable is
+        // what the replicas' fail-stop handling expects of a dead peer.
+        return errors::unavailable("recv timed out");
+      }
       return errno_status("recv");
     }
     if (n == 0) {
@@ -161,6 +230,10 @@ Result<Socket> Acceptor::accept() {
   const int one = 1;
   ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Socket(client);
+}
+
+void Acceptor::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void Acceptor::close() {

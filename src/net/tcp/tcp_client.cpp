@@ -1,49 +1,112 @@
 #include "reldev/net/tcp/tcp_client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace reldev::net::tcp {
 
-TcpChannel::TcpChannel(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+namespace {
 
-Status TcpChannel::ensure_connected() {
-  if (socket_.has_value() && socket_->valid()) return Status::ok();
-  auto socket = Socket::connect(host_, port_);
-  if (!socket) return socket.status();
-  socket_ = std::move(socket).value();
-  return Status::ok();
+using Clock = std::chrono::steady_clock;
+
+/// Idle sockets kept per endpoint. Enough for the fan-out concurrency a
+/// small replica group generates; extras are closed on release.
+constexpr std::size_t kMaxIdlePerEndpoint = 8;
+
+std::chrono::milliseconds remaining_until(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now());
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(std::string host, std::uint16_t port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+void TcpChannel::set_timeout(std::chrono::milliseconds timeout) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  timeout_ = timeout;
+}
+
+std::chrono::milliseconds TcpChannel::timeout() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return timeout_;
 }
 
 void TcpChannel::disconnect() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  socket_.reset();
+  idle_.clear();
+}
+
+Result<Socket> TcpChannel::acquire(bool& pooled,
+                                   std::chrono::milliseconds remaining) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      Socket socket = std::move(idle_.back());
+      idle_.pop_back();
+      pooled = true;
+      return socket;
+    }
+  }
+  pooled = false;
+  return Socket::connect(host_, port_, remaining);
+}
+
+void TcpChannel::release(Socket socket) {
+  if (!socket.valid()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.size() < kMaxIdlePerEndpoint) idle_.push_back(std::move(socket));
 }
 
 Result<Message> TcpChannel::call(const Message& request) {
-  const std::lock_guard<std::mutex> lock(mutex_);
   const auto encoded = request.encode();
+  const auto deadline = Clock::now() + timeout();
   for (int attempt = 0; attempt < 2; ++attempt) {
-    if (auto status = ensure_connected(); !status.is_ok()) return status;
-    const bool fresh_connection = attempt > 0;
-    auto status = write_frame(*socket_, encoded);
+    auto remaining = remaining_until(deadline);
+    if (remaining.count() <= 0) {
+      return errors::unavailable("call to " + host_ + ":" +
+                                 std::to_string(port_) + " timed out");
+    }
+    bool pooled = false;
+    auto acquired = acquire(pooled, remaining);
+    if (!acquired) return acquired.status();
+    Socket socket = std::move(acquired).value();
+    remaining = std::max(remaining_until(deadline),
+                         std::chrono::milliseconds{1});
+    socket.set_send_timeout(remaining);
+    socket.set_recv_timeout(remaining);
+    auto status = write_frame(socket, encoded);
     if (status.is_ok()) {
-      auto frame = read_frame(*socket_);
-      if (frame) return Message::decode(frame.value());
+      auto frame = read_frame(socket);
+      if (frame) {
+        release(std::move(socket));
+        return Message::decode(frame.value());
+      }
       status = frame.status();
     }
-    socket_.reset();
-    // A stale cached connection fails immediately; retry once on a fresh
+    // The socket failed; close it rather than pooling it.
+    if (remaining_until(deadline).count() <= 0) {
+      return errors::unavailable("call to " + host_ + ":" +
+                                 std::to_string(port_) + " timed out");
+    }
+    // A stale pooled connection fails immediately; retry once on a fresh
     // one. Anything failing on a fresh connection is reported as-is.
-    if (fresh_connection) return status;
+    if (!pooled) return status;
   }
   return errors::unavailable("call failed after reconnect");
+}
+
+TcpPeerTransport::~TcpPeerTransport() {
+  std::unique_lock<std::mutex> lock(outstanding_mutex_);
+  outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 void TcpPeerTransport::set_endpoint(SiteId site, const std::string& host,
                                     std::uint16_t port) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  channels_[site] = std::make_unique<TcpChannel>(host, port);
+  channels_[site] = std::make_shared<TcpChannel>(host, port, call_timeout_);
 }
 
 void TcpPeerTransport::remove_endpoint(SiteId site) {
@@ -51,10 +114,29 @@ void TcpPeerTransport::remove_endpoint(SiteId site) {
   channels_.erase(site);
 }
 
-TcpChannel* TcpPeerTransport::channel(SiteId site) {
+void TcpPeerTransport::set_call_timeout(std::chrono::milliseconds timeout) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  call_timeout_ = timeout;
+  for (auto& [site, channel] : channels_) channel->set_timeout(timeout);
+}
+
+std::shared_ptr<TcpChannel> TcpPeerTransport::channel(SiteId site) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = channels_.find(site);
-  return it == channels_.end() ? nullptr : it->second.get();
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>>
+TcpPeerTransport::channels_for(SiteId from, const SiteSet& to) {
+  std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>> targets;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    auto it = channels_.find(dest);
+    if (it == channels_.end()) continue;
+    targets.emplace_back(dest, it->second);
+  }
+  return targets;
 }
 
 void TcpPeerTransport::count(std::uint64_t transmissions) const {
@@ -63,7 +145,7 @@ void TcpPeerTransport::count(std::uint64_t transmissions) const {
 
 Result<Message> TcpPeerTransport::call(SiteId /*from*/, SiteId to,
                                        const Message& request) {
-  TcpChannel* ch = channel(to);
+  auto ch = channel(to);
   if (ch == nullptr) {
     return errors::unavailable("no endpoint for site " + std::to_string(to));
   }
@@ -83,22 +165,77 @@ Status TcpPeerTransport::send(SiteId from, SiteId to, const Message& message) {
 
 Status TcpPeerTransport::multicast(SiteId from, const SiteSet& to,
                                    const Message& message) {
-  for (const SiteId dest : to) {
-    if (dest == from) continue;
-    (void)send(from, dest, message);
-  }
+  // Concurrent call-and-discard to every peer: the round costs the slowest
+  // peer's round trip, not the sum, and the acks are in before we return
+  // (the engines rely on pushed writes being applied when multicast ends).
+  (void)multicast_call(from, to, message, EarlyStop{});
   return Status::ok();
 }
 
 std::vector<GatherReply> TcpPeerTransport::multicast_call(
-    SiteId from, const SiteSet& to, const Message& request) {
-  std::vector<GatherReply> replies;
-  for (const SiteId dest : to) {
-    if (dest == from) continue;
-    auto reply = call(from, dest, request);
-    if (reply) replies.emplace_back(dest, std::move(reply).value());
+    SiteId from, const SiteSet& to, const Message& request,
+    const EarlyStop& early_stop) {
+  struct GatherState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<GatherReply> replies;
+    std::size_t pending = 0;
+    bool stopped = false;
+  };
+
+  auto targets = channels_for(from, to);
+  if (targets.empty()) return {};
+
+  // Tasks may run past this call's return (early stop): everything they
+  // touch is either shared (state, request) or guaranteed to outlive the
+  // transport (the meter), and the destructor drains `outstanding_`.
+  auto state = std::make_shared<GatherState>();
+  state->pending = targets.size();
+  auto shared_request = std::make_shared<const Message>(request);
+  TrafficMeter* const meter = meter_;
+  const OpKind kind = meter != nullptr ? meter->current_op() : OpKind::kOther;
+
+  {
+    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    outstanding_ += targets.size();
   }
-  return replies;
+  count(targets.size());  // one request transmission per addressed peer
+
+  for (auto& [site, ch] : targets) {
+    FanOut::shared().submit(
+        [this, site = site, ch = ch, shared_request, state, meter, kind] {
+          auto reply = ch->call(*shared_request);
+          // Meter the reply even if the gather already returned: the
+          // straggler's answer crossed the network either way.
+          if (reply.is_ok() && meter != nullptr) meter->add_for(kind, 1);
+          {
+            const std::lock_guard<std::mutex> lock(state->mutex);
+            if (reply.is_ok() && !state->stopped) {
+              state->replies.emplace_back(site, std::move(reply).value());
+            }
+            --state->pending;
+          }
+          state->cv.notify_all();
+          // Last action: release the outstanding slot. The notify happens
+          // under the lock so ~TcpPeerTransport cannot resume (and free
+          // `this`) before this task is fully done with it.
+          const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+          --outstanding_;
+          outstanding_cv_.notify_all();
+        });
+  }
+
+  std::vector<GatherReply> gathered;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->pending == 0 ||
+             (early_stop && early_stop(state->replies));
+    });
+    state->stopped = true;
+    gathered = std::move(state->replies);
+  }
+  return gathered;
 }
 
 }  // namespace reldev::net::tcp

@@ -24,25 +24,48 @@ TcpServer::~TcpServer() { stop(); }
 
 void TcpServer::stop() {
   if (stopping_.exchange(true)) return;
-  acceptor_.close();
+  // shutdown() wakes the accept loop without racing its fd reads; the
+  // descriptor is only closed once the thread has been joined.
+  acceptor_.shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  acceptor_.close();
+  std::map<std::uint64_t, std::thread> workers;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     // Wake every worker blocked in recv() on a live connection.
-    for (const auto& connection : connections_) connection->shutdown();
+    for (const auto& [id, connection] : connections_) connection->shutdown();
     workers.swap(workers_);
+    finished_.clear();
   }
-  for (auto& worker : workers) {
+  for (auto& [id, worker] : workers) {
     if (worker.joinable()) worker.join();
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   connections_.clear();
 }
 
+void TcpServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done.reserve(finished_.size());
+    for (const std::uint64_t id : finished_) {
+      auto it = workers_.find(id);
+      if (it == workers_.end()) continue;  // stop() already took it
+      done.push_back(std::move(it->second));
+      workers_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (auto& worker : done) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
 void TcpServer::accept_loop() {
   while (!stopping_.load()) {
     auto socket = acceptor_.accept();
+    reap_finished();
     if (!socket) {
       if (stopping_.load()) break;
       RELDEV_WARN("tcp-server") << "accept failed: "
@@ -52,9 +75,14 @@ void TcpServer::accept_loop() {
     auto connection = std::make_shared<Socket>(std::move(socket).value());
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_.load()) break;
-    connections_.push_back(connection);
-    workers_.emplace_back(
-        [this, connection] { serve_connection(connection); });
+    const std::uint64_t id = next_worker_id_++;
+    connections_.emplace(id, connection);
+    workers_.emplace(id, std::thread([this, id, connection] {
+                       serve_connection(connection);
+                       const std::lock_guard<std::mutex> done_lock(mutex_);
+                       connections_.erase(id);
+                       finished_.push_back(id);
+                     }));
   }
 }
 

@@ -124,6 +124,25 @@ TEST_F(VotingTest, OnlyLatestVersionWinsAfterPartialWrites) {
   EXPECT_EQ(group_.read(4, 5).value(), v2);
 }
 
+TEST_F(VotingTest, EarlyQuorumReadStillSeesNewestVersion) {
+  // Reads stop gathering votes at the read quorum. Write v2 to quorum
+  // {0,3,4} while {1,2} are down; a later read through site 1 assembles
+  // its early quorum from the lowest site ids — {1,0,2}, which contains
+  // stale site 2 — yet must still find and fetch v2, because every read
+  // quorum intersects the write quorum that accepted v2.
+  const auto v1 = payload(64, 10);
+  const auto v2 = payload(64, 11);
+  ASSERT_TRUE(group_.write(0, 2, v1).is_ok());
+  group_.crash_site(1);
+  group_.crash_site(2);
+  ASSERT_TRUE(group_.write(0, 2, v2).is_ok());
+  ASSERT_TRUE(group_.recover_site(1).is_ok());
+  ASSERT_TRUE(group_.recover_site(2).is_ok());
+  EXPECT_EQ(group_.read(1, 2).value(), v2);
+  // The read-repair refreshed site 1's copy to v2 as well.
+  EXPECT_EQ(group_.store(1).version_of(2).value(), 2u);
+}
+
 TEST_F(VotingTest, EvenGroupTieBreaks) {
   // Six sites; exactly the half containing the heavy site 0 is up.
   ReplicaGroup even(SchemeKind::kVoting, GroupConfig::majority(6, 4, 64));

@@ -90,6 +90,61 @@ TEST_F(TcpGroupTest, SiteRecoversOverTcpAfterMissingWrites) {
   EXPECT_EQ(stores_[2]->read(3).value().data, new_data);
 }
 
+/// Five voting replicas behind TCP: the push after a write travels as a
+/// call (request/reply transports have no one-way send), and reads stop
+/// gathering votes at the read quorum.
+class TcpVotingGroupTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kBlocks = 4;
+  static constexpr std::size_t kBlockSize = 64;
+  static constexpr std::size_t kSites = 5;
+
+  void SetUp() override {
+    config_ = GroupConfig::majority(kSites, kBlocks, kBlockSize);
+    for (SiteId site = 0; site < kSites; ++site) {
+      stores_.push_back(
+          std::make_unique<storage::MemBlockStore>(kBlocks, kBlockSize));
+      replicas_.push_back(std::make_unique<VotingReplica>(
+          site, config_, *stores_.back(), transport_));
+    }
+    for (SiteId site = 0; site < kSites; ++site) {
+      auto server = net::tcp::TcpServer::start(0, replicas_[site].get());
+      ASSERT_TRUE(server.is_ok());
+      transport_.set_endpoint(site, "127.0.0.1", server.value()->port());
+      servers_.push_back(std::move(server).value());
+    }
+  }
+
+  GroupConfig config_;
+  net::tcp::TcpPeerTransport transport_;
+  std::vector<std::unique_ptr<storage::MemBlockStore>> stores_;
+  std::vector<std::unique_ptr<VotingReplica>> replicas_;
+  std::vector<std::unique_ptr<net::tcp::TcpServer>> servers_;
+};
+
+TEST_F(TcpVotingGroupTest, WritePushReplicatesOverRealSockets) {
+  // Regression: the BlockUpdate push used to be dropped over TCP (the
+  // server routed it to handle_peer, which rejected it), leaving every
+  // peer permanently stale — unnoticed while full-gather reads always
+  // polled the coordinator, fatal once early-stopped reads could assemble
+  // a quorum that excludes it.
+  const auto data = payload(kBlockSize, 11);
+  ASSERT_TRUE(replicas_[0]->write(1, data).is_ok());
+  for (SiteId site = 0; site < kSites; ++site) {
+    EXPECT_EQ(stores_[site]->read(1).value().data, data) << "site " << site;
+  }
+}
+
+TEST_F(TcpVotingGroupTest, EarlyStopReadThroughEverySiteSeesNewestVersion) {
+  const auto v1 = payload(kBlockSize, 12);
+  const auto v2 = payload(kBlockSize, 13);
+  ASSERT_TRUE(replicas_[0]->write(2, v1).is_ok());
+  ASSERT_TRUE(replicas_[0]->write(2, v2).is_ok());
+  for (SiteId site = 0; site < kSites; ++site) {
+    EXPECT_EQ(replicas_[site]->read(2).value(), v2) << "site " << site;
+  }
+}
+
 TEST_F(TcpGroupTest, FailedReplicaAnswersNothing) {
   replicas_[1]->crash();
   // Direct client call to the failed site: server responds with an error

@@ -159,5 +159,32 @@ TEST_F(InProcTransportTest, WorksWithoutMeter) {
   EXPECT_TRUE(transport_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
 }
 
+TEST_F(InProcTransportTest, EarlyStopGathersSubset) {
+  auto replies = transport_.multicast_call(
+      0, SiteSet{1, 2}, Message{0, StateInquiry{}},
+      [](const std::vector<GatherReply>& so_far) { return so_far.size() >= 1; });
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].first, 1u);
+}
+
+TEST_F(InProcTransportTest, EarlyStopStillDeliversAndMetersStragglers) {
+  auto replies = transport_.multicast_call(
+      0, SiteSet{1, 2}, Message{0, StateInquiry{}},
+      [](const std::vector<GatherReply>& so_far) { return so_far.size() >= 1; });
+  EXPECT_EQ(replies.size(), 1u);
+  // The request reached both sites and both answered; the straggler's
+  // reply is metered even though the gather returned without it.
+  EXPECT_EQ(handlers_[1]->calls, 1);
+  EXPECT_EQ(handlers_[2]->calls, 1);
+  EXPECT_EQ(meter_.total(), 3u);  // one broadcast + two replies
+}
+
+TEST_F(InProcTransportTest, NullEarlyStopGathersEverything) {
+  auto replies = transport_.multicast_call(0, SiteSet{1, 2},
+                                           Message{0, StateInquiry{}},
+                                           EarlyStop{});
+  EXPECT_EQ(replies.size(), 2u);
+}
+
 }  // namespace
 }  // namespace reldev::net

@@ -1,0 +1,188 @@
+// Concurrency behaviour of the TCP transport's parallel fan-out: a
+// multicast round costs the slowest peer (not the sum), an early-stop
+// quorum returns before the straggler (whose reply is still metered), and
+// a dead peer costs one bounded deadline instead of a hang.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "reldev/net/tcp/tcp_client.hpp"
+#include "reldev/net/tcp/tcp_server.hpp"
+
+namespace reldev::net::tcp {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+/// Replies StateInfo after an injected per-call delay.
+class DelayHandler : public MessageHandler {
+ public:
+  explicit DelayHandler(std::chrono::milliseconds delay) : delay_(delay) {}
+  Message handle(const Message&) override {
+    calls.fetch_add(1);
+    std::this_thread::sleep_for(delay_);
+    return Message{0, StateInfo{SiteState::kAvailable, 1, {}}};
+  }
+  void handle_oneway(const Message&) override {}
+  std::atomic<int> calls{0};
+
+ private:
+  std::chrono::milliseconds delay_;
+};
+
+std::chrono::milliseconds elapsed_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start);
+}
+
+TEST(TcpFanOutTest, MulticastCallOverlapsPerPeerDelays) {
+  constexpr auto kDelay = 150ms;
+  constexpr int kPeers = 4;
+  DelayHandler handler(kDelay);
+  std::vector<std::unique_ptr<TcpServer>> servers;
+  TcpPeerTransport transport;
+  SiteSet peers;
+  for (SiteId site = 1; site <= kPeers; ++site) {
+    servers.push_back(TcpServer::start(0, &handler).value());
+    transport.set_endpoint(site, "127.0.0.1", servers.back()->port());
+    peers.insert(site);
+  }
+
+  const auto start = Clock::now();
+  auto replies = transport.multicast_call(0, peers, Message{0, StateInquiry{}});
+  const auto elapsed = elapsed_since(start);
+
+  EXPECT_EQ(replies.size(), static_cast<std::size_t>(kPeers));
+  // Sequential fan-out would cost kPeers * kDelay = 600ms. Parallel is one
+  // delay plus overhead; 3x one delay is a generous CI margin.
+  EXPECT_LT(elapsed, 3 * kDelay) << "fan-out did not overlap peer delays";
+}
+
+TEST(TcpFanOutTest, EarlyStopReturnsBeforeStragglerAndStillMetersIt) {
+  constexpr auto kStragglerDelay = 1000ms;
+  DelayHandler fast(0ms);
+  DelayHandler slow(kStragglerDelay);
+  auto s1 = TcpServer::start(0, &fast).value();
+  auto s2 = TcpServer::start(0, &fast).value();
+  auto s3 = TcpServer::start(0, &slow).value();
+
+  TrafficMeter meter;
+  {
+    TcpPeerTransport transport;
+    transport.set_traffic_meter(&meter);
+    transport.set_endpoint(1, "127.0.0.1", s1->port());
+    transport.set_endpoint(2, "127.0.0.1", s2->port());
+    transport.set_endpoint(3, "127.0.0.1", s3->port());
+
+    const auto start = Clock::now();
+    auto replies = transport.multicast_call(
+        0, SiteSet{1, 2, 3}, Message{0, StateInquiry{}},
+        [](const std::vector<GatherReply>& so_far) {
+          return so_far.size() >= 2;
+        });
+    const auto elapsed = elapsed_since(start);
+
+    EXPECT_EQ(replies.size(), 2u);
+    for (const auto& [site, reply] : replies) {
+      EXPECT_NE(site, 3u) << "straggler reply should not be gathered";
+    }
+    EXPECT_LT(elapsed, kStragglerDelay)
+        << "early-stop gather waited for the straggler";
+    // The transport destructor drains the straggler task before the meter
+    // goes out of scope.
+  }
+  // 3 requests + 3 replies: the straggler's late reply crossed the network
+  // and must be metered even though it was never gathered.
+  EXPECT_EQ(meter.total(), 6u);
+  EXPECT_EQ(slow.calls.load(), 1);
+}
+
+TEST(TcpFanOutTest, DeadPeerCostsOneBoundedTimeout) {
+  // An acceptor whose backlog takes the connection but which never serves
+  // it: the call's recv blocks until the deadline, not forever.
+  auto acceptor = Acceptor::listen(0).value();
+  DelayHandler fast(0ms);
+  auto live = TcpServer::start(0, &fast).value();
+
+  TcpPeerTransport transport;
+  transport.set_call_timeout(250ms);
+  transport.set_endpoint(1, "127.0.0.1", live->port());
+  transport.set_endpoint(2, "127.0.0.1", acceptor.port());
+
+  const auto start = Clock::now();
+  auto replies =
+      transport.multicast_call(0, SiteSet{1, 2}, Message{0, StateInquiry{}});
+  const auto elapsed = elapsed_since(start);
+
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].first, 1u);
+  EXPECT_LT(elapsed, 2500ms) << "dead peer stalled the whole gather";
+
+  auto direct = transport.call(0, 2, Message{0, StateInquiry{}});
+  EXPECT_EQ(direct.status().code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST(TcpFanOutTest, ConcurrentCallsToOnePeerDoNotSerialize) {
+  constexpr auto kDelay = 150ms;
+  constexpr int kCallers = 3;
+  DelayHandler handler(kDelay);
+  auto server = TcpServer::start(0, &handler).value();
+  TcpPeerTransport transport;
+  transport.set_endpoint(1, "127.0.0.1", server->port());
+
+  std::atomic<int> ok{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&transport, &ok] {
+      if (transport.call(0, 1, Message{0, StateInquiry{}}).is_ok()) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  const auto elapsed = elapsed_since(start);
+
+  EXPECT_EQ(ok.load(), kCallers);
+  // One shared socket would serialize to kCallers * kDelay = 450ms; the
+  // per-endpoint pool runs them concurrently.
+  EXPECT_LT(elapsed, 2 * kDelay) << "channel pool serialized concurrent calls";
+  EXPECT_EQ(handler.calls.load(), kCallers);
+}
+
+TEST(TcpFanOutTest, ChannelPoolReusesConnections) {
+  DelayHandler handler(0ms);
+  auto server = TcpServer::start(0, &handler).value();
+  TcpChannel channel("127.0.0.1", server->port());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(channel.call(Message{0, StateInquiry{}}).is_ok());
+  }
+  EXPECT_EQ(handler.calls.load(), 20);
+}
+
+TEST(TcpFanOutTest, TransportDestructorWaitsForStragglers) {
+  DelayHandler fast(0ms);
+  DelayHandler slow(400ms);
+  auto s1 = TcpServer::start(0, &fast).value();
+  auto s2 = TcpServer::start(0, &slow).value();
+  {
+    TcpPeerTransport transport;
+    transport.set_endpoint(1, "127.0.0.1", s1->port());
+    transport.set_endpoint(2, "127.0.0.1", s2->port());
+    auto replies = transport.multicast_call(
+        0, SiteSet{1, 2}, Message{0, StateInquiry{}},
+        [](const std::vector<GatherReply>& so_far) { return !so_far.empty(); });
+    EXPECT_EQ(replies.size(), 1u);
+  }
+  // If the destructor returned early the straggler would still be using
+  // freed channels; reaching this line without crashing (and under TSan
+  // without a race) is the assertion.
+  EXPECT_EQ(slow.calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace reldev::net::tcp
