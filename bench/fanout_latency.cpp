@@ -6,6 +6,7 @@
 // protocol engines can be "as fast as the hardware allows" (ROADMAP).
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
   flags.add_int("straggler-ms", 200, "delay of the one slow peer");
   flags.add_int("rounds", 5, "measured rounds per configuration (best kept)");
   flags.add_bool("csv", false, "emit CSV");
+  flags.add_string("json", "", "write a machine-readable summary to this path");
   if (auto status = flags.parse(argc, argv); !status.is_ok()) {
     std::cerr << status.to_string() << '\n';
     return 1;
@@ -115,6 +117,15 @@ int main(int argc, char** argv) {
   table.set_title(
       "FANOUT: k peers with per-peer delay d — parallel gather is O(d), "
       "sequential O(k*d); an early-stop quorum dodges the straggler");
+
+  struct JsonRow {
+    std::size_t sites;
+    double sequential_ms;
+    double parallel_ms;
+    double early_ms;
+    double full_ms;
+  };
+  std::vector<JsonRow> json_rows;
 
   bool parallel_wins = true;
   bool early_stop_wins = true;
@@ -155,6 +166,28 @@ int main(int argc, char** argv) {
                    TextTable::fmt(sequential, 1), TextTable::fmt(parallel, 1),
                    TextTable::fmt(speedup, 2), TextTable::fmt(early, 1),
                    TextTable::fmt(full, 1)});
+    json_rows.push_back(JsonRow{sites, sequential, parallel, early, full});
+  }
+
+  if (const std::string path = flags.get_string("json"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << '\n';
+      return 1;
+    }
+    out << "{\n  \"bench\": \"fanout_latency\",\n  \"delay_ms\": "
+        << delay.count() << ",\n  \"straggler_ms\": "
+        << straggler_delay.count() << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& row = json_rows[i];
+      out << "    {\"op\": \"state-inquiry-round\", \"sites\": " << row.sites
+          << ", \"sequential_ms\": " << row.sequential_ms
+          << ", \"parallel_ms\": " << row.parallel_ms
+          << ", \"early_stop_ms\": " << row.early_ms
+          << ", \"full_gather_ms\": " << row.full_ms << "}"
+          << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
   }
 
   if (flags.get_bool("csv")) {

@@ -19,6 +19,7 @@
 #include "reldev/core/available_copy_replica.hpp"
 #include "reldev/core/naive_replica.hpp"
 #include "reldev/core/voting_replica.hpp"
+#include "reldev/net/fanout.hpp"
 #include "reldev/net/tcp/tcp_client.hpp"
 #include "reldev/net/tcp/tcp_server.hpp"
 #include "reldev/storage/file_block_store.hpp"
@@ -79,6 +80,8 @@ int main(int argc, char** argv) {
                                 "(empty = fresh in this run's tmp)");
   flags.add_int("call-timeout-ms", 5000,
                 "per-peer RPC deadline: a dead peer costs at most this long");
+  flags.add_int("fanout-threads", 0,
+                "shared fan-out pool size (0 = max(8, hardware threads))");
   flags.add_bool("verbose", false, "debug logging");
   if (auto status = flags.parse(argc, argv); !status.is_ok()) {
     std::cerr << status.to_string() << '\n' << flags.usage(argv[0]);
@@ -128,6 +131,10 @@ int main(int argc, char** argv) {
     }
     store = std::move(created).value();
     fresh = true;
+  }
+
+  if (const auto threads = flags.get_int("fanout-threads"); threads > 0) {
+    net::FanOut::set_shared_thread_count(static_cast<std::size_t>(threads));
   }
 
   // Wire up the peer transport.

@@ -94,6 +94,64 @@ Status AvailableCopyReplica::write(BlockId block,
   return Status::ok();
 }
 
+Status AvailableCopyReplica::write_range(BlockId first,
+                                         std::span<const std::byte> data) {
+  if (state_ != SiteState::kAvailable) {
+    return errors::unavailable(std::string("site is ") +
+                               net::site_state_name(state_));
+  }
+  if (data.empty() || data.size() % config_.block_size != 0) {
+    return errors::invalid_argument(
+        "vectored write payload must be a non-empty multiple of the block "
+        "size");
+  }
+  const std::size_t count = data.size() / config_.block_size;
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+
+  // Batched write-all: every update in one grouped push. Recipients apply
+  // the whole batch in one handler invocation, and the ack set is the new
+  // was-available set exactly as in the scalar path.
+  net::BatchWriteRequest push;
+  push.updates.reserve(count);
+  std::vector<storage::VersionNumber> next_versions(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto current = store_.version_of(first + i);
+    if (!current) return current.status();
+    next_versions[i] = current.value() + 1;
+    const auto slice = data.subspan(i * config_.block_size, config_.block_size);
+    push.updates.push_back(net::BlockUpdate{
+        first + i, next_versions[i],
+        storage::BlockData(slice.begin(), slice.end())});
+  }
+  push.was_available = was_available_;
+  const auto replies = transport_.multicast_call(
+      self_, peers(), net::Message{self_, std::move(push)});
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto slice = data.subspan(i * config_.block_size, config_.block_size);
+    if (auto status = store_.write(first + i, slice, next_versions[i]);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+
+  SiteSet ack_set{self_};
+  for (const auto& [site, reply] : replies) {
+    if (reply.holds<net::WriteAllAck>()) ack_set.insert(site);
+  }
+  const bool changed = ack_set != was_available_;
+  was_available_ = ack_set;
+  if (changed) persist_metadata();
+
+  if (policy_ == WasAvailablePolicy::kEagerBroadcast && changed) {
+    SiteSet recipients = ack_set;
+    recipients.erase(self_);
+    (void)transport_.multicast(
+        self_, recipients,
+        net::Message{self_, net::WasAvailableUpdate{ack_set, true}});
+  }
+  return Status::ok();
+}
+
 Status AvailableCopyReplica::repair_from(SiteId source) {
   auto reply = transport_.call(
       self_, source, net::Message{self_, net::RepairRequest{local_versions()}});
@@ -202,6 +260,35 @@ net::Message AvailableCopyReplica::handle_peer(const net::Message& request) {
     if (policy_ == WasAvailablePolicy::kPiggybacked) {
       // Adopt the writer's (previous-write) set, extended with the two
       // sites known to hold this write. Lag makes it a superset — safe.
+      SiteSet adopted = push.was_available;
+      adopted.insert(self_);
+      adopted.insert(request.from);
+      if (adopted != was_available_) {
+        was_available_ = std::move(adopted);
+        persist_metadata();
+      }
+    }
+    return net::Message{self_, net::WriteAllAck{}};
+  }
+  if (request.holds<net::BatchWriteRequest>()) {
+    if (state_ != SiteState::kAvailable) {
+      return net::make_error(self_, errors::unavailable("copy not available"));
+    }
+    const auto& push = request.as<net::BatchWriteRequest>();
+    // One message, one handler invocation: the whole batch lands or the
+    // error reply covers the whole batch — no torn multi-block write.
+    for (const auto& update : push.updates) {
+      auto current = store_.version_of(update.block);
+      if (!current) return net::make_error(self_, current.status());
+      if (update.version > current.value()) {
+        if (auto status =
+                store_.write(update.block, update.data, update.version);
+            !status.is_ok()) {
+          return net::make_error(self_, status);
+        }
+      }
+    }
+    if (policy_ == WasAvailablePolicy::kPiggybacked) {
       SiteSet adopted = push.was_available;
       adopted.insert(self_);
       adopted.insert(request.from);

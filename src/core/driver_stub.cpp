@@ -34,31 +34,51 @@ Result<DriverStub> DriverStub::connect(net::Transport& transport,
   return errors::unavailable("no server reachable for device info");
 }
 
+namespace {
+
+/// True when the server answered but could not serve (no quorum / no
+/// available copy): another server might still serve the same request.
+bool replied_unavailable(const net::Message& reply) {
+  constexpr auto kUnavailable =
+      static_cast<std::uint8_t>(ErrorCode::kUnavailable);
+  if (reply.holds<net::ClientReadReply>()) {
+    return reply.as<net::ClientReadReply>().error_code == kUnavailable;
+  }
+  if (reply.holds<net::ClientWriteReply>()) {
+    return reply.as<net::ClientWriteReply>().error_code == kUnavailable;
+  }
+  if (reply.holds<net::MultiBlockReadReply>()) {
+    return reply.as<net::MultiBlockReadReply>().error_code == kUnavailable;
+  }
+  if (reply.holds<net::MultiBlockWriteAck>()) {
+    return reply.as<net::MultiBlockWriteAck>().error_code == kUnavailable;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<net::Message> DriverStub::call_any(const net::Message& request) {
   Status last = errors::unavailable("no server reachable");
-  for (const SiteId server : servers_) {
+  // Sticky scan: start at the last server that answered. After a failover
+  // the stub keeps talking to the server that worked instead of re-probing
+  // the dead head of the list on every operation.
+  const std::size_t start = last_index_ < servers_.size() ? last_index_ : 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const std::size_t index = (start + i) % servers_.size();
+    const SiteId server = servers_[index];
     auto reply = transport_.call(client_id_, server, request);
     if (!reply) {
       last = reply.status();
       continue;
     }
-    // A server that answered "unavailable" may simply lack a quorum or be
-    // comatose; another server might still serve the request.
-    if (reply.value().holds<net::ClientReadReply>() &&
-        reply.value().as<net::ClientReadReply>().error_code ==
-            static_cast<std::uint8_t>(ErrorCode::kUnavailable)) {
-      last = errors::unavailable("server " + std::to_string(server) +
-                                 " has no available copy/quorum");
-      continue;
-    }
-    if (reply.value().holds<net::ClientWriteReply>() &&
-        reply.value().as<net::ClientWriteReply>().error_code ==
-            static_cast<std::uint8_t>(ErrorCode::kUnavailable)) {
+    if (replied_unavailable(reply.value())) {
       last = errors::unavailable("server " + std::to_string(server) +
                                  " has no available copy/quorum");
       continue;
     }
     last_server_ = server;
+    last_index_ = index;
     return reply;
   }
   return last;
@@ -96,6 +116,54 @@ Status DriverStub::write_block(BlockId block,
   const auto code = reply.value().as<net::ClientWriteReply>().error_code;
   if (code != 0) {
     return Status(static_cast<ErrorCode>(code), "server-side write failed");
+  }
+  return Status::ok();
+}
+
+Result<storage::BlockData> DriverStub::read_blocks(BlockId first,
+                                                   std::size_t count) {
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+  auto reply = call_any(net::Message{
+      client_id_,
+      net::MultiBlockReadRequest{first, static_cast<std::uint32_t>(count)}});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::MultiBlockReadReply>()) {
+    return errors::protocol("unexpected reply to multi-block read");
+  }
+  auto& payload = reply.value();
+  const auto& read_reply = payload.as<net::MultiBlockReadReply>();
+  if (read_reply.error_code != 0) {
+    return Status(static_cast<ErrorCode>(read_reply.error_code),
+                  "server-side multi-block read failed");
+  }
+  if (read_reply.data.size() != count * block_size_) {
+    return errors::protocol("multi-block read returned wrong payload size");
+  }
+  return read_reply.data;
+}
+
+Status DriverStub::write_blocks(BlockId first,
+                                std::span<const std::byte> data) {
+  if (data.empty() || data.size() % block_size_ != 0) {
+    return errors::invalid_argument(
+        "vectored write payload must be a non-empty multiple of the block "
+        "size");
+  }
+  if (auto status = check_range(first, data.size() / block_size_);
+      !status.is_ok()) {
+    return status;
+  }
+  net::MultiBlockWriteRequest request{
+      first, storage::BlockData(data.begin(), data.end())};
+  auto reply = call_any(net::Message{client_id_, std::move(request)});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::MultiBlockWriteAck>()) {
+    return errors::protocol("unexpected reply to multi-block write");
+  }
+  const auto code = reply.value().as<net::MultiBlockWriteAck>().error_code;
+  if (code != 0) {
+    return Status(static_cast<ErrorCode>(code),
+                  "server-side multi-block write failed");
   }
   return Status::ok();
 }

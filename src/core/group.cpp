@@ -111,6 +111,16 @@ Status ReplicaGroup::write(SiteId via, BlockId block,
   return replica(via).write(block, data);
 }
 
+Result<storage::BlockData> ReplicaGroup::read_range(SiteId via, BlockId first,
+                                                    std::size_t count) {
+  return replica(via).read_range(first, count);
+}
+
+Status ReplicaGroup::write_range(SiteId via, BlockId first,
+                                 std::span<const std::byte> data) {
+  return replica(via).write_range(first, data);
+}
+
 std::vector<SiteState> ReplicaGroup::states() const {
   std::vector<SiteState> result;
   result.reserve(replicas_.size());

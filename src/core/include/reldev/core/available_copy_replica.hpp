@@ -44,6 +44,12 @@ class AvailableCopyReplica final : public ReplicaBase {
   /// available ones, and set W to exactly the set that received the write.
   Status write(BlockId block, std::span<const std::byte> data) override;
 
+  /// Batched write-all: the whole range rides in ONE grouped push (one
+  /// high-level transmission instead of one per block); the ack set becomes
+  /// W exactly as in the scalar path. Reads stay local, so the inherited
+  /// read_range loop is already zero-traffic.
+  Status write_range(BlockId first, std::span<const std::byte> data) override;
+
   /// Figure 5. Becomes comatose, inquires group state, then either repairs
   /// from an available site, or — after a total failure — waits until
   /// C*(W_s) has recovered and repairs from its highest-version member.

@@ -23,6 +23,59 @@ class BlockDevice {
   virtual Result<storage::BlockData> read_block(storage::BlockId block) = 0;
   virtual Status write_block(storage::BlockId block,
                              std::span<const std::byte> data) = 0;
+
+  /// Vectored read of blocks [first, first + count): one flat buffer of
+  /// count * block_size bytes. The default loops over read_block, so every
+  /// existing device keeps working; replicated devices override it with a
+  /// single batched round trip.
+  virtual Result<storage::BlockData> read_blocks(storage::BlockId first,
+                                                 std::size_t count) {
+    if (auto status = check_range(first, count); !status.is_ok()) {
+      return status;
+    }
+    storage::BlockData out;
+    out.reserve(count * block_size());
+    for (std::size_t i = 0; i < count; ++i) {
+      auto block = read_block(first + i);
+      if (!block) return block.status();
+      out.insert(out.end(), block.value().begin(), block.value().end());
+    }
+    return out;
+  }
+
+  /// Vectored write of data.size() / block_size consecutive blocks starting
+  /// at `first`. `data` must be a non-empty multiple of block_size.
+  virtual Status write_blocks(storage::BlockId first,
+                              std::span<const std::byte> data) {
+    if (data.empty() || data.size() % block_size() != 0) {
+      return errors::invalid_argument(
+          "vectored write payload must be a non-empty multiple of the block "
+          "size");
+    }
+    const std::size_t count = data.size() / block_size();
+    if (auto status = check_range(first, count); !status.is_ok()) {
+      return status;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      auto status =
+          write_block(first + i, data.subspan(i * block_size(), block_size()));
+      if (!status.is_ok()) return status;
+    }
+    return Status::ok();
+  }
+
+ protected:
+  /// Shared validation for the vectored operations.
+  [[nodiscard]] Status check_range(storage::BlockId first,
+                                   std::size_t count) const {
+    if (count == 0) {
+      return errors::invalid_argument("vectored operation on empty range");
+    }
+    if (first >= block_count() || count > block_count() - first) {
+      return errors::invalid_argument("block range out of bounds");
+    }
+    return Status::ok();
+  }
 };
 
 /// An ordinary single-disk device: a BlockStore with no replication. The

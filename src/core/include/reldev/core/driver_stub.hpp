@@ -36,11 +36,19 @@ class DriverStub final : public BlockDevice {
   Result<storage::BlockData> read_block(BlockId block) override;
   Status write_block(BlockId block, std::span<const std::byte> data) override;
 
+  /// Vectored path: one MultiBlockRead/Write RPC for the whole range
+  /// instead of one round trip per block.
+  Result<storage::BlockData> read_blocks(BlockId first,
+                                         std::size_t count) override;
+  Status write_blocks(BlockId first, std::span<const std::byte> data) override;
+
   /// The server that served the last successful request.
   [[nodiscard]] SiteId last_server() const noexcept { return last_server_; }
 
  private:
-  /// Try each server in order; returns the first conclusive reply.
+  /// Try servers starting at the last successful one (sticky), wrapping
+  /// around the list; returns the first conclusive reply. Steady state
+  /// therefore costs zero dead-head probes of servers that failed earlier.
   Result<net::Message> call_any(const net::Message& request);
 
   net::Transport& transport_;
@@ -49,6 +57,7 @@ class DriverStub final : public BlockDevice {
   std::size_t block_count_;
   std::size_t block_size_;
   SiteId last_server_ = 0;
+  std::size_t last_index_ = 0;  // index into servers_ of last_server_
 };
 
 }  // namespace reldev::core

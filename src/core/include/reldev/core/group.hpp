@@ -58,6 +58,12 @@ class ReplicaGroup {
   Result<storage::BlockData> read(SiteId via, BlockId block);
   Status write(SiteId via, BlockId block, std::span<const std::byte> data);
 
+  /// Vectored convenience: one batched operation through `via`.
+  Result<storage::BlockData> read_range(SiteId via, BlockId first,
+                                        std::size_t count);
+  Status write_range(SiteId via, BlockId first,
+                     std::span<const std::byte> data);
+
   /// Current state of every site (failed sites report kFailed).
   [[nodiscard]] std::vector<SiteState> states() const;
 

@@ -25,6 +25,11 @@ class NaiveAvailableCopyReplica final : public ReplicaBase {
   /// multicast network — the scheme's whole advantage).
   Status write(BlockId block, std::span<const std::byte> data) override;
 
+  /// Batched naive write: the whole range in ONE unacknowledged grouped
+  /// push. Reads stay local, so the inherited read_range loop already
+  /// costs no traffic.
+  Status write_range(BlockId first, std::span<const std::byte> data) override;
+
   /// Figure 6: repair from any available site, or — after a total failure —
   /// wait for all sites and take the highest version.
   Status recover() override;

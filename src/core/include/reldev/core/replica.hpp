@@ -38,6 +38,17 @@ class ReplicaBase : public net::MessageHandler {
   /// Write one block (full block) with the scheme's consistency rules.
   virtual Status write(BlockId block, std::span<const std::byte> data) = 0;
 
+  /// Vectored read of blocks [first, first + count) as one flat buffer.
+  /// The base implementation loops over read(); schemes override it to run
+  /// one quorum round for the whole range.
+  virtual Result<storage::BlockData> read_range(BlockId first,
+                                                std::size_t count);
+
+  /// Vectored write of data.size() / block_size consecutive blocks starting
+  /// at `first`. The base implementation loops over write(); schemes
+  /// override it to push the whole batch in one round.
+  virtual Status write_range(BlockId first, std::span<const std::byte> data);
+
   // --- lifecycle -----------------------------------------------------------
 
   /// Fail-stop crash: volatile state is lost; persistent state (the block
@@ -80,6 +91,10 @@ class ReplicaBase : public net::MessageHandler {
   /// Apply a RepairReply: replace every block the source knew newer.
   Status apply_repair(const net::RepairReply& reply);
 
+  /// Validation shared by the range operations: count > 0 and the whole
+  /// range inside the device.
+  [[nodiscard]] Status check_range(BlockId first, std::size_t count) const;
+
   SiteId self_;
   GroupConfig config_;
   storage::BlockStore& store_;
@@ -104,6 +119,13 @@ class ReplicaDevice final : public BlockDevice {
   }
   Status write_block(BlockId block, std::span<const std::byte> data) override {
     return replica_.write(block, data);
+  }
+  Result<storage::BlockData> read_blocks(BlockId first,
+                                         std::size_t count) override {
+    return replica_.read_range(first, count);
+  }
+  Status write_blocks(BlockId first, std::span<const std::byte> data) override {
+    return replica_.write_range(first, data);
   }
 
  private:

@@ -29,6 +29,19 @@ class VotingReplica final : public ReplicaBase {
   /// version and pushes the block to every site in the quorum.
   Status write(BlockId block, std::span<const std::byte> data) override;
 
+  /// Batched Figure 3: ONE vote round covering the whole range (the reply
+  /// carries a version vector), one grouped fetch per stale source site,
+  /// then the range is served locally.
+  Result<storage::BlockData> read_range(BlockId first,
+                                        std::size_t count) override;
+
+  /// Batched Figure 4: one vote round for the range, local writes at
+  /// per-block max+1, then one grouped push to the quorum. The quorum is
+  /// checked before any local mutation, so a failed batch leaves nothing
+  /// behind (atomic-none); the push is a single message per site, so a
+  /// recipient applies the whole batch or none of it.
+  Status write_range(BlockId first, std::span<const std::byte> data) override;
+
   /// Voting sites are always immediately available after repair: stale
   /// blocks are caught by version numbers at access time.
   Status recover() override;
@@ -46,6 +59,15 @@ class VotingReplica final : public ReplicaBase {
     std::vector<net::GatherReply> replies; // the raw peer votes
   };
   Votes collect_votes(net::AccessKind access, BlockId block);
+
+  struct RangeVotes {
+    std::uint64_t weight_millivotes = 0;            // including self
+    std::vector<storage::VersionNumber> max_versions;  // per block in range
+    std::vector<SiteId> max_sites;                  // site holding each max
+    std::vector<net::GatherReply> replies;          // the raw peer votes
+  };
+  RangeVotes collect_range_votes(net::AccessKind access, BlockId first,
+                                 std::size_t count);
 };
 
 }  // namespace reldev::core

@@ -44,6 +44,38 @@ Status NaiveAvailableCopyReplica::write(BlockId block,
                               net::Message{self_, std::move(push)});
 }
 
+Status NaiveAvailableCopyReplica::write_range(BlockId first,
+                                              std::span<const std::byte> data) {
+  if (state_ != SiteState::kAvailable) {
+    return errors::unavailable(std::string("site is ") +
+                               net::site_state_name(state_));
+  }
+  if (data.empty() || data.size() % config_.block_size != 0) {
+    return errors::invalid_argument(
+        "vectored write payload must be a non-empty multiple of the block "
+        "size");
+  }
+  const std::size_t count = data.size() / config_.block_size;
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+  net::BatchWriteRequest push;
+  push.updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto current = store_.version_of(first + i);
+    if (!current) return current.status();
+    const storage::VersionNumber next = current.value() + 1;
+    const auto slice = data.subspan(i * config_.block_size, config_.block_size);
+    if (auto status = store_.write(first + i, slice, next); !status.is_ok()) {
+      return status;
+    }
+    push.updates.push_back(net::BlockUpdate{
+        first + i, next, storage::BlockData(slice.begin(), slice.end())});
+  }
+  // One unacknowledged grouped push — still a single high-level
+  // transmission on a multicast network, now covering the whole range.
+  return transport_.multicast(self_, peers(),
+                              net::Message{self_, std::move(push)});
+}
+
 Status NaiveAvailableCopyReplica::repair_from(SiteId source) {
   auto reply = transport_.call(
       self_, source, net::Message{self_, net::RepairRequest{local_versions()}});
@@ -109,7 +141,8 @@ net::Message NaiveAvailableCopyReplica::handle_peer(
     return net::Message{
         self_, build_repair_reply(request.as<net::RepairRequest>().versions)};
   }
-  if (request.holds<net::WriteAllRequest>()) {
+  if (request.holds<net::WriteAllRequest>() ||
+      request.holds<net::BatchWriteRequest>()) {
     // The naive push is normally one-way; answering the call form keeps
     // the engine usable over request/reply-only transports such as TCP.
     handle_peer_oneway(request);
@@ -129,6 +162,17 @@ void NaiveAvailableCopyReplica::handle_peer_oneway(
     if (!current) return;
     if (push.version > current.value()) {
       (void)store_.write(push.block, push.data, push.version);
+    }
+    return;
+  }
+  if (message.holds<net::BatchWriteRequest>()) {
+    if (state_ != SiteState::kAvailable) return;  // comatose copies wait
+    for (const auto& update : message.as<net::BatchWriteRequest>().updates) {
+      auto current = store_.version_of(update.block);
+      if (!current) continue;
+      if (update.version > current.value()) {
+        (void)store_.write(update.block, update.data, update.version);
+      }
     }
     return;
   }

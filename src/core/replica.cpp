@@ -18,6 +18,46 @@ ReplicaBase::ReplicaBase(SiteId self, GroupConfig config,
 
 void ReplicaBase::crash() { state_ = SiteState::kFailed; }
 
+Status ReplicaBase::check_range(BlockId first, std::size_t count) const {
+  if (count == 0) {
+    return errors::invalid_argument("vectored operation on empty range");
+  }
+  if (first >= config_.block_count || count > config_.block_count - first) {
+    return errors::invalid_argument("block range out of bounds");
+  }
+  return Status::ok();
+}
+
+Result<storage::BlockData> ReplicaBase::read_range(BlockId first,
+                                                   std::size_t count) {
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+  storage::BlockData out;
+  out.reserve(count * config_.block_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto block = read(first + i);
+    if (!block) return block.status();
+    out.insert(out.end(), block.value().begin(), block.value().end());
+  }
+  return out;
+}
+
+Status ReplicaBase::write_range(BlockId first, std::span<const std::byte> data) {
+  if (data.empty() || data.size() % config_.block_size != 0) {
+    return errors::invalid_argument(
+        "vectored write payload must be a non-empty multiple of the block "
+        "size");
+  }
+  const std::size_t count = data.size() / config_.block_size;
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto status = write(first + i,
+                        data.subspan(i * config_.block_size,
+                                     config_.block_size));
+    if (!status.is_ok()) return status;
+  }
+  return Status::ok();
+}
+
 SiteSet ReplicaBase::peers() const {
   SiteSet all = config_.all_sites();
   all.erase(self_);
@@ -43,6 +83,21 @@ net::Message ReplicaBase::handle(const net::Message& request) {
     return net::Message{
         self_,
         net::ClientWriteReply{static_cast<std::uint8_t>(status.code())}};
+  }
+  if (request.holds<net::MultiBlockReadRequest>()) {
+    const auto& payload = request.as<net::MultiBlockReadRequest>();
+    auto data = read_range(payload.first, payload.count);
+    net::MultiBlockReadReply reply;
+    reply.error_code = static_cast<std::uint8_t>(data.status().code());
+    if (data) reply.data = std::move(data).value();
+    return net::Message{self_, std::move(reply)};
+  }
+  if (request.holds<net::MultiBlockWriteRequest>()) {
+    const auto& payload = request.as<net::MultiBlockWriteRequest>();
+    const Status status = write_range(payload.first, payload.data);
+    return net::Message{
+        self_,
+        net::MultiBlockWriteAck{static_cast<std::uint8_t>(status.code())}};
   }
   if (request.holds<net::DeviceInfoRequest>()) {
     return net::Message{self_,

@@ -51,6 +51,7 @@ const std::vector<std::pair<std::string, std::size_t>> kArity{
     {"retry", 0},       {"write", 3},     {"fail-write", 3},
     {"read", 3},        {"fail-read", 2}, {"partition", 2},
     {"heal", 0},        {"expect-state", 2}, {"expect-available", 1},
+    {"write-range", 4}, {"fail-write-range", 4}, {"read-range", 4},
 };
 
 }  // namespace
@@ -222,6 +223,67 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
         }
         note(step, "'" + got + "'");
       }
+    } else if (step.command == "write-range" ||
+               step.command == "fail-write-range") {
+      auto via = site_of(line, step.args[0]);
+      if (!via) return via.status();
+      auto first = block_of(line, step.args[1]);
+      if (!first) return first.status();
+      auto count = parse_number(line, step.args[2], "block count");
+      if (!count) return count.status();
+      if (count.value() == 0 ||
+          count.value() > scenario.blocks - first.value()) {
+        return syntax_error(line, "range out of bounds");
+      }
+      // The payload repeats the text in every block of the range.
+      const storage::BlockData one =
+          text_payload(step.args[3], scenario.block_size);
+      storage::BlockData payload;
+      payload.reserve(count.value() * scenario.block_size);
+      for (std::uint64_t i = 0; i < count.value(); ++i) {
+        payload.insert(payload.end(), one.begin(), one.end());
+      }
+      const Status status =
+          group.write_range(via.value(), first.value(), payload);
+      const bool want_success = step.command == "write-range";
+      if (status.is_ok() != want_success) {
+        return expectation_failed(
+            line, std::string("write-range was expected to ") +
+                      (want_success ? "succeed" : "fail") + " but " +
+                      (status.is_ok() ? "succeeded" : status.to_string()));
+      }
+      note(step, status.to_string());
+    } else if (step.command == "read-range") {
+      auto via = site_of(line, step.args[0]);
+      if (!via) return via.status();
+      auto first = block_of(line, step.args[1]);
+      if (!first) return first.status();
+      auto count = parse_number(line, step.args[2], "block count");
+      if (!count) return count.status();
+      if (count.value() == 0 ||
+          count.value() > scenario.blocks - first.value()) {
+        return syntax_error(line, "range out of bounds");
+      }
+      auto data = group.read_range(via.value(), first.value(), count.value());
+      if (!data.is_ok()) {
+        return expectation_failed(line, "read-range was expected to succeed: " +
+                                            data.status().to_string());
+      }
+      for (std::uint64_t i = 0; i < count.value(); ++i) {
+        const storage::BlockData one(
+            data.value().begin() +
+                static_cast<std::ptrdiff_t>(i * scenario.block_size),
+            data.value().begin() +
+                static_cast<std::ptrdiff_t>((i + 1) * scenario.block_size));
+        const std::string got = payload_text(one);
+        if (got != step.args[3]) {
+          return expectation_failed(
+              line, "read-range block " +
+                        std::to_string(first.value() + i) + " returned '" +
+                        got + "', expected '" + step.args[3] + "'");
+        }
+      }
+      note(step, "'" + step.args[3] + "' x " + step.args[2]);
     } else if (step.command == "partition") {
       auto site = site_of(line, step.args[0]);
       if (!site) return site.status();

@@ -1,5 +1,7 @@
 #include "reldev/core/voting_replica.hpp"
 
+#include <map>
+
 #include "reldev/util/logging.hpp"
 
 namespace reldev::core {
@@ -123,6 +125,169 @@ Status VotingReplica::write(BlockId block, std::span<const std::byte> data) {
                               net::Message{self_, std::move(update)});
 }
 
+VotingReplica::RangeVotes VotingReplica::collect_range_votes(
+    net::AccessKind access, BlockId first, std::size_t count) {
+  RangeVotes votes;
+  votes.weight_millivotes = config_.weight_of(self_);
+  votes.max_versions.resize(count);
+  votes.max_sites.assign(count, self_);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto local = store_.version_of(first + i);
+    RELDEV_ASSERT(local.is_ok());
+    votes.max_versions[i] = local.value();
+  }
+
+  const net::Message request{
+      self_, net::RangeVoteRequest{access, first,
+                                   static_cast<std::uint32_t>(count)}};
+  // Same early-stop policy as the scalar round: reads stop at the read
+  // quorum (any read quorum intersects every write quorum, so the newest
+  // committed version of every block in the range is already among the
+  // early replies); writes gather fully so the grouped push repairs every
+  // stale voter.
+  net::EarlyStop early_stop;
+  if (access == net::AccessKind::kRead) {
+    const std::uint64_t self_weight = votes.weight_millivotes;
+    const std::uint64_t quorum = config_.read_quorum_millivotes;
+    early_stop = [self_weight,
+                  quorum](const std::vector<net::GatherReply>& replies) {
+      std::uint64_t weight = self_weight;
+      for (const auto& [site, reply] : replies) {
+        if (!reply.holds<net::RangeVoteReply>()) continue;
+        weight += reply.as<net::RangeVoteReply>().weight_millivotes;
+      }
+      return weight >= quorum;
+    };
+  }
+  votes.replies = transport_.multicast_call(self_, peers(), request,
+                                            early_stop);
+  for (const auto& [site, reply] : votes.replies) {
+    if (!reply.holds<net::RangeVoteReply>()) continue;
+    const auto& vote = reply.as<net::RangeVoteReply>();
+    if (vote.versions.size() != count) continue;  // malformed; ignore vote
+    votes.weight_millivotes += vote.weight_millivotes;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (vote.versions[i] > votes.max_versions[i]) {
+        votes.max_versions[i] = vote.versions[i];
+        votes.max_sites[i] = site;
+      }
+    }
+  }
+  return votes;
+}
+
+Result<storage::BlockData> VotingReplica::read_range(BlockId first,
+                                                     std::size_t count) {
+  if (state_ == SiteState::kFailed) {
+    return errors::unavailable("site is failed");
+  }
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+  // Batched Figure 3: ONE vote round for the whole range instead of one per
+  // block, then one grouped fetch per site that holds newer copies.
+  RangeVotes votes = collect_range_votes(net::AccessKind::kRead, first, count);
+  if (votes.weight_millivotes < config_.read_quorum_millivotes) {
+    return errors::unavailable(
+        "no read quorum (" + std::to_string(votes.weight_millivotes) + " of " +
+        std::to_string(config_.read_quorum_millivotes) + " millivotes)");
+  }
+  // Group the stale blocks by the site holding their newest version so the
+  // repair costs one round trip per source site, not one per block.
+  std::map<SiteId, std::vector<BlockId>> stale_by_site;
+  for (std::size_t i = 0; i < count; ++i) {
+    const BlockId block = first + i;
+    const auto local = store_.version_of(block).value();
+    if (local < votes.max_versions[i]) {
+      stale_by_site[votes.max_sites[i]].push_back(block);
+    }
+  }
+  for (auto& [site, blocks] : stale_by_site) {
+    auto reply = transport_.call(
+        self_, site,
+        net::Message{self_, net::BatchFetchRequest{std::move(blocks)}});
+    if (!reply) return reply.status();
+    if (!reply.value().holds<net::BatchFetchReply>()) {
+      return errors::protocol("unexpected reply to batch fetch");
+    }
+    for (const auto& update : reply.value().as<net::BatchFetchReply>().updates) {
+      auto current = store_.version_of(update.block);
+      if (!current) return current.status();
+      if (update.version <= current.value()) continue;
+      if (auto status = store_.write(update.block, update.data, update.version);
+          !status.is_ok()) {
+        return status;
+      }
+    }
+  }
+  storage::BlockData out;
+  out.reserve(count * config_.block_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto stored = store_.read(first + i);
+    if (!stored) return stored.status();
+    out.insert(out.end(), stored.value().data.begin(),
+               stored.value().data.end());
+  }
+  return out;
+}
+
+Status VotingReplica::write_range(BlockId first,
+                                  std::span<const std::byte> data) {
+  if (state_ == SiteState::kFailed) {
+    return errors::unavailable("site is failed");
+  }
+  if (data.empty() || data.size() % config_.block_size != 0) {
+    return errors::invalid_argument(
+        "vectored write payload must be a non-empty multiple of the block "
+        "size");
+  }
+  const std::size_t count = data.size() / config_.block_size;
+  if (auto status = check_range(first, count); !status.is_ok()) return status;
+  // Batched Figure 4: one vote round for the whole range. The quorum is
+  // checked BEFORE any local mutation, so losing it fails the batch cleanly
+  // with no block written anywhere (atomic-none).
+  RangeVotes votes = collect_range_votes(net::AccessKind::kWrite, first, count);
+  if (votes.weight_millivotes < config_.write_quorum_millivotes) {
+    return errors::unavailable(
+        "no write quorum (" + std::to_string(votes.weight_millivotes) +
+        " of " + std::to_string(config_.write_quorum_millivotes) +
+        " millivotes)");
+  }
+  net::BatchWriteRequest push;
+  push.updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const storage::VersionNumber next = votes.max_versions[i] + 1;
+    const auto slice = data.subspan(i * config_.block_size, config_.block_size);
+    if (auto status = store_.write(first + i, slice, next); !status.is_ok()) {
+      return status;
+    }
+    push.updates.push_back(net::BlockUpdate{
+        first + i, next, storage::BlockData(slice.begin(), slice.end())});
+  }
+  SiteSet quorum;
+  for (const auto& [site, reply] : votes.replies) {
+    if (reply.holds<net::RangeVoteReply>()) quorum.insert(site);
+  }
+  // One grouped push carries every update; a recipient applies the whole
+  // batch in one message, so no reader on any site can observe a torn
+  // multi-block write. The push is acknowledged so a site crashing between
+  // the vote round and the push is detected: if the surviving acks no
+  // longer cover a write quorum, the caller gets kUnavailable and retries.
+  auto acks = transport_.multicast_call(
+      self_, quorum, net::Message{self_, std::move(push)}, net::EarlyStop{});
+  std::uint64_t acked_weight = config_.weight_of(self_);
+  for (const auto& [site, reply] : acks) {
+    if (reply.holds<net::WriteAllAck>()) {
+      acked_weight += config_.weight_of(site);
+    }
+  }
+  if (acked_weight < config_.write_quorum_millivotes) {
+    return errors::unavailable(
+        "batch push lost write quorum (" + std::to_string(acked_weight) +
+        " of " + std::to_string(config_.write_quorum_millivotes) +
+        " millivotes acked); retry");
+  }
+  return Status::ok();
+}
+
 Status VotingReplica::recover() {
   // Block-level voting needs no recovery work at repair time (§3.1): any
   // stale block is detected by its version number at the next access and
@@ -148,9 +313,42 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
                         net::BlockFetchReply{stored.value().version,
                                              std::move(stored).value().data}};
   }
+  if (request.holds<net::RangeVoteRequest>()) {
+    const auto& vote = request.as<net::RangeVoteRequest>();
+    if (auto status = check_range(vote.first, vote.count); !status.is_ok()) {
+      return net::make_error(self_, status);
+    }
+    net::RangeVoteReply reply;
+    reply.weight_millivotes = config_.weight_of(self_);
+    reply.versions.reserve(vote.count);
+    for (std::uint32_t i = 0; i < vote.count; ++i) {
+      auto version = store_.version_of(vote.first + i);
+      if (!version) return net::make_error(self_, version.status());
+      reply.versions.push_back(version.value());
+    }
+    return net::Message{self_, std::move(reply)};
+  }
+  if (request.holds<net::BatchFetchRequest>()) {
+    net::BatchFetchReply reply;
+    const auto& fetch = request.as<net::BatchFetchRequest>();
+    reply.updates.reserve(fetch.blocks.size());
+    for (const BlockId block : fetch.blocks) {
+      auto stored = store_.read(block);
+      if (!stored) return net::make_error(self_, stored.status());
+      reply.updates.push_back(net::BlockUpdate{
+          block, stored.value().version, std::move(stored).value().data});
+    }
+    return net::Message{self_, std::move(reply)};
+  }
   if (request.holds<net::StateInquiry>()) {
     return net::Message{
         self_, net::StateInfo{state_, local_versions().total(), SiteSet{}}};
+  }
+  if (request.holds<net::BatchWriteRequest>()) {
+    // Same reasoning as the scalar BlockUpdate below: answer the call form
+    // so request/reply-only transports keep the effective write quorum.
+    handle_peer_oneway(request);
+    return net::Message{self_, net::WriteAllAck{}};
   }
   if (request.holds<net::BlockUpdate>()) {
     // The post-write block push is normally one-way; answering the call
@@ -167,6 +365,18 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
 }
 
 void VotingReplica::handle_peer_oneway(const net::Message& message) {
+  if (message.holds<net::BatchWriteRequest>()) {
+    // The whole batch arrives in one message and is applied in one handler
+    // invocation, so a site holds either all of the batch or none of it.
+    for (const auto& update : message.as<net::BatchWriteRequest>().updates) {
+      auto current = store_.version_of(update.block);
+      if (!current) continue;
+      if (update.version > current.value()) {
+        (void)store_.write(update.block, update.data, update.version);
+      }
+    }
+    return;
+  }
   if (message.holds<net::BlockUpdate>()) {
     const auto& update = message.as<net::BlockUpdate>();
     auto current = store_.version_of(update.block);

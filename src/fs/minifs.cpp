@@ -31,6 +31,23 @@ Result<storage::BlockData> read_device_block(core::BlockDevice& device,
   return device.read_block(block);
 }
 
+/// Splits an ordered list of block ids into maximal consecutive runs, so a
+/// whole-file operation costs one vectored device call per run instead of
+/// one scalar call per block.
+std::vector<std::pair<storage::BlockId, std::size_t>> consecutive_runs(
+    std::span<const std::uint32_t> blocks) {
+  std::vector<std::pair<storage::BlockId, std::size_t>> runs;
+  for (const std::uint32_t block : blocks) {
+    if (!runs.empty() &&
+        runs.back().first + runs.back().second == storage::BlockId{block}) {
+      ++runs.back().second;
+    } else {
+      runs.emplace_back(block, 1);
+    }
+  }
+  return runs;
+}
+
 }  // namespace
 
 MiniFs::MiniFs(core::BlockDevice& device, std::size_t inode_count,
@@ -91,12 +108,11 @@ Result<MiniFs> MiniFs::format(core::BlockDevice& device,
     return status;
   }
 
-  // Zeroed bitmap and inode table.
-  const storage::BlockData zeros(block_size, std::byte{0});
-  for (std::size_t b = 1; b < data_start; ++b) {
-    if (auto status = device.write_block(b, zeros); !status.is_ok()) {
-      return status;
-    }
+  // Zeroed bitmap and inode table: one vectored write for the whole
+  // metadata region instead of one device round trip per block.
+  const storage::BlockData zeros((data_start - 1) * block_size, std::byte{0});
+  if (auto status = device.write_blocks(1, zeros); !status.is_ok()) {
+    return status;
   }
   return MiniFs(device, inode_count, bitmap_blocks, inode_blocks, data_start);
 }
@@ -296,13 +312,18 @@ Result<std::vector<std::byte>> MiniFs::read_file(
   contents.reserve(inode.value().size);
   const std::size_t used_blocks =
       (inode.value().size + block_size_ - 1) / block_size_;
-  for (std::size_t i = 0; i < used_blocks; ++i) {
-    auto block = device_->read_block(inode.value().blocks[i]);
-    if (!block) return block.status();
-    const std::size_t want =
-        std::min<std::size_t>(block_size_, inode.value().size - contents.size());
-    contents.insert(contents.end(), block.value().begin(),
-                    block.value().begin() + static_cast<std::ptrdiff_t>(want));
+  // Whole-file read over the vectored path: one device call per maximal
+  // consecutive run of the inode's blocks (usually exactly one run, since
+  // allocation scans the bitmap in order).
+  for (const auto& [first, count] : consecutive_runs(
+           std::span<const std::uint32_t>(inode.value().blocks.data(),
+                                          used_blocks))) {
+    auto run = device_->read_blocks(first, count);
+    if (!run) return run.status();
+    const std::size_t want = std::min<std::size_t>(
+        run.value().size(), inode.value().size - contents.size());
+    contents.insert(contents.end(), run.value().begin(),
+                    run.value().begin() + static_cast<std::ptrdiff_t>(want));
   }
   return contents;
 }
@@ -355,19 +376,20 @@ Status MiniFs::write_file(const std::string& name,
   }
 
   // Data blocks first, then metadata — an interrupted write leaves the old
-  // file intact in the inode table.
-  for (std::size_t i = 0; i < needed; ++i) {
-    storage::BlockData block(block_size_, std::byte{0});
-    const std::size_t offset = i * block_size_;
-    const std::size_t count =
-        std::min<std::size_t>(block_size_, contents.size() - offset);
-    std::copy(contents.begin() + static_cast<std::ptrdiff_t>(offset),
-              contents.begin() + static_cast<std::ptrdiff_t>(offset + count),
-              block.begin());
-    if (auto status = device_->write_block(allocated[i], block);
-        !status.is_ok()) {
+  // file intact in the inode table. The payload (zero-padded to a whole
+  // number of blocks) goes out over the vectored path, one device call per
+  // maximal consecutive run of the allocation.
+  storage::BlockData padded(needed * block_size_, std::byte{0});
+  std::copy(contents.begin(), contents.end(), padded.begin());
+  std::size_t written = 0;
+  for (const auto& [first, count] :
+       consecutive_runs(std::span<const std::uint32_t>(allocated))) {
+    const auto slice = std::span<const std::byte>(padded).subspan(
+        written * block_size_, count * block_size_);
+    if (auto status = device_->write_blocks(first, slice); !status.is_ok()) {
       return status;
     }
+    written += count;
   }
   if (auto status = store_bitmap(bitmap.value()); !status.is_ok()) {
     return status;

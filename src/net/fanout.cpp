@@ -1,9 +1,24 @@
 #include "reldev/net/fanout.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace reldev::net {
+
+namespace {
+
+std::mutex& shared_pool_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unique_ptr<FanOut>& shared_pool_slot() {
+  static std::unique_ptr<FanOut> slot;
+  return slot;
+}
+
+}  // namespace
 
 std::size_t FanOut::default_thread_count() {
   const std::size_t hw = std::thread::hardware_concurrency();
@@ -27,8 +42,19 @@ FanOut::~FanOut() {
 }
 
 FanOut& FanOut::shared() {
-  static FanOut pool;
-  return pool;
+  const std::lock_guard<std::mutex> lock(shared_pool_mutex());
+  auto& slot = shared_pool_slot();
+  if (!slot) slot = std::make_unique<FanOut>();
+  return *slot;
+}
+
+void FanOut::set_shared_thread_count(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(shared_pool_mutex());
+  auto& slot = shared_pool_slot();
+  // Destroying the old pool drains its queue and joins its workers, so
+  // every already-submitted task completes before the resize.
+  slot.reset();
+  slot = std::make_unique<FanOut>(threads);
 }
 
 void FanOut::submit(std::function<void()> task) {

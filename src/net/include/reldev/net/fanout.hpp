@@ -39,6 +39,12 @@ class FanOut {
   /// lives until process exit.
   static FanOut& shared();
 
+  /// Resize the shared pool (daemon --fanout-threads, tests). The previous
+  /// pool is drained and joined before the replacement is built, so no
+  /// in-flight task is lost. Must not be called from a task running on the
+  /// shared pool itself.
+  static void set_shared_thread_count(std::size_t threads);
+
   /// Enqueue a task. Never blocks; tasks run in submission order as workers
   /// free up.
   void submit(std::function<void()> task);

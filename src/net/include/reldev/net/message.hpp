@@ -149,13 +149,74 @@ struct ErrorReply {
   std::string message;
 };
 
+// --- vectored block I/O (batched multi-block operations) -------------------
+// One message per *batch* instead of one per block, so a k-block file read
+// or write costs one client round trip and one quorum round. §5's cost
+// metric counts high-level transmissions, and a batched message is still a
+// single transmission — batching strictly reduces counted traffic.
+
+/// Client read of blocks [first, first + count).
+struct MultiBlockReadRequest {
+  BlockId first;
+  std::uint32_t count;
+};
+/// Flat payload of count * block_size bytes (empty on error).
+struct MultiBlockReadReply {
+  std::uint8_t error_code;
+  BlockData data;
+};
+
+/// Client write of data.size() / block_size consecutive blocks at `first`.
+struct MultiBlockWriteRequest {
+  BlockId first;
+  BlockData data;
+};
+struct MultiBlockWriteAck {
+  std::uint8_t error_code;
+};
+
+/// One vote collection covering a whole block range (the batched form of
+/// VoteRequest): the reply carries the responder's version of every block
+/// in [first, first + count), parallel to the range.
+struct RangeVoteRequest {
+  AccessKind access;
+  BlockId first;
+  std::uint32_t count;
+};
+struct RangeVoteReply {
+  std::uint32_t weight_millivotes;
+  std::vector<VersionNumber> versions;
+};
+
+/// Fetch several (not necessarily consecutive) blocks from one site in one
+/// round trip — the batched read repair of stale local copies.
+struct BatchFetchRequest {
+  std::vector<BlockId> blocks;
+};
+struct BatchFetchReply {
+  std::vector<BlockUpdate> updates;
+};
+
+/// Grouped write push: every update in one message, applied together by
+/// the recipient (a site receives the whole batch or none of it — no torn
+/// multi-block writes). Voting's post-quorum push and NAC's write-all send
+/// an empty `was_available`; AC carries the coordinator's W exactly as the
+/// scalar WriteAllRequest does. Acknowledged with WriteAllAck.
+struct BatchWriteRequest {
+  std::vector<BlockUpdate> updates;
+  SiteSet was_available;
+};
+
 using Payload =
     std::variant<VoteRequest, VoteReply, BlockFetchRequest, BlockFetchReply,
                  BlockUpdate, WriteAllRequest, WriteAllAck, StateInquiry,
                  StateInfo, RepairRequest, RepairReply, WasAvailableUpdate,
                  WasAvailableAck, ClientReadRequest, ClientReadReply,
                  ClientWriteRequest, ClientWriteReply, DeviceInfoRequest,
-                 DeviceInfoReply, ErrorReply>;
+                 DeviceInfoReply, ErrorReply, MultiBlockReadRequest,
+                 MultiBlockReadReply, MultiBlockWriteRequest, MultiBlockWriteAck,
+                 RangeVoteRequest, RangeVoteReply, BatchFetchRequest,
+                 BatchFetchReply, BatchWriteRequest>;
 
 /// A routed message: who sent it plus its payload.
 struct Message {

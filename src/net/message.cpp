@@ -1,5 +1,7 @@
 #include "reldev/net/message.hpp"
 
+#include <algorithm>
+
 #include "reldev/util/serial.hpp"
 
 namespace reldev::net {
@@ -29,6 +31,15 @@ enum class Tag : std::uint8_t {
   kDeviceInfoRequest,
   kDeviceInfoReply,
   kErrorReply,
+  kMultiBlockReadRequest,
+  kMultiBlockReadReply,
+  kMultiBlockWriteRequest,
+  kMultiBlockWriteAck,
+  kRangeVoteRequest,
+  kRangeVoteReply,
+  kBatchFetchRequest,
+  kBatchFetchReply,
+  kBatchWriteRequest,
 };
 
 void put_site_set(BufferWriter& w, const SiteSet& set) {
@@ -163,6 +174,51 @@ struct Encoder {
     w.put_u8(static_cast<std::uint8_t>(Tag::kErrorReply));
     w.put_u8(m.error_code);
     w.put_string(m.message);
+  }
+  void operator()(const MultiBlockReadRequest& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kMultiBlockReadRequest));
+    w.put_u64(m.first);
+    w.put_u32(m.count);
+  }
+  void operator()(const MultiBlockReadReply& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kMultiBlockReadReply));
+    w.put_u8(m.error_code);
+    put_block_data(w, m.data);
+  }
+  void operator()(const MultiBlockWriteRequest& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kMultiBlockWriteRequest));
+    w.put_u64(m.first);
+    put_block_data(w, m.data);
+  }
+  void operator()(const MultiBlockWriteAck& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kMultiBlockWriteAck));
+    w.put_u8(m.error_code);
+  }
+  void operator()(const RangeVoteRequest& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kRangeVoteRequest));
+    w.put_u8(static_cast<std::uint8_t>(m.access));
+    w.put_u64(m.first);
+    w.put_u32(m.count);
+  }
+  void operator()(const RangeVoteReply& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kRangeVoteReply));
+    w.put_u32(m.weight_millivotes);
+    w.put_u64_vector(m.versions);
+  }
+  void operator()(const BatchFetchRequest& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kBatchFetchRequest));
+    w.put_u64_vector(m.blocks);
+  }
+  void operator()(const BatchFetchReply& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kBatchFetchReply));
+    w.put_u32(static_cast<std::uint32_t>(m.updates.size()));
+    for (const auto& update : m.updates) put_block_update(w, update);
+  }
+  void operator()(const BatchWriteRequest& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kBatchWriteRequest));
+    w.put_u32(static_cast<std::uint32_t>(m.updates.size()));
+    for (const auto& update : m.updates) put_block_update(w, update);
+    put_site_set(w, m.was_available);
   }
 };
 
@@ -306,6 +362,85 @@ Result<Payload> decode_payload(Tag tag, BufferReader& r) {
       if (!text) return text.status();
       return Payload{ErrorReply{code.value(), std::move(text).value()}};
     }
+    case Tag::kMultiBlockReadRequest: {
+      auto first = r.get_u64();
+      if (!first) return first.status();
+      auto count = r.get_u32();
+      if (!count) return count.status();
+      return Payload{MultiBlockReadRequest{first.value(), count.value()}};
+    }
+    case Tag::kMultiBlockReadReply: {
+      auto code = r.get_u8();
+      if (!code) return code.status();
+      auto data = get_block_data(r);
+      if (!data) return data.status();
+      return Payload{
+          MultiBlockReadReply{code.value(), std::move(data).value()}};
+    }
+    case Tag::kMultiBlockWriteRequest: {
+      auto first = r.get_u64();
+      if (!first) return first.status();
+      auto data = get_block_data(r);
+      if (!data) return data.status();
+      return Payload{
+          MultiBlockWriteRequest{first.value(), std::move(data).value()}};
+    }
+    case Tag::kMultiBlockWriteAck: {
+      auto code = r.get_u8();
+      if (!code) return code.status();
+      return Payload{MultiBlockWriteAck{code.value()}};
+    }
+    case Tag::kRangeVoteRequest: {
+      auto access = r.get_u8();
+      if (!access) return access.status();
+      if (access.value() > 1) return errors::protocol("bad access kind");
+      auto first = r.get_u64();
+      if (!first) return first.status();
+      auto count = r.get_u32();
+      if (!count) return count.status();
+      return Payload{RangeVoteRequest{static_cast<AccessKind>(access.value()),
+                                      first.value(), count.value()}};
+    }
+    case Tag::kRangeVoteReply: {
+      auto weight = r.get_u32();
+      if (!weight) return weight.status();
+      auto versions = r.get_u64_vector();
+      if (!versions) return versions.status();
+      return Payload{
+          RangeVoteReply{weight.value(), std::move(versions).value()}};
+    }
+    case Tag::kBatchFetchRequest: {
+      auto blocks = r.get_u64_vector();
+      if (!blocks) return blocks.status();
+      return Payload{BatchFetchRequest{std::move(blocks).value()}};
+    }
+    case Tag::kBatchFetchReply: {
+      BatchFetchReply m;
+      auto count = r.get_u32();
+      if (!count) return count.status();
+      m.updates.reserve(std::min<std::uint32_t>(count.value(), 1024));
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto update = get_block_update(r);
+        if (!update) return update.status();
+        m.updates.push_back(std::move(update).value());
+      }
+      return Payload{std::move(m)};
+    }
+    case Tag::kBatchWriteRequest: {
+      BatchWriteRequest m;
+      auto count = r.get_u32();
+      if (!count) return count.status();
+      m.updates.reserve(std::min<std::uint32_t>(count.value(), 1024));
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto update = get_block_update(r);
+        if (!update) return update.status();
+        m.updates.push_back(std::move(update).value());
+      }
+      auto set = get_site_set(r);
+      if (!set) return set.status();
+      m.was_available = std::move(set).value();
+      return Payload{std::move(m)};
+    }
   }
   return errors::protocol("unknown message tag");
 }
@@ -370,6 +505,33 @@ const char* Message::name() const noexcept {
       return "device-info-reply";
     }
     const char* operator()(const ErrorReply&) const { return "error-reply"; }
+    const char* operator()(const MultiBlockReadRequest&) const {
+      return "multi-block-read-request";
+    }
+    const char* operator()(const MultiBlockReadReply&) const {
+      return "multi-block-read-reply";
+    }
+    const char* operator()(const MultiBlockWriteRequest&) const {
+      return "multi-block-write-request";
+    }
+    const char* operator()(const MultiBlockWriteAck&) const {
+      return "multi-block-write-ack";
+    }
+    const char* operator()(const RangeVoteRequest&) const {
+      return "range-vote-request";
+    }
+    const char* operator()(const RangeVoteReply&) const {
+      return "range-vote-reply";
+    }
+    const char* operator()(const BatchFetchRequest&) const {
+      return "batch-fetch-request";
+    }
+    const char* operator()(const BatchFetchReply&) const {
+      return "batch-fetch-reply";
+    }
+    const char* operator()(const BatchWriteRequest&) const {
+      return "batch-write-request";
+    }
   };
   return std::visit(Namer{}, payload);
 }
@@ -387,7 +549,7 @@ Result<Message> Message::decode(std::span<const std::byte> raw) {
   if (!from) return from.status();
   auto tag = reader.get_u8();
   if (!tag) return tag.status();
-  if (tag.value() > static_cast<std::uint8_t>(Tag::kErrorReply)) {
+  if (tag.value() > static_cast<std::uint8_t>(Tag::kBatchWriteRequest)) {
     return errors::protocol("unknown message tag " +
                             std::to_string(tag.value()));
   }

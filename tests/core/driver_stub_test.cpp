@@ -101,6 +101,63 @@ TEST_F(DriverStubTest, ServerSideErrorsPropagate) {
             reldev::ErrorCode::kInvalidArgument);
 }
 
+TEST_F(DriverStubTest, StaysStickyAfterFailover) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  const auto data = payload(64, 8);
+  ASSERT_TRUE(stub.write_block(1, data).is_ok());
+  group_.crash_site(0);
+  ASSERT_TRUE(stub.read_block(1).is_ok());
+  ASSERT_EQ(stub.last_server(), 1u);
+  // Direct-hit cost: the stub is already pointed at site 1.
+  group_.meter().reset();
+  ASSERT_TRUE(stub.read_block(1).is_ok());
+  const auto direct_cost = group_.meter().total();
+  // Site 0 comes back, but the stub must keep talking to site 1 instead of
+  // probing the front of the list again on every call.
+  ASSERT_TRUE(group_.recover_site(0).is_ok());
+  group_.meter().reset();
+  ASSERT_TRUE(stub.read_block(1).is_ok());
+  EXPECT_EQ(stub.last_server(), 1u);
+  EXPECT_EQ(group_.meter().total(), direct_cost);  // no dead-head probe
+}
+
+TEST_F(DriverStubTest, VectoredReadWriteRoundTrip) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  storage::BlockData contents(3 * 64);
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    contents[i] = static_cast<std::byte>(i & 0xff);
+  }
+  ASSERT_TRUE(stub.write_blocks(2, contents).is_ok());
+  EXPECT_EQ(stub.read_blocks(2, 3).value(), contents);
+  // The batch really landed block by block.
+  EXPECT_EQ(stub.read_block(3).value(),
+            storage::BlockData(contents.begin() + 64,
+                               contents.begin() + 128));
+}
+
+TEST_F(DriverStubTest, VectoredRangeValidatedClientSide) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  EXPECT_EQ(stub.read_blocks(7, 2).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(stub.read_blocks(0, 0).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(stub.write_blocks(0, payload(65, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(DriverStubTest, VectoredOpsFailOverToo) {
+  auto stub =
+      DriverStub::connect(group_.transport(), kClientId, {0, 1, 2}).value();
+  const auto contents = payload(2 * 64, 9);
+  ASSERT_TRUE(stub.write_blocks(0, contents).is_ok());
+  group_.crash_site(0);
+  EXPECT_EQ(stub.read_blocks(0, 2).value(), contents);
+  EXPECT_EQ(stub.last_server(), 1u);
+}
+
 TEST_F(DriverStubTest, WorksAgainstVotingGroupToo) {
   ReplicaGroup voting(SchemeKind::kVoting, GroupConfig::majority(5, 4, 32));
   auto stub =

@@ -159,6 +159,37 @@ recover 0
   EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kConflict);
 }
 
+TEST(ScenarioRunTest, RangeVerbsRunEndToEnd) {
+  auto scenario = Scenario::parse(R"(
+scheme voting
+sites 3
+blocks 8
+write-range 0 2 3 bulk
+read-range 1 2 3 bulk
+crash 1
+crash 2
+fail-write-range 0 2 3 lost
+recover 1
+read-range 0 2 3 bulk
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, RangeVerbsRejectBadArity) {
+  EXPECT_FALSE(Scenario::parse("write-range 0 0 bulk\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("read-range 0 0 2\n").is_ok());
+}
+
+TEST(ScenarioRunTest, RangeVerbsRejectOutOfBoundsRange) {
+  auto scenario = Scenario::parse("write-range 0 6 4 text\n");  // 8 blocks
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kInvalidArgument);
+}
+
 TEST(ScenarioRunTest, OutOfRangeReferencesRejectedAtRunTime) {
   auto scenario = Scenario::parse("crash 7\n");  // sites defaults to 3
   ASSERT_TRUE(scenario.is_ok());

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "reldev/core/group.hpp"
+#include "reldev/net/inproc_transport.hpp"
+#include "reldev/storage/mem_block_store.hpp"
 
 namespace reldev::core {
 namespace {
@@ -184,6 +189,174 @@ TEST_F(VotingTest, MulticastReadTrafficMatchesPaper) {
   group_.meter().set_current_op(net::OpKind::kRead);
   ASSERT_TRUE(group_.read(0, 0).is_ok());
   EXPECT_EQ(group_.meter().count(net::OpKind::kRead), 5u);
+}
+
+TEST_F(VotingTest, RangeWriteReadRoundTrip) {
+  const auto contents = payload(4 * 64, 11);
+  ASSERT_TRUE(group_.write_range(0, 2, contents).is_ok());
+  for (SiteId site = 0; site < 5; ++site) {
+    EXPECT_EQ(group_.read_range(site, 2, 4).value(), contents) << "site "
+                                                               << site;
+  }
+  // The batch landed block by block with per-block versions.
+  for (SiteId site = 0; site < 5; ++site) {
+    for (storage::BlockId b = 2; b < 6; ++b) {
+      EXPECT_EQ(group_.store(site).version_of(b).value(), 1u);
+    }
+  }
+}
+
+TEST_F(VotingTest, RangeWriteCostsOneQuorumRound) {
+  // Scalar loop: k writes at n + 1 = 6 transmissions each (§5.1).
+  group_.meter().reset();
+  for (storage::BlockId b = 0; b < 4; ++b) {
+    ASSERT_TRUE(group_.write(0, b, payload(64, 1)).is_ok());
+  }
+  const auto scalar_cost = group_.meter().total();
+  EXPECT_EQ(scalar_cost, 24u);
+  // Vectored: ONE vote round (1 query + 4 replies) and ONE acked grouped
+  // push (1 multicast + 4 acks) for the whole range.
+  group_.meter().reset();
+  ASSERT_TRUE(group_.write_range(0, 0, payload(4 * 64, 2)).is_ok());
+  EXPECT_EQ(group_.meter().total(), 10u);
+}
+
+TEST_F(VotingTest, RangeReadCostsOneVoteRound) {
+  ASSERT_TRUE(group_.write_range(0, 0, payload(4 * 64, 3)).is_ok());
+  // Scalar loop: k current-copy reads at n transmissions each.
+  group_.meter().reset();
+  for (storage::BlockId b = 0; b < 4; ++b) {
+    ASSERT_TRUE(group_.read(0, b).is_ok());
+  }
+  const auto scalar_cost = group_.meter().total();
+  EXPECT_EQ(scalar_cost, 20u);
+  // Vectored: one range vote round covers every block.
+  group_.meter().reset();
+  ASSERT_TRUE(group_.read_range(0, 0, 4).is_ok());
+  EXPECT_EQ(group_.meter().total(), 5u);
+}
+
+TEST_F(VotingTest, RangeReadRepairsStaleSiteInOneFetch) {
+  // Site 4 misses a range write, then serves a range read: every stale
+  // block must be repaired via one grouped fetch and the read must return
+  // current data.
+  group_.transport().set_partition_group(4, 1);
+  const auto contents = payload(3 * 64, 7);
+  ASSERT_TRUE(group_.write_range(0, 0, contents).is_ok());
+  group_.transport().clear_partitions();
+  EXPECT_EQ(group_.read_range(4, 0, 3).value(), contents);
+  for (storage::BlockId b = 0; b < 3; ++b) {
+    EXPECT_EQ(group_.store(4).version_of(b).value(), 1u);
+  }
+}
+
+TEST_F(VotingTest, RangeWriteWithoutQuorumMutatesNothing) {
+  const auto before = payload(64, 3);
+  ASSERT_TRUE(group_.write(0, 1, before).is_ok());
+  group_.crash_site(2);
+  group_.crash_site(3);
+  group_.crash_site(4);  // sites {0, 1} hold 2 of 5 votes: no write quorum
+  EXPECT_EQ(group_.write_range(0, 0, payload(4 * 64, 9)).code(),
+            reldev::ErrorCode::kUnavailable);
+  // Atomic-none: the quorum check precedes any local mutation, so not a
+  // single block of the range was touched.
+  EXPECT_EQ(group_.store(0).version_of(0).value(), 0u);
+  EXPECT_EQ(group_.store(0).version_of(1).value(), 1u);
+  EXPECT_EQ(group_.store(0).read(1).value().data, before);
+}
+
+TEST_F(VotingTest, RangeArgumentsValidated) {
+  EXPECT_EQ(group_.write_range(0, 6, payload(3 * 64, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(group_.write_range(0, 0, payload(63, 1)).code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(group_.read_range(0, 0, 0).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(group_.read_range(0, 7, 2).status().code(),
+            reldev::ErrorCode::kInvalidArgument);
+}
+
+/// Fault injection for the mid-batch window: forwards everything to the
+/// inner in-process transport, but the moment a write-access range vote
+/// round completes it fail-stops the victim sites — exactly between the
+/// vote round and the grouped push.
+class VoteThenCrashTransport final : public net::Transport {
+ public:
+  VoteThenCrashTransport(net::InProcTransport& inner,
+                         std::vector<SiteId> victims)
+      : inner_(inner), victims_(std::move(victims)) {}
+
+  /// The next completed write-range vote round triggers the crash.
+  void arm() { armed_ = true; }
+
+  Result<net::Message> call(SiteId from, SiteId to,
+                            const net::Message& request) override {
+    return inner_.call(from, to, request);
+  }
+  Status send(SiteId from, SiteId to, const net::Message& message) override {
+    return inner_.send(from, to, message);
+  }
+  Status multicast(SiteId from, const SiteSet& to,
+                   const net::Message& message) override {
+    return inner_.multicast(from, to, message);
+  }
+  std::vector<net::GatherReply> multicast_call(
+      SiteId from, const SiteSet& to, const net::Message& request,
+      const net::EarlyStop& early_stop) override {
+    auto replies = inner_.multicast_call(from, to, request, early_stop);
+    if (armed_ && request.holds<net::RangeVoteRequest>() &&
+        request.as<net::RangeVoteRequest>().access == net::AccessKind::kWrite) {
+      armed_ = false;
+      for (const SiteId victim : victims_) inner_.set_up(victim, false);
+    }
+    return replies;
+  }
+
+ private:
+  net::InProcTransport& inner_;
+  std::vector<SiteId> victims_;
+  bool armed_ = false;
+};
+
+TEST(VotingMidBatchFaultTest, CrashBetweenVoteAndPushFailsCleanly) {
+  // Three sites; both peers die after granting the write-range quorum but
+  // before the grouped push arrives. The batch write must report
+  // kUnavailable (the push reached no quorum), and once the peers return,
+  // readers must see a consistent range — every block old or every block
+  // new, never a torn mix.
+  const auto config = GroupConfig::majority(3, 8, 64);
+  net::InProcTransport inner;
+  VoteThenCrashTransport transport(inner, {1, 2});
+  std::vector<std::unique_ptr<storage::MemBlockStore>> stores;
+  std::vector<std::unique_ptr<VotingReplica>> replicas;
+  for (SiteId site = 0; site < 3; ++site) {
+    stores.push_back(std::make_unique<storage::MemBlockStore>(8, 64));
+    replicas.push_back(
+        std::make_unique<VotingReplica>(site, config, *stores.back(),
+                                        transport));
+    inner.bind(site, replicas.back().get());
+  }
+
+  const auto old_data = payload(4 * 64, 1);
+  ASSERT_TRUE(replicas[0]->write_range(0, old_data).is_ok());
+  const auto new_data = payload(4 * 64, 2);
+  transport.arm();
+  EXPECT_EQ(replicas[0]->write_range(0, new_data).code(),
+            reldev::ErrorCode::kUnavailable);
+
+  // The peers come back; a range read through any site must return one
+  // consistent generation for the whole range.
+  inner.set_up(1, true);
+  inner.set_up(2, true);
+  for (SiteId site = 0; site < 3; ++site) {
+    auto read = replicas[site]->read_range(0, 4);
+    ASSERT_TRUE(read.is_ok()) << "site " << site;
+    EXPECT_TRUE(read.value() == old_data || read.value() == new_data)
+        << "torn range visible through site " << site;
+  }
+  // And all sites converge on the same generation.
+  EXPECT_EQ(replicas[0]->read_range(0, 4).value(),
+            replicas[1]->read_range(0, 4).value());
 }
 
 TEST_F(VotingTest, PartitionedMinoritiesStayConsistent) {

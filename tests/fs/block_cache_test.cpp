@@ -89,6 +89,70 @@ TEST_F(BlockCacheTest, ErrorsPassThroughUncached) {
   EXPECT_EQ(cache_.cached_blocks(), 0u);
 }
 
+TEST_F(BlockCacheTest, ReadAheadIsOffByDefault) {
+  EXPECT_EQ(cache_.read_ahead(), 0u);
+  for (storage::BlockId b = 0; b < 4; ++b) {
+    ASSERT_TRUE(cache_.read_block(b).is_ok());
+  }
+  EXPECT_EQ(cache_.stats().misses, 4u);
+  EXPECT_EQ(cache_.stats().read_ahead_blocks, 0u);
+}
+
+TEST_F(BlockCacheTest, SequentialRunTriggersReadAhead) {
+  cache_.set_read_ahead(2);
+  // Block 0: first access, no run yet — plain scalar miss.
+  ASSERT_TRUE(cache_.read_block(0).is_ok());
+  EXPECT_EQ(cache_.stats().read_ahead_blocks, 0u);
+  // Block 1 continues the run: the miss prefetches blocks 2..3 too.
+  ASSERT_EQ(cache_.read_block(1).value(), device_.read_block(1).value());
+  EXPECT_EQ(cache_.stats().read_ahead_blocks, 2u);
+  ASSERT_TRUE(cache_.read_block(2).is_ok());
+  ASSERT_TRUE(cache_.read_block(3).is_ok());
+  EXPECT_EQ(cache_.stats().hits, 2u);     // 2 and 3 were prefetched
+  EXPECT_EQ(cache_.stats().misses, 2u);   // only 0 and 1 missed
+}
+
+TEST_F(BlockCacheTest, RandomAccessNeverPrefetches) {
+  cache_.set_read_ahead(3);
+  ASSERT_TRUE(cache_.read_block(0).is_ok());
+  ASSERT_TRUE(cache_.read_block(5).is_ok());
+  ASSERT_TRUE(cache_.read_block(10).is_ok());
+  EXPECT_EQ(cache_.stats().read_ahead_blocks, 0u);
+  EXPECT_EQ(cache_.stats().misses, 3u);
+}
+
+TEST_F(BlockCacheTest, ReadAheadClampedAtDeviceEnd) {
+  cache_.set_read_ahead(3);
+  ASSERT_TRUE(cache_.read_block(14).is_ok());
+  ASSERT_TRUE(cache_.read_block(15).is_ok());  // run of 2 at the last block
+  // Nothing beyond block 15 exists; no out-of-range fetch, no crash.
+  EXPECT_EQ(cache_.stats().read_ahead_blocks, 0u);
+  EXPECT_EQ(cache_.stats().misses, 2u);
+}
+
+TEST(BlockCacheReadAheadTest, ReadAheadCutsQuorumRounds) {
+  // Sequential scan over a replicated device: with read-ahead each prefetch
+  // window costs one vectored quorum round instead of one per block.
+  core::ReplicaGroup group(core::SchemeKind::kVoting,
+                           core::GroupConfig::majority(3, 16, 64));
+  core::ReplicaDevice device(group.replica(0));
+
+  BlockCache scalar_cache(device, 16);
+  for (storage::BlockId b = 0; b < 16; ++b) {
+    ASSERT_TRUE(scalar_cache.read_block(b).is_ok());
+  }
+  const auto scalar_traffic = group.meter().total();
+
+  group.meter().reset();
+  BlockCache ahead_cache(device, 16);
+  ahead_cache.set_read_ahead(7);
+  for (storage::BlockId b = 0; b < 16; ++b) {
+    ASSERT_TRUE(ahead_cache.read_block(b).is_ok());
+  }
+  EXPECT_LT(group.meter().total(), scalar_traffic);
+  EXPECT_GT(ahead_cache.stats().read_ahead_blocks, 0u);
+}
+
 TEST(BlockCacheReplicatedTest, CacheHidesReplicaReadTraffic) {
   // On a voting device every uncached read costs a quorum round; the
   // buffer cache absorbs repeat reads — the Figure 1 stack working as

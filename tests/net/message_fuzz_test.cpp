@@ -27,6 +27,17 @@ std::vector<Message> sample_messages() {
   samples.push_back({7, WasAvailableUpdate{SiteSet{0, 1, 2}, true}});
   samples.push_back({8, ClientWriteRequest{3, data}});
   samples.push_back({9, ErrorReply{2, "boom"}});
+  samples.push_back({10, MultiBlockReadRequest{4, 3}});
+  samples.push_back({11, MultiBlockReadReply{0, data}});
+  samples.push_back({12, MultiBlockWriteRequest{2, data}});
+  samples.push_back({13, MultiBlockWriteAck{1}});
+  samples.push_back({14, RangeVoteRequest{AccessKind::kWrite, 0, 4}});
+  samples.push_back({15, RangeVoteReply{1000, {1, 2, 3, 4}}});
+  samples.push_back({16, BatchFetchRequest{{0, 2, 5}}});
+  samples.push_back(
+      {17, BatchFetchReply{{BlockUpdate{0, 1, data}, BlockUpdate{5, 2, data}}}});
+  samples.push_back(
+      {18, BatchWriteRequest{{BlockUpdate{1, 3, data}}, SiteSet{0, 2}}});
   return samples;
 }
 

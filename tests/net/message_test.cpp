@@ -161,5 +161,66 @@ TEST(MessageTest, SiteStateNames) {
   EXPECT_STREQ(site_state_name(SiteState::kAvailable), "available");
 }
 
+TEST(MessageTest, MultiBlockMessagesRoundTrip) {
+  const auto req = round_trip(1, MultiBlockReadRequest{9, 4});
+  EXPECT_EQ(req.first, 9u);
+  EXPECT_EQ(req.count, 4u);
+
+  const auto rep = round_trip(2, MultiBlockReadReply{0, payload(256, 4)});
+  EXPECT_EQ(rep.error_code, 0u);
+  EXPECT_EQ(rep.data, payload(256, 4));
+
+  const auto wreq = round_trip(3, MultiBlockWriteRequest{5, payload(128, 5)});
+  EXPECT_EQ(wreq.first, 5u);
+  EXPECT_EQ(wreq.data, payload(128, 5));
+
+  const auto ack = round_trip(4, MultiBlockWriteAck{3});
+  EXPECT_EQ(ack.error_code, 3u);
+}
+
+TEST(MessageTest, RangeVoteMessagesRoundTrip) {
+  const auto req = round_trip(0, RangeVoteRequest{AccessKind::kWrite, 2, 7});
+  EXPECT_EQ(req.access, AccessKind::kWrite);
+  EXPECT_EQ(req.first, 2u);
+  EXPECT_EQ(req.count, 7u);
+
+  const auto rep = round_trip(1, RangeVoteReply{1001, {3, 0, 12}});
+  EXPECT_EQ(rep.weight_millivotes, 1001u);
+  EXPECT_EQ(rep.versions, (std::vector<VersionNumber>{3, 0, 12}));
+}
+
+TEST(MessageTest, BatchFetchMessagesRoundTrip) {
+  const auto req = round_trip(2, BatchFetchRequest{{1, 4, 9}});
+  EXPECT_EQ(req.blocks, (std::vector<BlockId>{1, 4, 9}));
+
+  BatchFetchReply reply;
+  reply.updates.push_back(BlockUpdate{1, 5, payload(32, 6)});
+  reply.updates.push_back(BlockUpdate{9, 2, payload(32, 7)});
+  const auto rep = round_trip(3, reply);
+  ASSERT_EQ(rep.updates.size(), 2u);
+  EXPECT_EQ(rep.updates[0].block, 1u);
+  EXPECT_EQ(rep.updates[0].version, 5u);
+  EXPECT_EQ(rep.updates[1].data, payload(32, 7));
+}
+
+TEST(MessageTest, BatchWriteRequestRoundTrip) {
+  BatchWriteRequest push;
+  push.updates.push_back(BlockUpdate{0, 1, payload(16, 8)});
+  push.updates.push_back(BlockUpdate{1, 1, payload(16, 9)});
+  push.was_available = SiteSet{0, 2, 3};
+  const auto m = round_trip(4, push);
+  ASSERT_EQ(m.updates.size(), 2u);
+  EXPECT_EQ(m.updates[1].data, payload(16, 9));
+  EXPECT_EQ(m.was_available, (SiteSet{0, 2, 3}));
+}
+
+TEST(MessageTest, BatchMessageNames) {
+  EXPECT_STREQ((Message{0, MultiBlockReadRequest{0, 1}}).name(),
+               "multi-block-read-request");
+  EXPECT_STREQ((Message{0, RangeVoteReply{}}).name(), "range-vote-reply");
+  EXPECT_STREQ((Message{0, BatchWriteRequest{}}).name(),
+               "batch-write-request");
+}
+
 }  // namespace
 }  // namespace reldev::net
