@@ -1,23 +1,41 @@
 #include "reldev/core/driver_stub.hpp"
 
+#include <algorithm>
+#include <thread>
+
 namespace reldev::core {
+
+bool is_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
 
 DriverStub::DriverStub(net::Transport& transport, SiteId client_id,
                        std::vector<SiteId> servers, std::size_t block_count,
-                       std::size_t block_size)
+                       std::size_t block_size, RetryPolicy policy)
     : transport_(transport),
       client_id_(client_id),
       servers_(std::move(servers)),
       block_count_(block_count),
-      block_size_(block_size) {
+      block_size_(block_size),
+      policy_(policy),
+      jitter_(policy.jitter_seed) {
   RELDEV_EXPECTS(!servers_.empty());
   RELDEV_EXPECTS(block_count_ > 0);
   RELDEV_EXPECTS(block_size_ > 0);
+  RELDEV_EXPECTS(policy_.max_rounds > 0);
 }
 
 Result<DriverStub> DriverStub::connect(net::Transport& transport,
                                        SiteId client_id,
-                                       std::vector<SiteId> servers) {
+                                       std::vector<SiteId> servers,
+                                       RetryPolicy policy) {
   if (servers.empty()) {
     return errors::invalid_argument("no servers configured");
   }
@@ -29,7 +47,7 @@ Result<DriverStub> DriverStub::connect(net::Transport& transport,
     if (!reply.value().holds<net::DeviceInfoReply>()) continue;
     const auto& info = reply.value().as<net::DeviceInfoReply>();
     return DriverStub(transport, client_id, std::move(servers),
-                      info.block_count, info.block_size);
+                      info.block_count, info.block_size, policy);
   }
   return errors::unavailable("no server reachable for device info");
 }
@@ -59,29 +77,71 @@ bool replied_unavailable(const net::Message& reply) {
 }  // namespace
 
 Result<net::Message> DriverStub::call_any(const net::Message& request) {
-  Status last = errors::unavailable("no server reachable");
-  // Sticky scan: start at the last server that answered. After a failover
-  // the stub keeps talking to the server that worked instead of re-probing
-  // the dead head of the list on every operation.
-  const std::size_t start = last_index_ < servers_.size() ? last_index_ : 0;
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    const std::size_t index = (start + i) % servers_.size();
-    const SiteId server = servers_[index];
-    auto reply = transport_.call(client_id_, server, request);
-    if (!reply) {
-      last = reply.status();
-      continue;
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + policy_.op_deadline;
+  failure_ = FailureDetail{};
+  failure_.last_error = errors::unavailable("no server reachable");
+
+  for (std::size_t round = 0; round < policy_.max_rounds; ++round) {
+    if (round > 0) {
+      // Full jitter: uniform in (0, cap], where the cap doubles (by the
+      // multiplier) each round. Never sleep past the op deadline.
+      double cap = static_cast<double>(policy_.initial_backoff.count());
+      for (std::size_t r = 1; r < round; ++r) cap *= policy_.backoff_multiplier;
+      cap = std::min(cap, static_cast<double>(policy_.max_backoff.count()));
+      const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      const auto sleep_ms = static_cast<std::int64_t>(
+          jitter_.uniform(0.0, std::max(cap, 1.0)));
+      const auto backoff = std::min<std::int64_t>(sleep_ms, budget.count());
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
     }
-    if (replied_unavailable(reply.value())) {
-      last = errors::unavailable("server " + std::to_string(server) +
-                                 " has no available copy/quorum");
-      continue;
+    // Sticky scan: start at the last server that answered. After a failover
+    // the stub keeps talking to the server that worked instead of
+    // re-probing the dead head of the list on every operation.
+    const std::size_t start = last_index_ < servers_.size() ? last_index_ : 0;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (Clock::now() >= deadline) {
+        failure_.last_error =
+            errors::timeout("op deadline (" +
+                            std::to_string(policy_.op_deadline.count()) +
+                            "ms) exhausted");
+        break;
+      }
+      const std::size_t index = (start + i) % servers_.size();
+      const SiteId server = servers_[index];
+      ++failure_.attempts;
+      auto reply = transport_.call(client_id_, server, request);
+      if (!reply) {
+        failure_.last_error = reply.status();
+        failure_.last_site = server;
+        if (!is_retryable(reply.status().code())) return reply.status();
+        continue;
+      }
+      if (replied_unavailable(reply.value())) {
+        failure_.last_error =
+            errors::unavailable("no available copy/quorum");
+        failure_.last_site = server;
+        continue;
+      }
+      last_server_ = server;
+      last_index_ = index;
+      return reply;
     }
-    last_server_ = server;
-    last_index_ = index;
-    return reply;
+    ++failure_.rounds;
+    if (Clock::now() >= deadline) break;
   }
-  return last;
+  // Exhausted: summarize as kUnavailable (the device-level meaning) but
+  // carry the structured detail — and keep the raw last error, with its
+  // original code, in last_failure() for callers that want to classify.
+  return errors::unavailable(
+      "all " + std::to_string(servers_.size()) + " server(s) exhausted after " +
+      std::to_string(failure_.attempts) + " attempt(s) over " +
+      std::to_string(failure_.rounds) + " round(s); last error from site " +
+      std::to_string(failure_.last_site) + ": " +
+      failure_.last_error.to_string());
 }
 
 Result<storage::BlockData> DriverStub::read_block(BlockId block) {

@@ -16,7 +16,10 @@ const char* scheme_kind_name(SchemeKind kind) noexcept {
 
 ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
                            net::AddressingMode mode, WasAvailablePolicy policy)
-    : scheme_(scheme), config_(std::move(config)), transport_(mode) {
+    : scheme_(scheme),
+      config_(std::move(config)),
+      transport_(mode),
+      faults_(transport_) {
   config_.validate();
   transport_.set_traffic_meter(&meter_);
   const std::size_t n = config_.site_count();
@@ -28,15 +31,15 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
     switch (scheme_) {
       case SchemeKind::kVoting:
         replicas_.push_back(std::make_unique<VotingReplica>(
-            site, config_, *stores_.back(), transport_));
+            site, config_, *stores_.back(), faults_));
         break;
       case SchemeKind::kAvailableCopy:
         replicas_.push_back(std::make_unique<AvailableCopyReplica>(
-            site, config_, *stores_.back(), transport_, policy));
+            site, config_, *stores_.back(), faults_, policy));
         break;
       case SchemeKind::kNaiveAvailableCopy:
         replicas_.push_back(std::make_unique<NaiveAvailableCopyReplica>(
-            site, config_, *stores_.back(), transport_));
+            site, config_, *stores_.back(), faults_));
         break;
     }
     transport_.bind(site, replicas_.back().get());

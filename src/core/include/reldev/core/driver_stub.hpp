@@ -3,15 +3,58 @@
 // forwards every block request over the network to a site server, failing
 // over to the next configured server when one is unreachable — which is
 // how a diskless workstation uses the reliable device (§2).
+//
+// Resilience: every operation runs under a RetryPolicy — bounded rounds of
+// sticky failover scans with exponential backoff + full jitter between
+// rounds, all sharing one per-operation deadline budget. Transport-level
+// retry decisions live here, NOT in the TCP channel: the channel is
+// at-most-once per call, and the stub retries whole operations (block
+// reads and full-block writes are safely replayable — a replayed write
+// re-applies the same bytes).
 #pragma once
 
+#include <chrono>
 #include <vector>
 
 #include "reldev/core/device.hpp"
 #include "reldev/core/types.hpp"
 #include "reldev/net/transport.hpp"
+#include "reldev/util/rng.hpp"
 
 namespace reldev::core {
+
+/// When and how the stub retries a failed operation. Backoff between
+/// retry rounds is "full jitter": sleep uniform(0, min(max_backoff,
+/// initial_backoff * multiplier^(round-1))), drawn from a seeded Rng so a
+/// fixed seed replays the same schedule. The op deadline caps the whole
+/// operation — every attempt, failover and backoff sleep shares it.
+struct RetryPolicy {
+  /// Sticky scans over the server list (1 = a single failover pass, the
+  /// pre-policy behaviour; each scan tries every server once).
+  std::size_t max_rounds = 3;
+  std::chrono::milliseconds initial_backoff{2};
+  std::chrono::milliseconds max_backoff{50};
+  double backoff_multiplier = 2.0;
+  /// Budget for the operation across all attempts and failovers.
+  std::chrono::milliseconds op_deadline{2000};
+  /// Seed for the jitter stream (reproducible chaos runs).
+  std::uint64_t jitter_seed = 0x5eedull;
+
+  /// Single pass, no backoff — for callers that do their own retrying.
+  static RetryPolicy none() {
+    RetryPolicy policy;
+    policy.max_rounds = 1;
+    policy.initial_backoff = std::chrono::milliseconds{0};
+    return policy;
+  }
+};
+
+/// Whether an error can be cured by retrying elsewhere or later.
+/// kUnavailable (no quorum / unreachable / stale socket), kTimeout (lost
+/// message or deadline) and kCorruption (a CRC-rejected frame — the
+/// retransmission will almost surely survive) are transient; everything
+/// else is terminal and retrying would only repeat it.
+[[nodiscard]] bool is_retryable(ErrorCode code) noexcept;
 
 class DriverStub final : public BlockDevice {
  public:
@@ -19,12 +62,15 @@ class DriverStub final : public BlockDevice {
   /// server site id). `servers` is tried in order on each operation.
   DriverStub(net::Transport& transport, SiteId client_id,
              std::vector<SiteId> servers, std::size_t block_count,
-             std::size_t block_size);
+             std::size_t block_size, RetryPolicy policy = RetryPolicy{});
 
-  /// Queries device geometry from the first reachable server.
+  /// Queries device geometry from the first reachable server (one scan, no
+  /// retries: connect failures are configuration problems, and callers can
+  /// simply call connect again).
   static Result<DriverStub> connect(net::Transport& transport,
                                     SiteId client_id,
-                                    std::vector<SiteId> servers);
+                                    std::vector<SiteId> servers,
+                                    RetryPolicy policy = RetryPolicy{});
 
   [[nodiscard]] std::size_t block_count() const noexcept override {
     return block_count_;
@@ -45,10 +91,31 @@ class DriverStub final : public BlockDevice {
   /// The server that served the last successful request.
   [[nodiscard]] SiteId last_server() const noexcept { return last_server_; }
 
+  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return policy_;
+  }
+
+  /// What happened on the last operation that exhausted every server: the
+  /// final per-server error (full code + detail, not the summarized
+  /// kUnavailable the operation returns), which server produced it, and
+  /// how many attempts were burned. Reset by every operation.
+  struct FailureDetail {
+    Status last_error;        ///< last per-server error observed
+    SiteId last_site = 0;     ///< the server that produced it
+    std::size_t attempts = 0; ///< total call attempts across all rounds
+    std::size_t rounds = 0;   ///< scans over the server list completed
+  };
+  [[nodiscard]] const FailureDetail& last_failure() const noexcept {
+    return failure_;
+  }
+
  private:
-  /// Try servers starting at the last successful one (sticky), wrapping
-  /// around the list; returns the first conclusive reply. Steady state
-  /// therefore costs zero dead-head probes of servers that failed earlier.
+  /// Run one request under the retry policy: rounds of sticky failover
+  /// scans with jittered backoff between rounds, stopping early on success,
+  /// on a terminal error, or when the op deadline is exhausted. On
+  /// exhaustion returns a structured kUnavailable naming the attempt count
+  /// and the last per-server error (also kept in last_failure()).
   Result<net::Message> call_any(const net::Message& request);
 
   net::Transport& transport_;
@@ -56,6 +123,9 @@ class DriverStub final : public BlockDevice {
   std::vector<SiteId> servers_;
   std::size_t block_count_;
   std::size_t block_size_;
+  RetryPolicy policy_;
+  Rng jitter_;
+  FailureDetail failure_;
   SiteId last_server_ = 0;
   std::size_t last_index_ = 0;  // index into servers_ of last_server_
 };

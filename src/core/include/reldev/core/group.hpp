@@ -11,6 +11,7 @@
 #include "reldev/core/available_copy_replica.hpp"
 #include "reldev/core/naive_replica.hpp"
 #include "reldev/core/voting_replica.hpp"
+#include "reldev/net/fault_transport.hpp"
 #include "reldev/net/inproc_transport.hpp"
 #include "reldev/storage/mem_block_store.hpp"
 
@@ -33,6 +34,12 @@ class ReplicaGroup {
   [[nodiscard]] ReplicaBase& replica(SiteId site);
   [[nodiscard]] storage::MemBlockStore& store(SiteId site);
   [[nodiscard]] net::InProcTransport& transport() noexcept { return transport_; }
+  /// The fault-injection layer every replica (and any client pointed at
+  /// faults()) actually sends through. With no rules set it is a
+  /// transparent pass-through over transport().
+  [[nodiscard]] net::FaultInjectingTransport& faults() noexcept {
+    return faults_;
+  }
   [[nodiscard]] net::TrafficMeter& meter() noexcept { return meter_; }
 
   /// Fail-stop crash: the replica forgets volatile state and the site
@@ -75,6 +82,9 @@ class ReplicaGroup {
   GroupConfig config_;
   net::TrafficMeter meter_;
   net::InProcTransport transport_;
+  // Decorates transport_; replicas are wired through it so scripted and
+  // randomized faults apply to all inter-replica traffic.
+  net::FaultInjectingTransport faults_;
   std::vector<std::unique_ptr<storage::MemBlockStore>> stores_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
 };

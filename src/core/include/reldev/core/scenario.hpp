@@ -32,9 +32,18 @@
 //   read <via> <block> <text>         must succeed and match
 //   fail-read <via> <block>           must be refused
 //   partition <site> <group>  put a site in a partition group
-//   heal                      clear all partitions
+//   heal                      clear all partitions AND all fault rules
 //   expect-state <site> <failed|comatose|available>
 //   expect-available <true|false>     the group-level availability rule
+//
+// Fault-injection commands (driven by the group's FaultInjectingTransport;
+// reproducible under `fault-seed`):
+//   fault-seed <n>            seed the fault schedule (config; default 1)
+//   drop-rate <from> <to> <p>     P(message lost) on the directed link
+//   delay-ms <from> <to> <ms>     added latency on the directed link
+//   dup-rate <from> <to> <p>      P(message delivered twice)
+//   corrupt-rate <from> <to> <p>  P(frame garbled; CRC-rejected as such)
+//   block-link <from> <to>        one-way partition of the directed link
 #pragma once
 
 #include <string>
@@ -57,6 +66,8 @@ struct Scenario {
   std::size_t sites = 3;
   std::size_t blocks = 8;
   std::size_t block_size = 64;
+  /// Seed of the fault-injection schedule (drop/dup/corrupt draws).
+  std::uint64_t fault_seed = 1;
   std::vector<ScenarioStep> steps;
 
   /// Parse from script text. kInvalidArgument with a line reference on any

@@ -41,9 +41,26 @@ std::string payload_text(const storage::BlockData& data) {
   return nul == std::string::npos ? text : text.substr(0, nul);
 }
 
+Result<double> parse_probability(std::size_t line, const std::string& text,
+                                 const char* what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    if (value < 0.0 || value > 1.0) {
+      return syntax_error(line,
+                         std::string(what) + " must be in [0, 1]: " + text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    return syntax_error(line, std::string("bad ") + what + " '" + text + "'");
+  }
+}
+
 /// Commands that take a configuration value before any action runs.
 bool is_config_command(const std::string& command) {
-  return command == "sites" || command == "blocks" || command == "scheme";
+  return command == "sites" || command == "blocks" || command == "scheme" ||
+         command == "fault-seed";
 }
 
 const std::vector<std::pair<std::string, std::size_t>> kArity{
@@ -52,6 +69,8 @@ const std::vector<std::pair<std::string, std::size_t>> kArity{
     {"read", 3},        {"fail-read", 2}, {"partition", 2},
     {"heal", 0},        {"expect-state", 2}, {"expect-available", 1},
     {"write-range", 4}, {"fail-write-range", 4}, {"read-range", 4},
+    {"drop-rate", 3},   {"delay-ms", 3},  {"dup-rate", 3},
+    {"corrupt-rate", 3}, {"block-link", 2},
 };
 
 }  // namespace
@@ -98,6 +117,10 @@ Result<Scenario> Scenario::parse(const std::string& text) {
           return syntax_error(line, "blocks must be 1..4096");
         }
         scenario.blocks = n.value();
+      } else if (command == "fault-seed") {
+        auto n = parse_number(line, args[0], "fault seed");
+        if (!n) return n.status();
+        scenario.fault_seed = n.value();
       } else {  // scheme
         if (args[0] == "voting") {
           scenario.scheme = SchemeKind::kVoting;
@@ -133,6 +156,7 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
   ReplicaGroup group(scenario.scheme,
                      GroupConfig::majority(scenario.sites, scenario.blocks,
                                            scenario.block_size));
+  group.faults().reseed(scenario.fault_seed);
   ScenarioOutcome outcome;
 
   const auto site_of = [&](std::size_t line,
@@ -294,7 +318,42 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
       note(step, "site " + step.args[0] + " in partition " + step.args[1]);
     } else if (step.command == "heal") {
       group.transport().clear_partitions();
-      note(step, "partitions cleared");
+      group.faults().heal();
+      note(step, "partitions and fault rules cleared");
+    } else if (step.command == "drop-rate" || step.command == "dup-rate" ||
+               step.command == "corrupt-rate" ||
+               step.command == "delay-ms") {
+      auto from = site_of(line, step.args[0]);
+      if (!from) return from.status();
+      auto to = site_of(line, step.args[1]);
+      if (!to) return to.status();
+      net::FaultRule rule =
+          group.faults().link_rule(from.value(), to.value());
+      if (step.command == "delay-ms") {
+        auto ms = parse_number(line, step.args[2], "delay");
+        if (!ms) return ms.status();
+        rule.delay = std::chrono::milliseconds(ms.value());
+      } else {
+        auto p = parse_probability(line, step.args[2], "probability");
+        if (!p) return p.status();
+        if (step.command == "drop-rate") {
+          rule.drop = p.value();
+        } else if (step.command == "dup-rate") {
+          rule.duplicate = p.value();
+        } else {
+          rule.corrupt = p.value();
+        }
+      }
+      group.faults().set_link_rule(from.value(), to.value(), rule);
+      note(step, "link " + step.args[0] + "->" + step.args[1] + " " +
+                     step.command + " " + step.args[2]);
+    } else if (step.command == "block-link") {
+      auto from = site_of(line, step.args[0]);
+      if (!from) return from.status();
+      auto to = site_of(line, step.args[1]);
+      if (!to) return to.status();
+      group.faults().block_link(from.value(), to.value());
+      note(step, "link " + step.args[0] + "->" + step.args[1] + " blocked");
     } else if (step.command == "expect-state") {
       auto site = site_of(line, step.args[0]);
       if (!site) return site.status();

@@ -1,0 +1,262 @@
+#include "reldev/net/fault_transport.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace reldev::net {
+
+namespace {
+
+std::string link_name(SiteId from, SiteId to) {
+  return std::to_string(from) + "->" + std::to_string(to);
+}
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
+                                                 std::uint64_t seed)
+    : inner_(inner), rng_(seed) {}
+
+void FaultInjectingTransport::set_default_rule(const FaultRule& rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  default_rule_ = rule;
+}
+
+void FaultInjectingTransport::set_link_rule(SiteId from, SiteId to,
+                                            const FaultRule& rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  link_rules_[{from, to}] = rule;
+}
+
+FaultRule FaultInjectingTransport::link_rule(SiteId from, SiteId to) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rule_for(from, to);
+}
+
+void FaultInjectingTransport::clear_link_rule(SiteId from, SiteId to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  link_rules_.erase({from, to});
+}
+
+void FaultInjectingTransport::block_link(SiteId from, SiteId to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  link_rules_[{from, to}].blocked = true;
+}
+
+void FaultInjectingTransport::block_pair(SiteId a, SiteId b) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  link_rules_[{a, b}].blocked = true;
+  link_rules_[{b, a}].blocked = true;
+}
+
+void FaultInjectingTransport::heal() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  link_rules_.clear();
+  default_rule_ = FaultRule{};
+}
+
+void FaultInjectingTransport::reseed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Rng(seed);
+}
+
+FaultStats FaultInjectingTransport::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FaultInjectingTransport::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = FaultStats{};
+}
+
+const FaultRule& FaultInjectingTransport::rule_for(SiteId from,
+                                                   SiteId to) const {
+  const auto it = link_rules_.find({from, to});
+  return it == link_rules_.end() ? default_rule_ : it->second;
+}
+
+FaultInjectingTransport::Fate FaultInjectingTransport::decide(SiteId from,
+                                                              SiteId to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const FaultRule& rule = rule_for(from, to);
+  Fate fate;
+  fate.delay = rule.delay;
+  if (rule.blocked) {
+    ++stats_.blocked;
+    fate.kind = FateKind::kBlocked;
+    return fate;
+  }
+  if (rule.drop > 0.0 && rng_.bernoulli(rule.drop)) {
+    ++stats_.dropped;
+    // Either half of the round trip can be the one that dies; both leave
+    // the caller with a timeout, but only a lost reply leaves the peer
+    // having executed the request — the at-most-once ambiguity.
+    fate.kind = rng_.bernoulli(0.5) ? FateKind::kDropRequest
+                                    : FateKind::kDropReply;
+    return fate;
+  }
+  if (rule.corrupt > 0.0 && rng_.bernoulli(rule.corrupt)) {
+    ++stats_.corrupted;
+    fate.kind = rng_.bernoulli(0.5) ? FateKind::kCorruptRequest
+                                    : FateKind::kCorruptReply;
+    return fate;
+  }
+  if (rule.duplicate > 0.0 && rng_.bernoulli(rule.duplicate)) {
+    ++stats_.duplicated;
+    fate.kind = FateKind::kDuplicate;
+    return fate;
+  }
+  ++stats_.delivered;
+  if (fate.delay.count() > 0) ++stats_.delayed;
+  return fate;
+}
+
+void FaultInjectingTransport::apply_delay(const Fate& fate) {
+  if (fate.delay.count() > 0) std::this_thread::sleep_for(fate.delay);
+}
+
+Result<Message> FaultInjectingTransport::call(SiteId from, SiteId to,
+                                              const Message& request) {
+  const Fate fate = decide(from, to);
+  switch (fate.kind) {
+    case FateKind::kBlocked:
+      return errors::unavailable("fault injection: link " +
+                                 link_name(from, to) + " is partitioned");
+    case FateKind::kDropRequest:
+      apply_delay(fate);
+      return errors::timeout("fault injection: request on " +
+                             link_name(from, to) + " lost in transit");
+    case FateKind::kDropReply: {
+      apply_delay(fate);
+      auto executed = inner_.call(from, to, request);
+      (void)executed;  // the peer ran it; the answer never came back
+      return errors::timeout("fault injection: reply on " +
+                             link_name(to, from) + " lost in transit");
+    }
+    case FateKind::kCorruptRequest:
+      apply_delay(fate);
+      return errors::corruption("fault injection: request frame on " +
+                                link_name(from, to) +
+                                " garbled (CRC trailer mismatch)");
+    case FateKind::kCorruptReply: {
+      apply_delay(fate);
+      auto executed = inner_.call(from, to, request);
+      (void)executed;
+      return errors::corruption("fault injection: reply frame on " +
+                                link_name(to, from) +
+                                " garbled (CRC trailer mismatch)");
+    }
+    case FateKind::kDuplicate: {
+      apply_delay(fate);
+      auto first = inner_.call(from, to, request);
+      (void)first;  // the duplicate's answer is redundant on the wire
+      return inner_.call(from, to, request);
+    }
+    case FateKind::kDeliver:
+      break;
+  }
+  apply_delay(fate);
+  return inner_.call(from, to, request);
+}
+
+Status FaultInjectingTransport::send(SiteId from, SiteId to,
+                                     const Message& message) {
+  const Fate fate = decide(from, to);
+  switch (fate.kind) {
+    case FateKind::kBlocked:
+    case FateKind::kDropRequest:
+    case FateKind::kDropReply:
+    case FateKind::kCorruptRequest:
+    case FateKind::kCorruptReply:
+      // One-way traffic that dies in transit (or arrives garbled and is
+      // CRC-rejected) just vanishes — exactly the contract for sends to
+      // fail-stop peers.
+      return Status::ok();
+    case FateKind::kDuplicate: {
+      apply_delay(fate);
+      (void)inner_.send(from, to, message);
+      return inner_.send(from, to, message);
+    }
+    case FateKind::kDeliver:
+      break;
+  }
+  apply_delay(fate);
+  return inner_.send(from, to, message);
+}
+
+Status FaultInjectingTransport::multicast(SiteId from, const SiteSet& to,
+                                          const Message& message) {
+  // Per-destination fates: survivors ride one inner multicast (preserving
+  // the §5 accounting of a single logical transmission), duplicates get an
+  // extra unicast, everything else is eaten silently.
+  SiteSet survivors;
+  std::vector<SiteId> duplicates;
+  std::chrono::milliseconds max_delay{0};
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    const Fate fate = decide(from, dest);
+    if (fate.delay > max_delay) max_delay = fate.delay;
+    switch (fate.kind) {
+      case FateKind::kDuplicate:
+        duplicates.push_back(dest);
+        [[fallthrough]];
+      case FateKind::kDeliver:
+        survivors.insert(dest);
+        break;
+      default:
+        break;  // blocked / dropped / corrupted: not delivered
+    }
+  }
+  if (max_delay.count() > 0) std::this_thread::sleep_for(max_delay);
+  if (!survivors.empty()) (void)inner_.multicast(from, survivors, message);
+  for (const SiteId dest : duplicates) (void)inner_.send(from, dest, message);
+  return Status::ok();
+}
+
+std::vector<GatherReply> FaultInjectingTransport::multicast_call(
+    SiteId from, const SiteSet& to, const Message& request,
+    const EarlyStop& early_stop) {
+  // Fates are drawn up front, per destination, in site order — so a fixed
+  // seed replays the same schedule regardless of inner-transport timing.
+  SiteSet survivors;
+  std::vector<SiteId> executed_but_lost;  // peer runs it; reply never lands
+  std::vector<SiteId> duplicates;
+  std::chrono::milliseconds max_delay{0};
+  for (const SiteId dest : to) {
+    if (dest == from) continue;
+    const Fate fate = decide(from, dest);
+    if (fate.delay > max_delay) max_delay = fate.delay;
+    switch (fate.kind) {
+      case FateKind::kDeliver:
+        survivors.insert(dest);
+        break;
+      case FateKind::kDuplicate:
+        duplicates.push_back(dest);
+        survivors.insert(dest);
+        break;
+      case FateKind::kDropReply:
+      case FateKind::kCorruptReply:
+        executed_but_lost.push_back(dest);
+        break;
+      case FateKind::kBlocked:
+      case FateKind::kDropRequest:
+      case FateKind::kCorruptRequest:
+        break;  // the request never reaches the peer
+    }
+  }
+  if (max_delay.count() > 0) std::this_thread::sleep_for(max_delay);
+  // Peers whose reply dies still execute the request — the write is applied
+  // even though the coordinator will not count the acknowledgement.
+  for (const SiteId dest : executed_but_lost) {
+    (void)inner_.call(from, dest, request);
+  }
+  for (const SiteId dest : duplicates) {
+    (void)inner_.call(from, dest, request);
+  }
+  if (survivors.empty()) return {};
+  return inner_.multicast_call(from, survivors, request, early_stop);
+}
+
+}  // namespace reldev::net

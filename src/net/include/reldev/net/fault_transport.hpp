@@ -1,0 +1,136 @@
+// Fault injection at the transport seam: a decorator over any Transport
+// that subjects every traversal of a (from, to) link to programmable
+// faults — loss, added latency, duplication, payload corruption, and
+// one-way or two-way partitions. The paper's analysis assumes reliable
+// delivery between live sites; this layer is how we probe what the real
+// system does when that assumption bends, with every run reproducible
+// from one seed.
+//
+// Faults are modeled at the point a frame would cross the wire:
+//   * a dropped request surfaces to the caller as kTimeout and the peer
+//     never executes it; a dropped reply also surfaces as kTimeout but the
+//     peer DID execute — both halves of the classic at-most-once ambiguity
+//     are exercised, chosen by coin flip per dropped call;
+//   * a corrupted frame is what the CRC-32C frame trailer would catch, so
+//     it surfaces as a typed kCorruption error (request-side corruption is
+//     rejected before the peer executes; reply-side after);
+//   * a duplicated message executes the handler twice — engines must be
+//     idempotent under at-least-once delivery;
+//   * a blocked link silently eats one-way traffic and fails calls with
+//     kUnavailable, exactly like a partition.
+//
+// Rules can be flipped at runtime (mid-scenario) from any thread; fate
+// decisions are made under one lock with a seeded util::Rng so a fixed
+// seed and call sequence replay the same schedule.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "reldev/net/transport.hpp"
+#include "reldev/util/rng.hpp"
+
+namespace reldev::net {
+
+/// Programmable faults for one directed link. Probabilities are evaluated
+/// independently per traversal in the order: blocked, drop, corrupt,
+/// duplicate; delay applies to whatever survives.
+struct FaultRule {
+  double drop = 0.0;       ///< P(message lost in transit)
+  double corrupt = 0.0;    ///< P(frame garbled; caught by the CRC trailer)
+  double duplicate = 0.0;  ///< P(message delivered twice)
+  std::chrono::milliseconds delay{0};  ///< added latency per traversal
+  bool blocked = false;    ///< one-way partition: nothing crosses
+
+  [[nodiscard]] bool is_noop() const noexcept {
+    return drop == 0.0 && corrupt == 0.0 && duplicate == 0.0 &&
+           delay.count() == 0 && !blocked;
+  }
+};
+
+/// Counters of injected faults since construction (or reset_stats).
+struct FaultStats {
+  std::uint64_t delivered = 0;   ///< traversals forwarded unharmed
+  std::uint64_t dropped = 0;     ///< messages lost (request or reply)
+  std::uint64_t corrupted = 0;   ///< frames garbled and CRC-rejected
+  std::uint64_t duplicated = 0;  ///< extra deliveries injected
+  std::uint64_t blocked = 0;     ///< traversals refused by a partition
+  std::uint64_t delayed = 0;     ///< traversals that slept
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  /// Decorates `inner`, which must outlive this object. All faults start
+  /// disabled: with no rules set the decorator is a transparent pass-through.
+  explicit FaultInjectingTransport(Transport& inner,
+                                   std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // --- runtime control handle (thread-safe, usable mid-scenario) ----------
+
+  /// Rule applied to links with no per-link rule.
+  void set_default_rule(const FaultRule& rule);
+  /// Rule for the directed link from -> to (replaces any previous rule).
+  void set_link_rule(SiteId from, SiteId to, const FaultRule& rule);
+  /// Current effective rule for the link (the per-link rule, else the
+  /// default) — read-modify-write this to adjust one fault dimension.
+  [[nodiscard]] FaultRule link_rule(SiteId from, SiteId to) const;
+  /// Remove the per-link rule (the link falls back to the default rule).
+  void clear_link_rule(SiteId from, SiteId to);
+  /// One-way partition: nothing crosses from -> to (replies of calls made
+  /// by `to` toward `from` still flow — it is the forward path that dies).
+  void block_link(SiteId from, SiteId to);
+  /// Two-way partition between a pair of sites.
+  void block_pair(SiteId a, SiteId b);
+  /// Clear every rule, default included: the network is whole again.
+  void heal();
+  /// Restart the fault schedule from a fresh seed.
+  void reseed(std::uint64_t seed);
+
+  [[nodiscard]] FaultStats stats() const;
+  void reset_stats();
+
+  [[nodiscard]] Transport& inner() noexcept { return inner_; }
+
+  using Transport::multicast_call;
+
+  Result<Message> call(SiteId from, SiteId to, const Message& request) override;
+  Status send(SiteId from, SiteId to, const Message& message) override;
+  Status multicast(SiteId from, const SiteSet& to,
+                   const Message& message) override;
+  std::vector<GatherReply> multicast_call(
+      SiteId from, const SiteSet& to, const Message& request,
+      const EarlyStop& early_stop) override;
+
+ private:
+  /// The outcome decided for one traversal of one link.
+  enum class FateKind {
+    kDeliver,
+    kBlocked,
+    kDropRequest,   ///< lost before the peer: never executed
+    kDropReply,     ///< lost after the peer: executed, answer gone
+    kCorruptRequest,///< CRC reject at the peer: never executed
+    kCorruptReply,  ///< CRC reject at the caller: executed
+    kDuplicate,     ///< executed twice, one answer returned
+  };
+  struct Fate {
+    FateKind kind = FateKind::kDeliver;
+    std::chrono::milliseconds delay{0};
+  };
+
+  /// Draws a fate for one traversal; updates stats. Takes the lock.
+  Fate decide(SiteId from, SiteId to);
+  [[nodiscard]] const FaultRule& rule_for(SiteId from, SiteId to) const;
+  static void apply_delay(const Fate& fate);
+
+  Transport& inner_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  FaultRule default_rule_;
+  std::map<std::pair<SiteId, SiteId>, FaultRule> link_rules_;
+  FaultStats stats_;
+};
+
+}  // namespace reldev::net

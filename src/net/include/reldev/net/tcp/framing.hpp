@@ -1,6 +1,8 @@
-// Message framing on a stream socket: [magic u32][length u32][crc u32]
-// [payload]. The CRC covers the payload; corrupt or oversized frames are
-// rejected before any decoding happens.
+// Message framing on a stream socket: [magic u32][length u32][payload]
+// [crc u32]. The CRC-32C trailer covers the prefix AND the payload, so
+// corruption anywhere in the frame — including a garbled length — is
+// rejected as kCorruption before any decoding happens, instead of being
+// decoded into garbage.
 #pragma once
 
 #include <vector>

@@ -38,8 +38,13 @@ class TcpChannel {
              std::chrono::milliseconds timeout = kDefaultCallTimeout);
 
   /// Send `request`, wait for the reply, bounded by the channel timeout.
-  /// Retries once on a fresh connection if a pooled socket turned out
-  /// stale (server restart). Deadline overruns are kUnavailable.
+  /// Reconnects and retries ONLY while the request was provably not
+  /// delivered (the frame write failed on a stale pooled socket); once the
+  /// frame is fully written the request may be executing, so a reply
+  /// failure is surfaced instead of replayed — at-most-once per call.
+  /// Retrying a possibly-executed request is the caller's decision (see
+  /// core::RetryPolicy). Deadline overruns are kUnavailable; a CRC-
+  /// rejected reply is the typed kCorruption.
   Result<Message> call(const Message& request);
 
   /// Drop all idle pooled connections (next calls reconnect). Calls in

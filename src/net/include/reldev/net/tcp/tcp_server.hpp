@@ -31,6 +31,25 @@ class TcpServer {
 
   [[nodiscard]] std::uint16_t port() const noexcept { return acceptor_.port(); }
 
+  /// Frames whose CRC trailer (or magic) failed verification: the request
+  /// was rejected before decoding and the connection torn down. Exposed so
+  /// operators and the chaos tests can see injected corruption being
+  /// caught rather than silently decoded.
+  [[nodiscard]] std::uint64_t corrupted_frames() const noexcept {
+    return corrupted_frames_.load();
+  }
+
+  /// Frames rejected for framing-protocol violations (oversized declared
+  /// length). Like corrupt frames, these cost the sender its connection.
+  [[nodiscard]] std::uint64_t rejected_frames() const noexcept {
+    return rejected_frames_.load();
+  }
+
+  /// Well-formed frames served (decoded and dispatched to the handler).
+  [[nodiscard]] std::uint64_t served_frames() const noexcept {
+    return served_frames_.load();
+  }
+
   /// Stop accepting, close all connections, join all threads.
   void stop();
 
@@ -47,6 +66,9 @@ class TcpServer {
   Acceptor acceptor_;
   MessageHandler* handler_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> corrupted_frames_{0};
+  std::atomic<std::uint64_t> rejected_frames_{0};
+  std::atomic<std::uint64_t> served_frames_{0};
   std::thread accept_thread_;
   std::mutex mutex_;
   std::uint64_t next_worker_id_ = 0;

@@ -7,43 +7,49 @@ namespace reldev::net::tcp {
 
 namespace {
 constexpr std::uint32_t kFrameMagic = 0x52444d47;  // "RDMG"
-constexpr std::size_t kFrameHeaderSize = 12;
+constexpr std::size_t kFramePrefixSize = 8;   // magic + length
+constexpr std::size_t kFrameTrailerSize = 4;  // CRC-32C over prefix+payload
 }  // namespace
 
 Status write_frame(Socket& socket, std::span<const std::byte> payload) {
   if (payload.size() > kMaxFramePayload) {
     return errors::invalid_argument("frame payload too large");
   }
-  BufferWriter writer(kFrameHeaderSize + payload.size());
+  BufferWriter writer(kFramePrefixSize + payload.size() + kFrameTrailerSize);
   writer.put_u32(kFrameMagic);
   writer.put_u32(static_cast<std::uint32_t>(payload.size()));
-  writer.put_u32(crc32c(payload));
   writer.put_raw(payload);
+  // The trailer covers the prefix too, so a garbled length or magic that
+  // happens to frame plausibly is still caught before decoding.
+  writer.put_u32(crc32c(writer.bytes()));
   return socket.write_all(writer.bytes());
 }
 
 Result<std::vector<std::byte>> read_frame(Socket& socket) {
-  std::vector<std::byte> header(kFrameHeaderSize);
-  if (auto status = socket.read_exact(header); !status.is_ok()) return status;
-  BufferReader reader(header);
+  std::vector<std::byte> prefix(kFramePrefixSize);
+  if (auto status = socket.read_exact(prefix); !status.is_ok()) return status;
+  BufferReader reader(prefix);
   const std::uint32_t magic = reader.get_u32().value();
   const std::uint32_t length = reader.get_u32().value();
-  const std::uint32_t crc = reader.get_u32().value();
   if (magic != kFrameMagic) return errors::corruption("bad frame magic");
   if (length > kMaxFramePayload) return errors::protocol("oversized frame");
-  std::vector<std::byte> payload(length);
-  if (auto status = socket.read_exact(payload); !status.is_ok()) {
+  std::vector<std::byte> rest(length + kFrameTrailerSize);
+  if (auto status = socket.read_exact(rest); !status.is_ok()) {
     // Losing the stream mid-frame is an I/O error even if read_exact saw a
     // clean EOF at byte 0 of the payload.
-    if (status.code() == ErrorCode::kUnavailable && length > 0) {
+    if (status.code() == ErrorCode::kUnavailable) {
       return errors::io_error("connection closed mid-frame");
     }
     return status;
   }
-  if (crc32c(std::span<const std::byte>(payload)) != crc) {
+  const std::span<const std::byte> payload(rest.data(), length);
+  BufferReader trailer(
+      std::span<const std::byte>(rest.data() + length, kFrameTrailerSize));
+  const std::uint32_t crc = trailer.get_u32().value();
+  if (crc32c(payload, crc32c(prefix)) != crc) {
     return errors::corruption("frame CRC mismatch");
   }
-  return payload;
+  return std::vector<std::byte>(payload.begin(), payload.end());
 }
 
 }  // namespace reldev::net::tcp

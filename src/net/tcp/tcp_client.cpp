@@ -63,7 +63,14 @@ void TcpChannel::release(Socket socket) {
 Result<Message> TcpChannel::call(const Message& request) {
   const auto encoded = request.encode();
   const auto deadline = Clock::now() + timeout();
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  // Retry-after-reconnect is only safe while the request cannot have been
+  // (even partially) executed: the server decodes nothing until a complete
+  // frame has arrived, so a failed write_frame is always replayable. Once
+  // the frame is fully written the server may be executing it, and a reply
+  // failure must surface as an error — blind replay would double-execute.
+  // Each pooled socket that turns out stale (server restart) is discarded
+  // and the next one tried; the pool is bounded, so this terminates.
+  for (;;) {
     auto remaining = remaining_until(deadline);
     if (remaining.count() <= 0) {
       return errors::unavailable("call to " + host_ + ":" +
@@ -77,25 +84,30 @@ Result<Message> TcpChannel::call(const Message& request) {
                          std::chrono::milliseconds{1});
     socket.set_send_timeout(remaining);
     socket.set_recv_timeout(remaining);
-    auto status = write_frame(socket, encoded);
-    if (status.is_ok()) {
-      auto frame = read_frame(socket);
-      if (frame) {
-        release(std::move(socket));
-        return Message::decode(frame.value());
+    if (auto status = write_frame(socket, encoded); !status.is_ok()) {
+      // Not delivered. A stale pooled connection fails here immediately;
+      // retry on the next (possibly fresh) socket while the deadline
+      // allows. A fresh connection failing to send is a real error.
+      if (pooled && remaining_until(deadline).count() > 0) continue;
+      return errors::unavailable("send to " + host_ + ":" +
+                                 std::to_string(port_) +
+                                 " failed: " + status.to_string());
+    }
+    auto frame = read_frame(socket);
+    if (!frame) {
+      // Delivered but unanswered: the server may have executed the
+      // request. Preserve the underlying error — a CRC reject stays the
+      // typed kCorruption — and let the caller's retry policy decide.
+      if (frame.status().code() == ErrorCode::kCorruption) {
+        return frame.status();
       }
-      status = frame.status();
+      return errors::unavailable("reply from " + host_ + ":" +
+                                 std::to_string(port_) +
+                                 " failed: " + frame.status().to_string());
     }
-    // The socket failed; close it rather than pooling it.
-    if (remaining_until(deadline).count() <= 0) {
-      return errors::unavailable("call to " + host_ + ":" +
-                                 std::to_string(port_) + " timed out");
-    }
-    // A stale pooled connection fails immediately; retry once on a fresh
-    // one. Anything failing on a fresh connection is reported as-is.
-    if (!pooled) return status;
+    release(std::move(socket));
+    return Message::decode(frame.value());
   }
-  return errors::unavailable("call failed after reconnect");
 }
 
 TcpPeerTransport::~TcpPeerTransport() {

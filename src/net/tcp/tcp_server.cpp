@@ -91,12 +91,24 @@ void TcpServer::serve_connection(const std::shared_ptr<Socket>& socket_ptr) {
   while (!stopping_.load()) {
     auto frame = read_frame(socket);
     if (!frame) {
-      if (frame.status().code() != ErrorCode::kUnavailable) {
+      // A frame that fails its CRC trailer is rejected before any decode
+      // runs; the stream position is untrustworthy afterwards, so the
+      // connection is torn down. Counted so injected corruption is visible.
+      if (frame.status().code() == ErrorCode::kCorruption) {
+        corrupted_frames_.fetch_add(1);
+        RELDEV_WARN("tcp-server")
+            << "corrupt frame rejected: " << frame.status().to_string();
+      } else if (frame.status().code() == ErrorCode::kProtocol) {
+        rejected_frames_.fetch_add(1);
+        RELDEV_WARN("tcp-server")
+            << "frame rejected: " << frame.status().to_string();
+      } else if (frame.status().code() != ErrorCode::kUnavailable) {
         RELDEV_DEBUG("tcp-server")
             << "connection error: " << frame.status().to_string();
       }
       return;  // peer is gone or stream is corrupt; drop the connection
     }
+    served_frames_.fetch_add(1);
     auto request = Message::decode(frame.value());
     Message reply = request ? handler_->handle(request.value())
                             : make_error(0, request.status());

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "reldev/core/group.hpp"
+#include "reldev/net/fault_transport.hpp"
 
 namespace reldev::core {
 namespace {
@@ -155,6 +158,138 @@ TEST_F(DriverStubTest, VectoredOpsFailOverToo) {
   ASSERT_TRUE(stub.write_blocks(0, contents).is_ok());
   group_.crash_site(0);
   EXPECT_EQ(stub.read_blocks(0, 2).value(), contents);
+  EXPECT_EQ(stub.last_server(), 1u);
+}
+
+// Fails the first `failures` calls with `code`, then forwards to the inner
+// transport — a deterministic stand-in for a transiently sick network.
+class FlakyTransport final : public net::Transport {
+ public:
+  FlakyTransport(net::Transport& inner, int failures, ErrorCode code)
+      : inner_(inner), failures_(failures), code_(code) {}
+
+  using net::Transport::multicast_call;
+
+  Result<net::Message> call(SiteId from, SiteId to,
+                            const net::Message& request) override {
+    ++calls;
+    if (failures_ > 0) {
+      --failures_;
+      return Status(code_, "flaky transport: injected failure");
+    }
+    return inner_.call(from, to, request);
+  }
+  Status send(SiteId from, SiteId to, const net::Message& message) override {
+    return inner_.send(from, to, message);
+  }
+  Status multicast(SiteId from, const net::SiteSet& to,
+                   const net::Message& message) override {
+    return inner_.multicast(from, to, message);
+  }
+  std::vector<net::GatherReply> multicast_call(
+      SiteId from, const net::SiteSet& to, const net::Message& request,
+      const net::EarlyStop& early_stop) override {
+    return inner_.multicast_call(from, to, request, early_stop);
+  }
+
+  int calls = 0;
+
+ private:
+  net::Transport& inner_;
+  int failures_;
+  ErrorCode code_;
+};
+
+RetryPolicy fast_policy(std::size_t rounds) {
+  RetryPolicy policy;
+  policy.max_rounds = rounds;
+  policy.initial_backoff = std::chrono::milliseconds{0};
+  policy.max_backoff = std::chrono::milliseconds{0};
+  return policy;
+}
+
+TEST(RetryClassification, TransientVsTerminal) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimeout));
+  EXPECT_TRUE(is_retryable(ErrorCode::kCorruption));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(is_retryable(ErrorCode::kProtocol));
+  EXPECT_FALSE(is_retryable(ErrorCode::kConflict));
+  EXPECT_FALSE(is_retryable(ErrorCode::kIoError));
+}
+
+TEST_F(DriverStubTest, RetriesThroughTransientTimeouts) {
+  const auto data = payload(64, 11);
+  {
+    DriverStub seeder(group_.transport(), kClientId, {0}, 8, 64);
+    ASSERT_TRUE(seeder.write_block(0, data).is_ok());
+  }
+  // One server, first four calls time out: only the retry rounds save it.
+  FlakyTransport flaky(group_.transport(), 4, ErrorCode::kTimeout);
+  DriverStub stub(flaky, kClientId, {0}, 8, 64, fast_policy(5));
+  EXPECT_EQ(stub.read_block(0).value(), data);
+  EXPECT_EQ(flaky.calls, 5);
+}
+
+TEST_F(DriverStubTest, TerminalErrorIsNotRetried) {
+  FlakyTransport broken(group_.transport(), 1000, ErrorCode::kProtocol);
+  DriverStub stub(broken, kClientId, {0, 1, 2}, 8, 64, fast_policy(5));
+  EXPECT_EQ(stub.read_block(0).status().code(), reldev::ErrorCode::kProtocol);
+  EXPECT_EQ(broken.calls, 1);  // no failover, no rounds
+}
+
+TEST_F(DriverStubTest, ExhaustionReportsStructuredDetail) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  DriverStub stub(group_.transport(), kClientId, {0, 1, 2}, 8, 64,
+                  fast_policy(2));
+  const auto status = stub.read_block(0).status();
+  EXPECT_EQ(status.code(), reldev::ErrorCode::kUnavailable);
+  EXPECT_NE(status.message().find("exhausted"), std::string::npos);
+  EXPECT_NE(status.message().find("site"), std::string::npos);
+  const auto& detail = stub.last_failure();
+  EXPECT_EQ(detail.attempts, 6u);  // 3 servers x 2 rounds
+  EXPECT_EQ(detail.rounds, 2u);
+  EXPECT_EQ(detail.last_error.code(), reldev::ErrorCode::kUnavailable);
+}
+
+TEST_F(DriverStubTest, PolicyNoneIsASingleScan) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  DriverStub stub(group_.transport(), kClientId, {0, 1, 2}, 8, 64,
+                  RetryPolicy::none());
+  EXPECT_FALSE(stub.read_block(0).is_ok());
+  EXPECT_EQ(stub.last_failure().attempts, 3u);
+  EXPECT_EQ(stub.last_failure().rounds, 1u);
+}
+
+TEST_F(DriverStubTest, OpDeadlineBoundsTheWholeOperation) {
+  group_.crash_site(0);
+  group_.crash_site(1);
+  group_.crash_site(2);
+  auto policy = fast_policy(1000);  // would be 3000 attempts without a budget
+  policy.op_deadline = std::chrono::milliseconds{0};
+  DriverStub stub(group_.transport(), kClientId, {0, 1, 2}, 8, 64, policy);
+  const auto status = stub.read_block(0).status();
+  EXPECT_EQ(status.code(), reldev::ErrorCode::kUnavailable);
+  EXPECT_NE(status.message().find("deadline"), std::string::npos);
+  EXPECT_EQ(stub.last_failure().attempts, 0u);
+}
+
+TEST_F(DriverStubTest, FailsOverAroundAFaultyLink) {
+  const auto data = payload(64, 12);
+  {
+    DriverStub seeder(group_.transport(), kClientId, {0}, 8, 64);
+    ASSERT_TRUE(seeder.write_block(5, data).is_ok());
+  }
+  net::FaultInjectingTransport faults(group_.transport(), 7);
+  net::FaultRule dead;
+  dead.drop = 1.0;
+  faults.set_link_rule(kClientId, 0, dead);  // client cannot reach site 0
+  DriverStub stub(faults, kClientId, {0, 1}, 8, 64, fast_policy(3));
+  EXPECT_EQ(stub.read_block(5).value(), data);
   EXPECT_EQ(stub.last_server(), 1u);
 }
 

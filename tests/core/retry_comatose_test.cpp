@@ -1,0 +1,142 @@
+// Edge cases of ReplicaGroup::retry_comatose — the fixpoint pass that
+// gives every comatose, reachable replica a chance to finish recovering.
+// Covers: a no-op pass (nothing comatose, or comatose but unreachable),
+// circular was-available dependencies resolved in one call, and a site
+// repaired mid-fixpoint whose recovery unblocks an earlier-scanned site on
+// the next pass of the same call.
+#include <gtest/gtest.h>
+
+#include "reldev/core/group.hpp"
+
+namespace reldev::core {
+namespace {
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  return storage::BlockData(size, static_cast<std::byte>(seed));
+}
+
+GroupConfig config(std::size_t sites) {
+  return GroupConfig::majority(sites, 8, 64);
+}
+
+TEST(RetryComatoseTest, NoOpWhenNothingIsComatose) {
+  ReplicaGroup group(SchemeKind::kAvailableCopy, config(3));
+  EXPECT_EQ(group.retry_comatose(), 0u);
+  for (const auto state : group.states()) {
+    EXPECT_EQ(state, SiteState::kAvailable);
+  }
+  // Failed sites are not comatose either: still a no-op.
+  group.crash_site(1);
+  EXPECT_EQ(group.retry_comatose(), 0u);
+  EXPECT_EQ(group.replica(1).state(), SiteState::kFailed);
+}
+
+TEST(RetryComatoseTest, SkipsComatoseSitesThatAreUnreachable) {
+  ReplicaGroup group(SchemeKind::kAvailableCopy, config(3));
+  // Total failure with site 0 last: 1 and 2 must wait for it.
+  group.crash_site(2);
+  ASSERT_TRUE(group.write(0, 0, payload(64, 1)).is_ok());
+  group.crash_site(1);
+  ASSERT_TRUE(group.write(0, 0, payload(64, 2)).is_ok());
+  group.crash_site(0);
+  group.transport().set_up(1, true);
+  ASSERT_FALSE(group.replica(1).recover().is_ok());
+  ASSERT_EQ(group.replica(1).state(), SiteState::kComatose);
+  // The comatose site loses its network again: the fixpoint must not touch
+  // it (recover() would otherwise be attempted into a void).
+  group.transport().set_up(1, false);
+  EXPECT_EQ(group.retry_comatose(), 0u);
+  EXPECT_EQ(group.replica(1).state(), SiteState::kComatose);
+}
+
+TEST(RetryComatoseTest, CircularWasAvailableSetsResolveTogether) {
+  ReplicaGroup group(SchemeKind::kAvailableCopy, config(3));
+  const auto data = payload(64, 7);
+  // W_0 = W_1 = {0, 1}: each of the pair is the other's recovery witness.
+  group.crash_site(2);
+  ASSERT_TRUE(group.write(0, 3, data).is_ok());
+  group.crash_site(0);
+  group.crash_site(1);
+  // Both return, but mutually partitioned — neither can see the other, so
+  // each waits on the other's unknown was-available set.
+  group.transport().set_partition_group(0, 1);
+  group.transport().set_partition_group(1, 2);
+  group.transport().set_up(0, true);
+  ASSERT_FALSE(group.replica(0).recover().is_ok());
+  group.transport().set_up(1, true);
+  ASSERT_FALSE(group.replica(1).recover().is_ok());
+  ASSERT_EQ(group.replica(0).state(), SiteState::kComatose);
+  ASSERT_EQ(group.replica(1).state(), SiteState::kComatose);
+  // Once they can talk, one fixpoint call untangles the cycle: each finds
+  // the other's set known, the closure {0, 1} is covered, both come back.
+  group.transport().clear_partitions();
+  EXPECT_EQ(group.retry_comatose(), 2u);
+  EXPECT_EQ(group.replica(0).state(), SiteState::kAvailable);
+  EXPECT_EQ(group.replica(1).state(), SiteState::kAvailable);
+  EXPECT_EQ(group.read(0, 3).value(), data);
+  EXPECT_EQ(group.read(1, 3).value(), data);
+}
+
+TEST(RetryComatoseTest, MidFixpointRecoveryUnblocksEarlierSite) {
+  // Site 0 is scanned first but blocked: its closure contains site 3,
+  // which never returns. Site 1 recovers in the first pass (its closure
+  // {1, 2} is all answering), which makes an available copy exist — the
+  // second pass then repairs site 0 from it. One retry_comatose call must
+  // recover all three.
+  ReplicaGroup group(SchemeKind::kAvailableCopy, config(4));
+  const auto data = payload(64, 9);
+  group.crash_site(3);  // keeps its initial W = {0,1,2,3}
+  group.crash_site(0);  // ditto
+  ASSERT_TRUE(group.write(1, 0, data).is_ok());  // W_1 = W_2 = {1, 2}
+  group.crash_site(2);
+  group.crash_site(1);  // total failure; 1 (or 2) holds the latest data
+
+  group.transport().set_up(0, true);
+  ASSERT_FALSE(group.replica(0).recover().is_ok());  // needs 1, 2, 3
+  group.transport().set_up(2, true);
+  ASSERT_FALSE(group.replica(2).recover().is_ok());  // needs 1
+  // Site 1 returns isolated so its own comeback attempt also parks it.
+  group.transport().set_partition_group(1, 9);
+  group.transport().set_up(1, true);
+  ASSERT_FALSE(group.replica(1).recover().is_ok());
+  ASSERT_EQ(group.replica(0).state(), SiteState::kComatose);
+  ASSERT_EQ(group.replica(1).state(), SiteState::kComatose);
+  ASSERT_EQ(group.replica(2).state(), SiteState::kComatose);
+
+  group.transport().clear_partitions();
+  EXPECT_EQ(group.retry_comatose(), 3u);
+  EXPECT_EQ(group.replica(0).state(), SiteState::kAvailable);
+  EXPECT_EQ(group.replica(1).state(), SiteState::kAvailable);
+  EXPECT_EQ(group.replica(2).state(), SiteState::kAvailable);
+  EXPECT_EQ(group.replica(3).state(), SiteState::kFailed);
+  // The blocked site really took the repair: it reads the sealed write.
+  EXPECT_EQ(group.read(0, 0).value(), data);
+}
+
+TEST(RetryComatoseTest, LastFailedSiteReturnUnblocksTheRest) {
+  ReplicaGroup group(SchemeKind::kAvailableCopy, config(3));
+  const auto data = payload(64, 5);
+  group.crash_site(2);
+  ASSERT_TRUE(group.write(0, 1, payload(64, 4)).is_ok());
+  group.crash_site(1);
+  ASSERT_TRUE(group.write(0, 1, data).is_ok());  // W_0 = {0}
+  group.crash_site(0);
+  group.transport().set_up(2, true);
+  ASSERT_FALSE(group.replica(2).recover().is_ok());
+  group.transport().set_up(1, true);
+  ASSERT_FALSE(group.replica(1).recover().is_ok());
+  // The site that failed last recovers by itself; the fixpoint then pulls
+  // the two waiting sites through in the same call.
+  group.transport().set_up(0, true);
+  ASSERT_TRUE(group.replica(0).recover().is_ok());
+  EXPECT_EQ(group.retry_comatose(), 2u);
+  for (SiteId site = 0; site < 3; ++site) {
+    EXPECT_EQ(group.replica(site).state(), SiteState::kAvailable);
+    EXPECT_EQ(group.read(site, 1).value(), data);
+  }
+  // Idempotent: a second pass finds nothing left to do.
+  EXPECT_EQ(group.retry_comatose(), 0u);
+}
+
+}  // namespace
+}  // namespace reldev::core

@@ -198,5 +198,81 @@ TEST(ScenarioRunTest, OutOfRangeReferencesRejectedAtRunTime) {
   EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kInvalidArgument);
 }
 
+TEST(ScenarioParseTest, FaultSeedIsAConfigCommand) {
+  auto scenario = Scenario::parse("fault-seed 99\nwrite 0 0 x\n");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  EXPECT_EQ(scenario.value().fault_seed, 99u);
+  // Like the other config commands, it must precede all actions.
+  EXPECT_FALSE(Scenario::parse("crash 0\nfault-seed 7\n").is_ok());
+}
+
+TEST(ScenarioParseTest, FaultVerbArityChecked) {
+  EXPECT_FALSE(Scenario::parse("drop-rate 0 1\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("delay-ms 0 1\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("corrupt-rate 0 1 0.5 extra\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("block-link 0\n").is_ok());
+}
+
+TEST(ScenarioRunTest, BadProbabilityRejectedAtRunTime) {
+  auto scenario = Scenario::parse("drop-rate 0 1 1.5\n");
+  ASSERT_TRUE(scenario.is_ok());
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), reldev::ErrorCode::kInvalidArgument);
+}
+
+TEST(ScenarioRunTest, DroppedLinksCostTheVotingQuorum) {
+  // With every outgoing link from site 0 eating messages, its write can
+  // gather no remote votes; after heal the quorum is back.
+  auto scenario = Scenario::parse(R"(
+scheme voting
+fault-seed 7
+drop-rate 0 1 1.0
+drop-rate 0 2 1.0
+fail-write 0 0 lonely
+heal
+write 0 0 quorate
+read 1 0 quorate
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, BlockedLinkSilentlyStarvesOnePeer) {
+  // available-copy assumes reliable delivery; a one-way blocked link makes
+  // site 1 miss the write while the writer still succeeds — the script can
+  // then show the stale copy and that heal restores normal flow.
+  auto scenario = Scenario::parse(R"(
+scheme available-copy
+block-link 0 1
+write 0 0 fresh
+read 2 0 fresh
+heal
+write 0 1 after
+read 1 1 after
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, DelayAndDuplicationDoNotBreakSemantics) {
+  // Duplicated writes re-apply the same version (idempotent) and a small
+  // delay only slows the run; results must be unchanged.
+  auto scenario = Scenario::parse(R"(
+scheme available-copy
+fault-seed 3
+dup-rate 0 1 1.0
+delay-ms 0 2 1
+write 0 0 steady
+read 1 0 steady
+read 2 0 steady
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
 }  // namespace
 }  // namespace reldev::core

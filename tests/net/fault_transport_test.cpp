@@ -1,0 +1,210 @@
+#include "reldev/net/fault_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "reldev/net/inproc_transport.hpp"
+
+namespace reldev::net {
+namespace {
+
+class EchoHandler : public MessageHandler {
+ public:
+  explicit EchoHandler(SiteId self) : self_(self) {}
+
+  Message handle(const Message& request) override {
+    ++calls;
+    last_from = request.from;
+    return Message{self_, StateInfo{SiteState::kAvailable, 0, {}}};
+  }
+  void handle_oneway(const Message& message) override {
+    ++oneways;
+    last_from = message.from;
+  }
+
+  SiteId self_;
+  int calls = 0;
+  int oneways = 0;
+  SiteId last_from = 999;
+};
+
+class FaultTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (SiteId s = 0; s < 4; ++s) {
+      handlers_.push_back(std::make_unique<EchoHandler>(s));
+      inner_.bind(s, handlers_.back().get());
+    }
+  }
+
+  InProcTransport inner_{AddressingMode::kMulticast};
+  FaultInjectingTransport faults_{inner_, 42};
+  std::vector<std::unique_ptr<EchoHandler>> handlers_;
+};
+
+TEST_F(FaultTransportTest, PassThroughWithNoRules) {
+  auto reply = faults_.call(0, 1, Message{0, StateInquiry{}});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().holds<StateInfo>());
+  ASSERT_TRUE(faults_.send(0, 2, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handlers_[2]->oneways, 1);
+  auto replies =
+      faults_.multicast_call(0, SiteSet{1, 2, 3}, Message{0, StateInquiry{}});
+  EXPECT_EQ(replies.size(), 3u);
+  EXPECT_EQ(faults_.stats().dropped, 0u);
+  EXPECT_EQ(faults_.stats().corrupted, 0u);
+}
+
+TEST_F(FaultTransportTest, BlockedLinkIsOneWay) {
+  faults_.block_link(0, 1);
+  auto blocked = faults_.call(0, 1, Message{0, StateInquiry{}});
+  EXPECT_EQ(blocked.status().code(), reldev::ErrorCode::kUnavailable);
+  EXPECT_EQ(handlers_[1]->calls, 0);
+  // The reverse direction still works: the partition is one-way.
+  auto reverse = faults_.call(1, 0, Message{1, StateInquiry{}});
+  EXPECT_TRUE(reverse.is_ok());
+  EXPECT_EQ(faults_.stats().blocked, 1u);
+}
+
+TEST_F(FaultTransportTest, BlockPairCutsBothDirections) {
+  faults_.block_pair(0, 1);
+  EXPECT_FALSE(faults_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_FALSE(faults_.call(1, 0, Message{1, StateInquiry{}}).is_ok());
+  // Third parties are untouched.
+  EXPECT_TRUE(faults_.call(0, 2, Message{0, StateInquiry{}}).is_ok());
+}
+
+TEST_F(FaultTransportTest, HealRestoresEverything) {
+  FaultRule lossy;
+  lossy.drop = 1.0;
+  faults_.set_default_rule(lossy);
+  faults_.block_link(0, 1);
+  EXPECT_FALSE(faults_.call(0, 2, Message{0, StateInquiry{}}).is_ok());
+  faults_.heal();
+  EXPECT_TRUE(faults_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_TRUE(faults_.call(0, 2, Message{0, StateInquiry{}}).is_ok());
+}
+
+TEST_F(FaultTransportTest, CertainDropIsTimeoutAndCountsBothHalves) {
+  FaultRule lossy;
+  lossy.drop = 1.0;
+  faults_.set_link_rule(0, 1, lossy);
+  int request_lost = 0;
+  int reply_lost = 0;
+  for (int i = 0; i < 40; ++i) {
+    const int calls_before = handlers_[1]->calls;
+    auto reply = faults_.call(0, 1, Message{0, StateInquiry{}});
+    EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kTimeout);
+    // A lost reply means the peer executed the request anyway.
+    (handlers_[1]->calls > calls_before ? reply_lost : request_lost)++;
+  }
+  EXPECT_EQ(faults_.stats().dropped, 40u);
+  // Both halves of the at-most-once ambiguity occur.
+  EXPECT_GT(request_lost, 0);
+  EXPECT_GT(reply_lost, 0);
+}
+
+TEST_F(FaultTransportTest, CertainCorruptionIsTypedCorruption) {
+  FaultRule garbled;
+  garbled.corrupt = 1.0;
+  faults_.set_link_rule(0, 1, garbled);
+  auto reply = faults_.call(0, 1, Message{0, StateInquiry{}});
+  EXPECT_EQ(reply.status().code(), reldev::ErrorCode::kCorruption);
+  EXPECT_EQ(faults_.stats().corrupted, 1u);
+}
+
+TEST_F(FaultTransportTest, DuplicateDeliversTwiceAndStillAnswers) {
+  FaultRule chatty;
+  chatty.duplicate = 1.0;
+  faults_.set_link_rule(0, 1, chatty);
+  auto reply = faults_.call(0, 1, Message{0, StateInquiry{}});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(handlers_[1]->calls, 2);  // at-least-once delivery
+  ASSERT_TRUE(faults_.send(0, 1, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handlers_[1]->oneways, 2);
+  EXPECT_EQ(faults_.stats().duplicated, 2u);
+}
+
+TEST_F(FaultTransportTest, DroppedSendVanishesSilently) {
+  FaultRule lossy;
+  lossy.drop = 1.0;
+  faults_.set_link_rule(0, 1, lossy);
+  ASSERT_TRUE(faults_.send(0, 1, Message{0, StateInquiry{}}).is_ok());
+  EXPECT_EQ(handlers_[1]->oneways, 0);
+}
+
+TEST_F(FaultTransportTest, MulticastCallOnlyGathersSurvivingLinks) {
+  FaultRule lossy;
+  lossy.drop = 1.0;
+  faults_.set_link_rule(0, 2, lossy);
+  faults_.block_link(0, 3);
+  auto replies =
+      faults_.multicast_call(0, SiteSet{1, 2, 3}, Message{0, StateInquiry{}});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].first, 1u);
+  EXPECT_EQ(handlers_[3]->calls, 0);  // blocked: never executed
+}
+
+TEST_F(FaultTransportTest, LostAckStillExecutesOnThePeer) {
+  // Force the reply-lost half of a drop by drawing fates until one lands:
+  // with drop = 1.0 every call is dropped; across a batch of multicasts the
+  // peer must have executed at least once (reply-lost cases execute).
+  FaultRule lossy;
+  lossy.drop = 1.0;
+  faults_.set_link_rule(0, 2, lossy);
+  for (int i = 0; i < 20; ++i) {
+    (void)faults_.multicast_call(0, SiteSet{1, 2},
+                                 Message{0, StateInquiry{}});
+  }
+  EXPECT_GT(handlers_[2]->calls, 0);   // applied-but-unacknowledged
+  EXPECT_EQ(handlers_[1]->calls, 20);  // healthy link unaffected
+}
+
+TEST_F(FaultTransportTest, SameSeedReplaysSameSchedule) {
+  FaultRule flaky;
+  flaky.drop = 0.5;
+  auto run = [&](std::uint64_t seed) {
+    FaultInjectingTransport transport(inner_, seed);
+    transport.set_default_rule(flaky);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(
+          transport.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(FaultTransportTest, ReseedRestartsTheSchedule) {
+  FaultRule flaky;
+  flaky.drop = 0.5;
+  faults_.set_default_rule(flaky);
+  auto sample = [&] {
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(
+          faults_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+    }
+    return outcomes;
+  };
+  faults_.reseed(123);
+  const auto first = sample();
+  faults_.reseed(123);
+  EXPECT_EQ(first, sample());
+}
+
+TEST_F(FaultTransportTest, RulesFlipMidRun) {
+  FaultRule lossy;
+  lossy.drop = 1.0;
+  faults_.set_link_rule(0, 1, lossy);
+  EXPECT_FALSE(faults_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+  faults_.clear_link_rule(0, 1);
+  EXPECT_TRUE(faults_.call(0, 1, Message{0, StateInquiry{}}).is_ok());
+}
+
+}  // namespace
+}  // namespace reldev::net
