@@ -38,6 +38,6 @@ class Matrix {
 
 /// Solve A x = b by Gaussian elimination with partial pivoting.
 /// kInvalidArgument on shape mismatch; kConflict when A is singular.
-Result<std::vector<double>> solve_linear(Matrix a, std::vector<double> b);
+[[nodiscard]] Result<std::vector<double>> solve_linear(Matrix a, std::vector<double> b);
 
 }  // namespace reldev::analysis

@@ -24,12 +24,11 @@ DriverStub::DriverStub(net::Transport& transport, SiteId client_id,
       servers_(std::move(servers)),
       block_count_(block_count),
       block_size_(block_size),
-      policy_(policy),
-      jitter_(policy.jitter_seed) {
+      state_(std::make_unique<RetryState>(policy, policy.jitter_seed)) {
   RELDEV_EXPECTS(!servers_.empty());
   RELDEV_EXPECTS(block_count_ > 0);
   RELDEV_EXPECTS(block_size_ > 0);
-  RELDEV_EXPECTS(policy_.max_rounds > 0);
+  RELDEV_EXPECTS(policy.max_rounds > 0);
 }
 
 Result<DriverStub> DriverStub::connect(net::Transport& transport,
@@ -78,21 +77,35 @@ bool replied_unavailable(const net::Message& reply) {
 
 Result<net::Message> DriverStub::call_any(const net::Message& request) {
   using Clock = std::chrono::steady_clock;
-  const auto deadline = Clock::now() + policy_.op_deadline;
-  failure_ = FailureDetail{};
-  failure_.last_error = errors::unavailable("no server reachable");
+  // Snapshot the policy and the sticky-scan start once; accumulate the
+  // failure detail in a local and publish it at every exit so the lock is
+  // never held across a transport call or a backoff sleep.
+  RetryPolicy policy;
+  std::size_t start = 0;
+  {
+    const MutexLock lock(state_->mutex);
+    policy = state_->policy;
+    start = state_->last_index < servers_.size() ? state_->last_index : 0;
+  }
+  const auto deadline = Clock::now() + policy.op_deadline;
+  FailureDetail failure;
+  failure.last_error = errors::unavailable("no server reachable");
 
-  for (std::size_t round = 0; round < policy_.max_rounds; ++round) {
+  for (std::size_t round = 0; round < policy.max_rounds; ++round) {
     if (round > 0) {
       // Full jitter: uniform in (0, cap], where the cap doubles (by the
       // multiplier) each round. Never sleep past the op deadline.
-      double cap = static_cast<double>(policy_.initial_backoff.count());
-      for (std::size_t r = 1; r < round; ++r) cap *= policy_.backoff_multiplier;
-      cap = std::min(cap, static_cast<double>(policy_.max_backoff.count()));
+      double cap = static_cast<double>(policy.initial_backoff.count());
+      for (std::size_t r = 1; r < round; ++r) cap *= policy.backoff_multiplier;
+      cap = std::min(cap, static_cast<double>(policy.max_backoff.count()));
       const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - Clock::now());
-      const auto sleep_ms = static_cast<std::int64_t>(
-          jitter_.uniform(0.0, std::max(cap, 1.0)));
+      std::int64_t sleep_ms = 0;
+      {
+        const MutexLock lock(state_->mutex);
+        sleep_ms = static_cast<std::int64_t>(
+            state_->jitter.uniform(0.0, std::max(cap, 1.0)));
+      }
       const auto backoff = std::min<std::int64_t>(sleep_ms, budget.count());
       if (backoff > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
@@ -101,47 +114,56 @@ Result<net::Message> DriverStub::call_any(const net::Message& request) {
     // Sticky scan: start at the last server that answered. After a failover
     // the stub keeps talking to the server that worked instead of
     // re-probing the dead head of the list on every operation.
-    const std::size_t start = last_index_ < servers_.size() ? last_index_ : 0;
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       if (Clock::now() >= deadline) {
-        failure_.last_error =
+        failure.last_error =
             errors::timeout("op deadline (" +
-                            std::to_string(policy_.op_deadline.count()) +
+                            std::to_string(policy.op_deadline.count()) +
                             "ms) exhausted");
         break;
       }
       const std::size_t index = (start + i) % servers_.size();
       const SiteId server = servers_[index];
-      ++failure_.attempts;
+      ++failure.attempts;
       auto reply = transport_.call(client_id_, server, request);
       if (!reply) {
-        failure_.last_error = reply.status();
-        failure_.last_site = server;
-        if (!is_retryable(reply.status().code())) return reply.status();
+        failure.last_error = reply.status();
+        failure.last_site = server;
+        if (!is_retryable(reply.status().code())) {
+          const MutexLock lock(state_->mutex);
+          state_->failure = failure;
+          return reply.status();
+        }
         continue;
       }
       if (replied_unavailable(reply.value())) {
-        failure_.last_error =
+        failure.last_error =
             errors::unavailable("no available copy/quorum");
-        failure_.last_site = server;
+        failure.last_site = server;
         continue;
       }
-      last_server_ = server;
-      last_index_ = index;
+      const MutexLock lock(state_->mutex);
+      state_->last_server = server;
+      state_->last_index = index;
+      state_->failure = failure;
       return reply;
     }
-    ++failure_.rounds;
+    ++failure.rounds;
     if (Clock::now() >= deadline) break;
   }
   // Exhausted: summarize as kUnavailable (the device-level meaning) but
   // carry the structured detail — and keep the raw last error, with its
   // original code, in last_failure() for callers that want to classify.
+  {
+    const MutexLock lock(state_->mutex);
+    state_->failure = failure;
+  }
   return errors::unavailable(
       "all " + std::to_string(servers_.size()) + " server(s) exhausted after " +
-      std::to_string(failure_.attempts) + " attempt(s) over " +
-      std::to_string(failure_.rounds) + " round(s); last error from site " +
-      std::to_string(failure_.last_site) + ": " +
-      failure_.last_error.to_string());
+      std::to_string(failure.attempts) + " attempt(s) over " +
+      std::to_string(failure.rounds) + " round(s); last error from site " +
+      std::to_string(failure.last_site) + ": " +
+      failure.last_error.to_string());
 }
 
 Result<storage::BlockData> DriverStub::read_block(BlockId block) {

@@ -38,23 +38,23 @@ class AvailableCopyReplica final : public ReplicaBase {
   }
 
   /// Local read; kUnavailable unless this site is `available`.
-  Result<storage::BlockData> read(BlockId block) override;
+  [[nodiscard]] Result<storage::BlockData> read(BlockId block) override;
 
   /// Write-all: push to every peer, gather acknowledgements from the
   /// available ones, and set W to exactly the set that received the write.
-  Status write(BlockId block, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data) override;
 
   /// Batched write-all: the whole range rides in ONE grouped push (one
   /// high-level transmission instead of one per block); the ack set becomes
   /// W exactly as in the scalar path. Reads stay local, so the inherited
   /// read_range loop is already zero-traffic.
-  Status write_range(BlockId first, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write_range(BlockId first, std::span<const std::byte> data) override;
 
   /// Figure 5. Becomes comatose, inquires group state, then either repairs
   /// from an available site, or — after a total failure — waits until
   /// C*(W_s) has recovered and repairs from its highest-version member.
   /// kUnavailable while the wait condition is unmet (call again later).
-  Status recover() override;
+  [[nodiscard]] Status recover() override;
 
   void crash() override;
 
@@ -70,7 +70,7 @@ class AvailableCopyReplica final : public ReplicaBase {
  private:
   void persist_metadata();
   void load_metadata();
-  Status repair_from(SiteId source);
+  [[nodiscard]] Status repair_from(SiteId source);
 
   WasAvailablePolicy policy_;
   SiteSet was_available_;

@@ -20,15 +20,15 @@ class BlockDevice {
 
   /// kUnavailable when the device cannot serve (no quorum / no available
   /// copy); the file system treats that like any transient device error.
-  virtual Result<storage::BlockData> read_block(storage::BlockId block) = 0;
-  virtual Status write_block(storage::BlockId block,
+  [[nodiscard]] virtual Result<storage::BlockData> read_block(storage::BlockId block) = 0;
+  [[nodiscard]] virtual Status write_block(storage::BlockId block,
                              std::span<const std::byte> data) = 0;
 
   /// Vectored read of blocks [first, first + count): one flat buffer of
   /// count * block_size bytes. The default loops over read_block, so every
   /// existing device keeps working; replicated devices override it with a
   /// single batched round trip.
-  virtual Result<storage::BlockData> read_blocks(storage::BlockId first,
+  [[nodiscard]] virtual Result<storage::BlockData> read_blocks(storage::BlockId first,
                                                  std::size_t count) {
     if (auto status = check_range(first, count); !status.is_ok()) {
       return status;
@@ -45,7 +45,7 @@ class BlockDevice {
 
   /// Vectored write of data.size() / block_size consecutive blocks starting
   /// at `first`. `data` must be a non-empty multiple of block_size.
-  virtual Status write_blocks(storage::BlockId first,
+  [[nodiscard]] virtual Status write_blocks(storage::BlockId first,
                               std::span<const std::byte> data) {
     if (data.empty() || data.size() % block_size() != 0) {
       return errors::invalid_argument(
@@ -91,13 +91,13 @@ class LocalBlockDevice final : public BlockDevice {
     return store_.block_size();
   }
 
-  Result<storage::BlockData> read_block(storage::BlockId block) override {
+  [[nodiscard]] Result<storage::BlockData> read_block(storage::BlockId block) override {
     auto result = store_.read(block);
     if (!result) return result.status();
     return std::move(result).value().data;
   }
 
-  Status write_block(storage::BlockId block,
+  [[nodiscard]] Status write_block(storage::BlockId block,
                      std::span<const std::byte> data) override {
     auto current = store_.version_of(block);
     if (!current) return current.status();

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "reldev/core/device.hpp"
 #include "reldev/core/types.hpp"
 #include "reldev/net/transport.hpp"
 #include "reldev/util/rng.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::core {
 
@@ -79,21 +81,29 @@ class DriverStub final : public BlockDevice {
     return block_size_;
   }
 
-  Result<storage::BlockData> read_block(BlockId block) override;
-  Status write_block(BlockId block, std::span<const std::byte> data) override;
+  [[nodiscard]] Result<storage::BlockData> read_block(BlockId block) override;
+  [[nodiscard]] Status write_block(BlockId block, std::span<const std::byte> data) override;
 
   /// Vectored path: one MultiBlockRead/Write RPC for the whole range
   /// instead of one round trip per block.
-  Result<storage::BlockData> read_blocks(BlockId first,
+  [[nodiscard]] Result<storage::BlockData> read_blocks(BlockId first,
                                          std::size_t count) override;
-  Status write_blocks(BlockId first, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write_blocks(BlockId first, std::span<const std::byte> data) override;
 
   /// The server that served the last successful request.
-  [[nodiscard]] SiteId last_server() const noexcept { return last_server_; }
+  [[nodiscard]] SiteId last_server() const RELDEV_EXCLUDES(state_->mutex) {
+    const MutexLock lock(state_->mutex);
+    return state_->last_server;
+  }
 
-  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
-  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
-    return policy_;
+  void set_retry_policy(RetryPolicy policy) RELDEV_EXCLUDES(state_->mutex) {
+    const MutexLock lock(state_->mutex);
+    state_->policy = policy;
+  }
+  [[nodiscard]] RetryPolicy retry_policy() const
+      RELDEV_EXCLUDES(state_->mutex) {
+    const MutexLock lock(state_->mutex);
+    return state_->policy;
   }
 
   /// What happened on the last operation that exhausted every server: the
@@ -106,8 +116,12 @@ class DriverStub final : public BlockDevice {
     std::size_t attempts = 0; ///< total call attempts across all rounds
     std::size_t rounds = 0;   ///< scans over the server list completed
   };
-  [[nodiscard]] const FailureDetail& last_failure() const noexcept {
-    return failure_;
+  /// Snapshot by value: with concurrent callers the detail belongs to
+  /// whichever operation finished last.
+  [[nodiscard]] FailureDetail last_failure() const
+      RELDEV_EXCLUDES(state_->mutex) {
+    const MutexLock lock(state_->mutex);
+    return state_->failure;
   }
 
  private:
@@ -116,18 +130,33 @@ class DriverStub final : public BlockDevice {
   /// on a terminal error, or when the op deadline is exhausted. On
   /// exhaustion returns a structured kUnavailable naming the attempt count
   /// and the last per-server error (also kept in last_failure()).
-  Result<net::Message> call_any(const net::Message& request);
+  ///
+  /// Thread safety: safe for concurrent callers. The mutex guards only the
+  /// retry bookkeeping — transport calls and backoff sleeps run unlocked,
+  /// so concurrent operations proceed in parallel.
+  [[nodiscard]] Result<net::Message> call_any(const net::Message& request)
+      RELDEV_EXCLUDES(state_->mutex);
+
+  // Mutable retry bookkeeping, boxed so the stub stays movable (a Mutex is
+  // not) — DriverStub travels through Result<DriverStub> in connect().
+  struct RetryState {
+    mutable Mutex mutex;
+    RetryPolicy policy RELDEV_GUARDED_BY(mutex);
+    Rng jitter RELDEV_GUARDED_BY(mutex);
+    FailureDetail failure RELDEV_GUARDED_BY(mutex);
+    SiteId last_server RELDEV_GUARDED_BY(mutex) = 0;
+    // Index into servers_ of last_server (the sticky-scan start).
+    std::size_t last_index RELDEV_GUARDED_BY(mutex) = 0;
+
+    RetryState(RetryPolicy p, std::uint64_t seed) : policy(p), jitter(seed) {}
+  };
 
   net::Transport& transport_;
   SiteId client_id_;
-  std::vector<SiteId> servers_;
+  std::vector<SiteId> servers_;  // immutable after construction
   std::size_t block_count_;
   std::size_t block_size_;
-  RetryPolicy policy_;
-  Rng jitter_;
-  FailureDetail failure_;
-  SiteId last_server_ = 0;
-  std::size_t last_index_ = 0;  // index into servers_ of last_server_
+  std::unique_ptr<RetryState> state_;
 };
 
 }  // namespace reldev::core

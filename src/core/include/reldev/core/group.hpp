@@ -50,7 +50,7 @@ class ReplicaGroup {
   /// every other comatose site a chance to finish recovering (a newly
   /// available or newly recovered site can unblock them). Returns the
   /// status of this site's own recovery attempt (kUnavailable = comatose).
-  Status recover_site(SiteId site);
+  [[nodiscard]] Status recover_site(SiteId site);
 
   /// One fixpoint pass: call recover() on every comatose, reachable
   /// replica until nothing changes. Returns how many became available.
@@ -62,13 +62,13 @@ class ReplicaGroup {
   [[nodiscard]] bool group_available() const;
 
   /// Convenience: device operations through a chosen coordinator site.
-  Result<storage::BlockData> read(SiteId via, BlockId block);
-  Status write(SiteId via, BlockId block, std::span<const std::byte> data);
+  [[nodiscard]] Result<storage::BlockData> read(SiteId via, BlockId block);
+  [[nodiscard]] Status write(SiteId via, BlockId block, std::span<const std::byte> data);
 
   /// Vectored convenience: one batched operation through `via`.
-  Result<storage::BlockData> read_range(SiteId via, BlockId first,
+  [[nodiscard]] Result<storage::BlockData> read_range(SiteId via, BlockId first,
                                         std::size_t count);
-  Status write_range(SiteId via, BlockId first,
+  [[nodiscard]] Status write_range(SiteId via, BlockId first,
                      std::span<const std::byte> data);
 
   /// Current state of every site (failed sites report kFailed).

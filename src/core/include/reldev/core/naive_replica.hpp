@@ -19,20 +19,20 @@ class NaiveAvailableCopyReplica final : public ReplicaBase {
     return "naive-available-copy";
   }
 
-  Result<storage::BlockData> read(BlockId block) override;
+  [[nodiscard]] Result<storage::BlockData> read(BlockId block) override;
 
   /// One unacknowledged push to all peers (a single transmission on a
   /// multicast network — the scheme's whole advantage).
-  Status write(BlockId block, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data) override;
 
   /// Batched naive write: the whole range in ONE unacknowledged grouped
   /// push. Reads stay local, so the inherited read_range loop already
   /// costs no traffic.
-  Status write_range(BlockId first, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write_range(BlockId first, std::span<const std::byte> data) override;
 
   /// Figure 6: repair from any available site, or — after a total failure —
   /// wait for all sites and take the highest version.
-  Status recover() override;
+  [[nodiscard]] Status recover() override;
 
   void crash() override;
 
@@ -41,7 +41,7 @@ class NaiveAvailableCopyReplica final : public ReplicaBase {
   void handle_peer_oneway(const net::Message& message) override;
 
  private:
-  Status repair_from(SiteId source);
+  [[nodiscard]] Status repair_from(SiteId source);
 };
 
 }  // namespace reldev::core

@@ -33,21 +33,21 @@ class ReplicaBase : public net::MessageHandler {
   // --- coordinator-side device operations --------------------------------
 
   /// Read one block with the scheme's consistency rules.
-  virtual Result<storage::BlockData> read(BlockId block) = 0;
+  [[nodiscard]] virtual Result<storage::BlockData> read(BlockId block) = 0;
 
   /// Write one block (full block) with the scheme's consistency rules.
-  virtual Status write(BlockId block, std::span<const std::byte> data) = 0;
+  [[nodiscard]] virtual Status write(BlockId block, std::span<const std::byte> data) = 0;
 
   /// Vectored read of blocks [first, first + count) as one flat buffer.
   /// The base implementation loops over read(); schemes override it to run
   /// one quorum round for the whole range.
-  virtual Result<storage::BlockData> read_range(BlockId first,
+  [[nodiscard]] virtual Result<storage::BlockData> read_range(BlockId first,
                                                 std::size_t count);
 
   /// Vectored write of data.size() / block_size consecutive blocks starting
   /// at `first`. The base implementation loops over write(); schemes
   /// override it to push the whole batch in one round.
-  virtual Status write_range(BlockId first, std::span<const std::byte> data);
+  [[nodiscard]] virtual Status write_range(BlockId first, std::span<const std::byte> data);
 
   // --- lifecycle -----------------------------------------------------------
 
@@ -60,7 +60,7 @@ class ReplicaBase : public net::MessageHandler {
   /// reached `available`; kUnavailable when it must stay comatose and try
   /// again later (e.g. the closure has not fully recovered). The caller
   /// must have made the site reachable again before calling.
-  virtual Status recover() = 0;
+  [[nodiscard]] virtual Status recover() = 0;
 
   // --- MessageHandler ------------------------------------------------------
 
@@ -89,7 +89,7 @@ class ReplicaBase : public net::MessageHandler {
       const storage::VersionVector& theirs) const;
 
   /// Apply a RepairReply: replace every block the source knew newer.
-  Status apply_repair(const net::RepairReply& reply);
+  [[nodiscard]] Status apply_repair(const net::RepairReply& reply);
 
   /// Validation shared by the range operations: count > 0 and the whole
   /// range inside the device.
@@ -114,17 +114,17 @@ class ReplicaDevice final : public BlockDevice {
   [[nodiscard]] std::size_t block_size() const noexcept override {
     return replica_.config().block_size;
   }
-  Result<storage::BlockData> read_block(BlockId block) override {
+  [[nodiscard]] Result<storage::BlockData> read_block(BlockId block) override {
     return replica_.read(block);
   }
-  Status write_block(BlockId block, std::span<const std::byte> data) override {
+  [[nodiscard]] Status write_block(BlockId block, std::span<const std::byte> data) override {
     return replica_.write(block, data);
   }
-  Result<storage::BlockData> read_blocks(BlockId first,
+  [[nodiscard]] Result<storage::BlockData> read_blocks(BlockId first,
                                          std::size_t count) override {
     return replica_.read_range(first, count);
   }
-  Status write_blocks(BlockId first, std::span<const std::byte> data) override {
+  [[nodiscard]] Status write_blocks(BlockId first, std::span<const std::byte> data) override {
     return replica_.write_range(first, data);
   }
 

@@ -85,6 +85,6 @@ struct ScenarioOutcome {
 /// Execute a scenario against a fresh ReplicaGroup. Stops at the first
 /// violated expectation, returning kConflict with the line number and what
 /// differed; infrastructure errors propagate as their own codes.
-Result<ScenarioOutcome> run_scenario(const Scenario& scenario);
+[[nodiscard]] Result<ScenarioOutcome> run_scenario(const Scenario& scenario);
 
 }  // namespace reldev::core

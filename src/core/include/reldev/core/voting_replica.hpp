@@ -23,16 +23,16 @@ class VotingReplica final : public ReplicaBase {
   /// Figure 3. Collects votes; with a read quorum, refreshes the local
   /// copy if stale (one fetch from the highest-version site) and serves
   /// the read locally.
-  Result<storage::BlockData> read(BlockId block) override;
+  [[nodiscard]] Result<storage::BlockData> read(BlockId block) override;
 
   /// Figure 4. Collects votes; with a write quorum, bumps the maximum
   /// version and pushes the block to every site in the quorum.
-  Status write(BlockId block, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data) override;
 
   /// Batched Figure 3: ONE vote round covering the whole range (the reply
   /// carries a version vector), one grouped fetch per stale source site,
   /// then the range is served locally.
-  Result<storage::BlockData> read_range(BlockId first,
+  [[nodiscard]] Result<storage::BlockData> read_range(BlockId first,
                                         std::size_t count) override;
 
   /// Batched Figure 4: one vote round for the range, local writes at
@@ -40,11 +40,11 @@ class VotingReplica final : public ReplicaBase {
   /// checked before any local mutation, so a failed batch leaves nothing
   /// behind (atomic-none); the push is a single message per site, so a
   /// recipient applies the whole batch or none of it.
-  Status write_range(BlockId first, std::span<const std::byte> data) override;
+  [[nodiscard]] Status write_range(BlockId first, std::span<const std::byte> data) override;
 
   /// Voting sites are always immediately available after repair: stale
   /// blocks are caught by version numbers at access time.
-  Status recover() override;
+  [[nodiscard]] Status recover() override;
   void crash() override;
 
  protected:

@@ -11,17 +11,18 @@ BlockCache::BlockCache(core::BlockDevice& device, std::size_t capacity)
   RELDEV_EXPECTS(capacity >= 1);
 }
 
-void BlockCache::touch(storage::BlockId block) {
+void BlockCache::touch_locked(storage::BlockId block) {
   auto it = entries_.find(block);
   RELDEV_ASSERT(it != entries_.end());
   order_.splice(order_.begin(), order_, it->second.position);
 }
 
-void BlockCache::insert(storage::BlockId block, storage::BlockData data) {
+void BlockCache::insert_locked(storage::BlockId block,
+                               storage::BlockData data) {
   auto it = entries_.find(block);
   if (it != entries_.end()) {
     it->second.data = std::move(data);
-    touch(block);
+    touch_locked(block);
     return;
   }
   if (entries_.size() == capacity_) {
@@ -35,49 +36,63 @@ void BlockCache::insert(storage::BlockId block, storage::BlockData data) {
 }
 
 Result<storage::BlockData> BlockCache::read_block(storage::BlockId block) {
-  // Sequential-run detection: any access (hit or miss) at the block that
-  // would continue the previous access's run extends it.
-  run_ = (run_ > 0 && block == next_expected_) ? run_ + 1 : 1;
-  next_expected_ = block + 1;
+  // Hit test and run tracking under the lock; any device fetch happens
+  // after it is released (see the class comment on lock discipline).
+  std::size_t fetch = 0;
+  std::uint64_t gen = 0;
+  {
+    const MutexLock lock(mutex_);
+    gen = mutation_gen_;
+    // Sequential-run detection: any access (hit or miss) at the block that
+    // would continue the previous access's run extends it.
+    run_ = (run_ > 0 && block == next_expected_) ? run_ + 1 : 1;
+    next_expected_ = block + 1;
 
-  auto it = entries_.find(block);
-  if (it != entries_.end()) {
-    ++stats_.hits;
-    touch(block);
-    return it->second.data;
+    auto it = entries_.find(block);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      touch_locked(block);
+      return it->second.data;
+    }
+    ++stats_.misses;
+
+    // A miss inside a detected sequential run prefetches the next window
+    // in one vectored device read — one round trip instead of `window`
+    // future misses. Bounded by the device end and the cache capacity
+    // (prefetching past capacity would evict blocks of this very run).
+    if (read_ahead_ > 0 && run_ >= 2 && block < device_->block_count()) {
+      fetch = std::min(
+          {read_ahead_ + 1, device_->block_count() - block, capacity_});
+    }
   }
-  ++stats_.misses;
 
-  // A miss inside a detected sequential run prefetches the next window in
-  // one vectored device read — one round trip instead of `window` future
-  // misses. Bounded by the device end and the cache capacity (prefetching
-  // past capacity would evict blocks of this very run).
-  if (read_ahead_ > 0 && run_ >= 2 && block < device_->block_count()) {
-    const std::size_t fetch =
-        std::min({read_ahead_ + 1, device_->block_count() - block, capacity_});
-    if (fetch > 1) {
-      auto batch = device_->read_blocks(block, fetch);
-      if (batch) {
-        const auto size = static_cast<std::ptrdiff_t>(block_size());
-        storage::BlockData first(batch.value().begin(),
-                                 batch.value().begin() + size);
+  if (fetch > 1) {
+    auto batch = device_->read_blocks(block, fetch);
+    if (batch) {
+      const auto size = static_cast<std::ptrdiff_t>(block_size());
+      storage::BlockData first(batch.value().begin(),
+                               batch.value().begin() + size);
+      const MutexLock lock(mutex_);
+      if (mutation_gen_ == gen) {
         for (std::size_t i = 0; i < fetch; ++i) {
           const auto offset = static_cast<std::ptrdiff_t>(i) * size;
-          insert(block + i,
-                 storage::BlockData(batch.value().begin() + offset,
-                                    batch.value().begin() + offset + size));
+          insert_locked(
+              block + i,
+              storage::BlockData(batch.value().begin() + offset,
+                                 batch.value().begin() + offset + size));
         }
         stats_.read_ahead_blocks += fetch - 1;
-        return first;
       }
-      // Vectored fetch failed (e.g. lost quorum mid-range); fall through to
-      // the scalar path so a single-block read can still succeed.
+      return first;
     }
+    // Vectored fetch failed (e.g. lost quorum mid-range); fall through to
+    // the scalar path so a single-block read can still succeed.
   }
 
   auto fetched = device_->read_block(block);
   if (!fetched) return fetched.status();
-  insert(block, fetched.value());
+  const MutexLock lock(mutex_);
+  if (mutation_gen_ == gen) insert_locked(block, fetched.value());
   return fetched;
 }
 
@@ -88,16 +103,22 @@ Status BlockCache::write_block(storage::BlockId block,
     // the durable content is still the old block.
     return status;
   }
-  insert(block, storage::BlockData(data.begin(), data.end()));
+  const MutexLock lock(mutex_);
+  ++mutation_gen_;
+  insert_locked(block, storage::BlockData(data.begin(), data.end()));
   return Status::ok();
 }
 
 void BlockCache::invalidate() {
+  const MutexLock lock(mutex_);
+  ++mutation_gen_;
   entries_.clear();
   order_.clear();
 }
 
 void BlockCache::invalidate(storage::BlockId block) {
+  const MutexLock lock(mutex_);
+  ++mutation_gen_;
   auto it = entries_.find(block);
   if (it == entries_.end()) return;
   order_.erase(it->second.position);

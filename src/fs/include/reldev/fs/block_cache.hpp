@@ -3,6 +3,13 @@
 // therefore the network, when the device is the replicated reliable
 // device. A write-through LRU keeps the cache trivially coherent with the
 // single-client device semantics this library provides.
+//
+// Thread safety: fully internally synchronized — concurrent user processes
+// of the paper's Figure 1 share one buffer cache. The cache lock is NEVER
+// held across a device operation (a miss fetch can take a whole quorum
+// round trip): a miss releases the lock, fetches, then re-locks to insert.
+// Two threads missing the same block may therefore both fetch it — a
+// wasted read, never a correctness problem.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +17,7 @@
 #include <unordered_map>
 
 #include "reldev/core/device.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::fs {
 
@@ -28,27 +36,35 @@ class BlockCache final : public core::BlockDevice {
 
   /// Cache hit: served locally with zero device traffic. Miss: fetched
   /// from the device and cached.
-  Result<storage::BlockData> read_block(storage::BlockId block) override;
+  [[nodiscard]] Result<storage::BlockData> read_block(storage::BlockId block) override
+      RELDEV_EXCLUDES(mutex_);
 
   /// Write-through: the device write happens first; the cache is updated
   /// only on success, so a failed replicated write cannot leave a dirty
   /// cache lying about durable state.
-  Status write_block(storage::BlockId block,
-                     std::span<const std::byte> data) override;
+  [[nodiscard]] Status write_block(storage::BlockId block,
+                     std::span<const std::byte> data) override
+      RELDEV_EXCLUDES(mutex_);
 
   /// Drop all cached blocks (e.g. after remounting a shared device that
   /// another client may have written).
-  void invalidate();
+  void invalidate() RELDEV_EXCLUDES(mutex_);
   /// Drop one cached block.
-  void invalidate(storage::BlockId block);
+  void invalidate(storage::BlockId block) RELDEV_EXCLUDES(mutex_);
 
   /// Sequential read-ahead: when a run of consecutive block ids is
   /// detected and a miss occurs, fetch the missed block plus up to
   /// `window` following blocks in ONE vectored device read. 0 (the
   /// default) disables read-ahead, preserving exact per-block miss
   /// accounting for callers that rely on it.
-  void set_read_ahead(std::size_t window) noexcept { read_ahead_ = window; }
-  [[nodiscard]] std::size_t read_ahead() const noexcept { return read_ahead_; }
+  void set_read_ahead(std::size_t window) RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    read_ahead_ = window;
+  }
+  [[nodiscard]] std::size_t read_ahead() const RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return read_ahead_;
+  }
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -65,29 +81,44 @@ class BlockCache final : public core::BlockDevice {
                               static_cast<double>(total);
     }
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t cached_blocks() const noexcept {
+  /// Snapshot of the counters (by value: the counters keep moving).
+  [[nodiscard]] Stats stats() const RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return stats_;
+  }
+  [[nodiscard]] std::size_t cached_blocks() const RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return entries_.size();
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  void touch(storage::BlockId block);
-  void insert(storage::BlockId block, storage::BlockData data);
+  void touch_locked(storage::BlockId block) RELDEV_REQUIRES(mutex_);
+  void insert_locked(storage::BlockId block, storage::BlockData data)
+      RELDEV_REQUIRES(mutex_);
 
   core::BlockDevice* device_;  // non-owning
   std::size_t capacity_;
+  mutable Mutex mutex_;
   // LRU order: front = most recently used.
-  std::list<storage::BlockId> order_;
+  std::list<storage::BlockId> order_ RELDEV_GUARDED_BY(mutex_);
   struct Entry {
     storage::BlockData data;
     std::list<storage::BlockId>::iterator position;
   };
-  std::unordered_map<storage::BlockId, Entry> entries_;
-  Stats stats_;
-  std::size_t read_ahead_ = 0;       // prefetch window; 0 = off
-  storage::BlockId next_expected_ = 0;  // block that would continue the run
-  std::size_t run_ = 0;              // length of the current sequential run
+  std::unordered_map<storage::BlockId, Entry> entries_
+      RELDEV_GUARDED_BY(mutex_);
+  Stats stats_ RELDEV_GUARDED_BY(mutex_);
+  std::size_t read_ahead_ RELDEV_GUARDED_BY(mutex_) = 0;  // 0 = off
+  // Sequential-run detection state.
+  storage::BlockId next_expected_ RELDEV_GUARDED_BY(mutex_) = 0;
+  std::size_t run_ RELDEV_GUARDED_BY(mutex_) = 0;
+  // Bumped by every write-through insert and invalidation. A miss snapshots
+  // it before releasing the lock to fetch; if it moved by insert time the
+  // fetched bytes may predate a newer write, so they are returned to the
+  // caller but NOT cached — the stale-insert race of every drop-the-lock
+  // cache, closed conservatively.
+  std::uint64_t mutation_gen_ RELDEV_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace reldev::fs

@@ -42,25 +42,25 @@ class MiniFs {
   static Result<MiniFs> mount(core::BlockDevice& device);
 
   /// Create an empty file. kConflict if the name exists.
-  Status create(const std::string& name);
+  [[nodiscard]] Status create(const std::string& name);
 
   /// Remove a file and free its blocks. kNotFound if absent.
-  Status remove(const std::string& name);
+  [[nodiscard]] Status remove(const std::string& name);
 
   /// True if the file exists.
   [[nodiscard]] Result<bool> exists(const std::string& name) const;
 
   /// Full contents of a file.
-  Result<std::vector<std::byte>> read_file(const std::string& name) const;
+  [[nodiscard]] Result<std::vector<std::byte>> read_file(const std::string& name) const;
 
   /// Create-or-replace a file with the given contents.
-  Status write_file(const std::string& name,
+  [[nodiscard]] Status write_file(const std::string& name,
                     std::span<const std::byte> contents);
 
   /// All files, sorted by name.
-  Result<std::vector<FileInfo>> list() const;
+  [[nodiscard]] Result<std::vector<FileInfo>> list() const;
 
-  Result<FileInfo> stat(const std::string& name) const;
+  [[nodiscard]] Result<FileInfo> stat(const std::string& name) const;
 
   /// Free data blocks remaining.
   [[nodiscard]] Result<std::size_t> free_blocks() const;
@@ -86,15 +86,15 @@ class MiniFs {
          std::size_t data_start);
 
   [[nodiscard]] std::size_t inodes_per_block() const noexcept;
-  Result<Inode> load_inode(std::size_t index) const;
-  Status store_inode(std::size_t index, const Inode& inode);
+  [[nodiscard]] Result<Inode> load_inode(std::size_t index) const;
+  [[nodiscard]] Status store_inode(std::size_t index, const Inode& inode);
   /// Index of the inode with `name`, or kNotFound.
-  Result<std::size_t> find(const std::string& name) const;
+  [[nodiscard]] Result<std::size_t> find(const std::string& name) const;
   /// Index of a free inode slot, or kUnavailable when the table is full.
-  Result<std::size_t> find_free_slot() const;
+  [[nodiscard]] Result<std::size_t> find_free_slot() const;
 
-  Result<std::vector<bool>> load_bitmap() const;
-  Status store_bitmap(const std::vector<bool>& bitmap);
+  [[nodiscard]] Result<std::vector<bool>> load_bitmap() const;
+  [[nodiscard]] Status store_bitmap(const std::vector<bool>& bitmap);
 
   core::BlockDevice* device_;  // non-owning; the device outlives the FS
   std::size_t block_size_;

@@ -8,15 +8,11 @@ namespace reldev::net {
 
 namespace {
 
-std::mutex& shared_pool_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-std::unique_ptr<FanOut>& shared_pool_slot() {
-  static std::unique_ptr<FanOut> slot;
-  return slot;
-}
+// Guards the process-wide pool slot. Namespace-scope (not function-local)
+// statics so the GUARDED_BY relation is expressible; both are only touched
+// after main() starts, so dynamic-initialization order is irrelevant.
+Mutex g_shared_pool_mutex;
+std::unique_ptr<FanOut> g_shared_pool RELDEV_GUARDED_BY(g_shared_pool_mutex);
 
 }  // namespace
 
@@ -34,7 +30,7 @@ FanOut::FanOut(std::size_t threads) {
 
 FanOut::~FanOut() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -42,24 +38,22 @@ FanOut::~FanOut() {
 }
 
 FanOut& FanOut::shared() {
-  const std::lock_guard<std::mutex> lock(shared_pool_mutex());
-  auto& slot = shared_pool_slot();
-  if (!slot) slot = std::make_unique<FanOut>();
-  return *slot;
+  const MutexLock lock(g_shared_pool_mutex);
+  if (!g_shared_pool) g_shared_pool = std::make_unique<FanOut>();
+  return *g_shared_pool;
 }
 
 void FanOut::set_shared_thread_count(std::size_t threads) {
-  const std::lock_guard<std::mutex> lock(shared_pool_mutex());
-  auto& slot = shared_pool_slot();
+  const MutexLock lock(g_shared_pool_mutex);
   // Destroying the old pool drains its queue and joins its workers, so
   // every already-submitted task completes before the resize.
-  slot.reset();
-  slot = std::make_unique<FanOut>(threads);
+  g_shared_pool.reset();
+  g_shared_pool = std::make_unique<FanOut>(threads);
 }
 
 void FanOut::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -69,8 +63,8 @@ void FanOut::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();

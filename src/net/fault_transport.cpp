@@ -19,68 +19,68 @@ FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
     : inner_(inner), rng_(seed) {}
 
 void FaultInjectingTransport::set_default_rule(const FaultRule& rule) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   default_rule_ = rule;
 }
 
 void FaultInjectingTransport::set_link_rule(SiteId from, SiteId to,
                                             const FaultRule& rule) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   link_rules_[{from, to}] = rule;
 }
 
 FaultRule FaultInjectingTransport::link_rule(SiteId from, SiteId to) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return rule_for(from, to);
+  const MutexLock lock(mutex_);
+  return rule_for_locked(from, to);
 }
 
 void FaultInjectingTransport::clear_link_rule(SiteId from, SiteId to) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   link_rules_.erase({from, to});
 }
 
 void FaultInjectingTransport::block_link(SiteId from, SiteId to) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   link_rules_[{from, to}].blocked = true;
 }
 
 void FaultInjectingTransport::block_pair(SiteId a, SiteId b) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   link_rules_[{a, b}].blocked = true;
   link_rules_[{b, a}].blocked = true;
 }
 
 void FaultInjectingTransport::heal() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   link_rules_.clear();
   default_rule_ = FaultRule{};
 }
 
 void FaultInjectingTransport::reseed(std::uint64_t seed) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   rng_ = Rng(seed);
 }
 
 FaultStats FaultInjectingTransport::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 void FaultInjectingTransport::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stats_ = FaultStats{};
 }
 
-const FaultRule& FaultInjectingTransport::rule_for(SiteId from,
-                                                   SiteId to) const {
+const FaultRule& FaultInjectingTransport::rule_for_locked(
+    SiteId from, SiteId to) const {
   const auto it = link_rules_.find({from, to});
   return it == link_rules_.end() ? default_rule_ : it->second;
 }
 
 FaultInjectingTransport::Fate FaultInjectingTransport::decide(SiteId from,
                                                               SiteId to) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const FaultRule& rule = rule_for(from, to);
+  const MutexLock lock(mutex_);
+  const FaultRule& rule = rule_for_locked(from, to);
   Fate fate;
   fate.delay = rule.delay;
   if (rule.blocked) {

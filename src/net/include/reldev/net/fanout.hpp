@@ -7,13 +7,13 @@
 // itself or by a shared_ptr it captures.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::net {
 
@@ -47,19 +47,21 @@ class FanOut {
 
   /// Enqueue a task. Never blocks; tasks run in submission order as workers
   /// free up.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) RELDEV_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
  private:
-  void worker_loop();
+  void worker_loop() RELDEV_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RELDEV_GUARDED_BY(mutex_);
+  bool stopping_ RELDEV_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor; joined by the destructor after the
+  // workers have been told to stop — no guard needed.
   std::vector<std::thread> workers_;
 };
 

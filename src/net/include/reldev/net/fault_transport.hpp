@@ -27,11 +27,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "reldev/net/transport.hpp"
 #include "reldev/util/rng.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::net {
 
@@ -71,34 +71,36 @@ class FaultInjectingTransport final : public Transport {
   // --- runtime control handle (thread-safe, usable mid-scenario) ----------
 
   /// Rule applied to links with no per-link rule.
-  void set_default_rule(const FaultRule& rule);
+  void set_default_rule(const FaultRule& rule) RELDEV_EXCLUDES(mutex_);
   /// Rule for the directed link from -> to (replaces any previous rule).
-  void set_link_rule(SiteId from, SiteId to, const FaultRule& rule);
+  void set_link_rule(SiteId from, SiteId to, const FaultRule& rule)
+      RELDEV_EXCLUDES(mutex_);
   /// Current effective rule for the link (the per-link rule, else the
   /// default) — read-modify-write this to adjust one fault dimension.
-  [[nodiscard]] FaultRule link_rule(SiteId from, SiteId to) const;
+  [[nodiscard]] FaultRule link_rule(SiteId from, SiteId to) const
+      RELDEV_EXCLUDES(mutex_);
   /// Remove the per-link rule (the link falls back to the default rule).
-  void clear_link_rule(SiteId from, SiteId to);
+  void clear_link_rule(SiteId from, SiteId to) RELDEV_EXCLUDES(mutex_);
   /// One-way partition: nothing crosses from -> to (replies of calls made
   /// by `to` toward `from` still flow — it is the forward path that dies).
-  void block_link(SiteId from, SiteId to);
+  void block_link(SiteId from, SiteId to) RELDEV_EXCLUDES(mutex_);
   /// Two-way partition between a pair of sites.
-  void block_pair(SiteId a, SiteId b);
+  void block_pair(SiteId a, SiteId b) RELDEV_EXCLUDES(mutex_);
   /// Clear every rule, default included: the network is whole again.
-  void heal();
+  void heal() RELDEV_EXCLUDES(mutex_);
   /// Restart the fault schedule from a fresh seed.
-  void reseed(std::uint64_t seed);
+  void reseed(std::uint64_t seed) RELDEV_EXCLUDES(mutex_);
 
-  [[nodiscard]] FaultStats stats() const;
-  void reset_stats();
+  [[nodiscard]] FaultStats stats() const RELDEV_EXCLUDES(mutex_);
+  void reset_stats() RELDEV_EXCLUDES(mutex_);
 
   [[nodiscard]] Transport& inner() noexcept { return inner_; }
 
   using Transport::multicast_call;
 
-  Result<Message> call(SiteId from, SiteId to, const Message& request) override;
-  Status send(SiteId from, SiteId to, const Message& message) override;
-  Status multicast(SiteId from, const SiteSet& to,
+  [[nodiscard]] Result<Message> call(SiteId from, SiteId to, const Message& request) override;
+  [[nodiscard]] Status send(SiteId from, SiteId to, const Message& message) override;
+  [[nodiscard]] Status multicast(SiteId from, const SiteSet& to,
                    const Message& message) override;
   std::vector<GatherReply> multicast_call(
       SiteId from, const SiteSet& to, const Message& request,
@@ -120,17 +122,21 @@ class FaultInjectingTransport final : public Transport {
     std::chrono::milliseconds delay{0};
   };
 
-  /// Draws a fate for one traversal; updates stats. Takes the lock.
-  Fate decide(SiteId from, SiteId to);
-  [[nodiscard]] const FaultRule& rule_for(SiteId from, SiteId to) const;
+  /// Draws a fate for one traversal; updates stats. Takes the lock. The
+  /// injected delay is slept OUTSIDE the lock (in apply_delay) so a slow
+  /// link never stalls fate decisions for other links.
+  Fate decide(SiteId from, SiteId to) RELDEV_EXCLUDES(mutex_);
+  [[nodiscard]] const FaultRule& rule_for_locked(SiteId from, SiteId to) const
+      RELDEV_REQUIRES(mutex_);
   static void apply_delay(const Fate& fate);
 
   Transport& inner_;
-  mutable std::mutex mutex_;
-  Rng rng_;
-  FaultRule default_rule_;
-  std::map<std::pair<SiteId, SiteId>, FaultRule> link_rules_;
-  FaultStats stats_;
+  mutable Mutex mutex_;
+  Rng rng_ RELDEV_GUARDED_BY(mutex_);
+  FaultRule default_rule_ RELDEV_GUARDED_BY(mutex_);
+  std::map<std::pair<SiteId, SiteId>, FaultRule> link_rules_
+      RELDEV_GUARDED_BY(mutex_);
+  FaultStats stats_ RELDEV_GUARDED_BY(mutex_);
 };
 
 }  // namespace reldev::net

@@ -39,9 +39,9 @@ class InProcTransport final : public Transport {
 
   using Transport::multicast_call;
 
-  Result<Message> call(SiteId from, SiteId to, const Message& request) override;
-  Status send(SiteId from, SiteId to, const Message& message) override;
-  Status multicast(SiteId from, const SiteSet& to,
+  [[nodiscard]] Result<Message> call(SiteId from, SiteId to, const Message& request) override;
+  [[nodiscard]] Status send(SiteId from, SiteId to, const Message& message) override;
+  [[nodiscard]] Status multicast(SiteId from, const SiteSet& to,
                    const Message& message) override;
   /// Synchronous model of the parallel gather: once `early_stop` is
   /// satisfied the remaining reachable members still handle the request

@@ -16,10 +16,10 @@ namespace reldev::net::tcp {
 /// small enough to stop a corrupt length field from allocating gigabytes.
 inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
 
-Status write_frame(Socket& socket, std::span<const std::byte> payload);
+[[nodiscard]] Status write_frame(Socket& socket, std::span<const std::byte> payload);
 
 /// Reads one frame. kUnavailable on orderly EOF at a frame boundary;
 /// kCorruption on bad magic/CRC; kProtocol on oversized length.
-Result<std::vector<std::byte>> read_frame(Socket& socket);
+[[nodiscard]] Result<std::vector<std::byte>> read_frame(Socket& socket);
 
 }  // namespace reldev::net::tcp

@@ -43,12 +43,12 @@ class Socket {
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
   /// Write the whole buffer or fail.
-  Status write_all(std::span<const std::byte> data);
+  [[nodiscard]] Status write_all(std::span<const std::byte> data);
 
   /// Read exactly `data.size()` bytes or fail (EOF mid-read is an error;
   /// EOF before the first byte is reported as kUnavailable so callers can
   /// treat orderly peer shutdown distinctly).
-  Status read_exact(std::span<std::byte> data);
+  [[nodiscard]] Status read_exact(std::span<std::byte> data);
 
   /// Shut down both directions without closing the descriptor: wakes any
   /// thread blocked in read on this socket. Safe to call concurrently with
@@ -78,7 +78,7 @@ class Acceptor {
 
   /// Block until a connection arrives. Fails with kUnavailable after
   /// shutdown() is called from another thread.
-  Result<Socket> accept();
+  [[nodiscard]] Result<Socket> accept();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }

@@ -11,17 +11,17 @@
 // are still metered.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "reldev/net/fanout.hpp"
 #include "reldev/net/tcp/framing.hpp"
 #include "reldev/net/transport.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::net::tcp {
 
@@ -45,26 +45,29 @@ class TcpChannel {
   /// Retrying a possibly-executed request is the caller's decision (see
   /// core::RetryPolicy). Deadline overruns are kUnavailable; a CRC-
   /// rejected reply is the typed kCorruption.
-  Result<Message> call(const Message& request);
+  [[nodiscard]] Result<Message> call(const Message& request);
 
   /// Drop all idle pooled connections (next calls reconnect). Calls in
   /// flight keep their sockets.
-  void disconnect();
+  void disconnect() RELDEV_EXCLUDES(mutex_);
 
-  void set_timeout(std::chrono::milliseconds timeout);
-  [[nodiscard]] std::chrono::milliseconds timeout() const;
+  void set_timeout(std::chrono::milliseconds timeout) RELDEV_EXCLUDES(mutex_);
+  [[nodiscard]] std::chrono::milliseconds timeout() const
+      RELDEV_EXCLUDES(mutex_);
 
  private:
   /// Pop an idle pooled socket, or connect a fresh one within `remaining`.
-  /// `pooled` reports which happened (pooled sockets may be stale).
-  Result<Socket> acquire(bool& pooled, std::chrono::milliseconds remaining);
-  void release(Socket socket);
+  /// `pooled` reports which happened (pooled sockets may be stale). The
+  /// connect itself runs outside the lock — only the pool is guarded.
+  [[nodiscard]] Result<Socket> acquire(bool& pooled, std::chrono::milliseconds remaining)
+      RELDEV_EXCLUDES(mutex_);
+  void release(Socket socket) RELDEV_EXCLUDES(mutex_);
 
   std::string host_;
   std::uint16_t port_;
-  mutable std::mutex mutex_;
-  std::chrono::milliseconds timeout_;
-  std::vector<Socket> idle_;
+  mutable Mutex mutex_;
+  std::chrono::milliseconds timeout_ RELDEV_GUARDED_BY(mutex_);
+  std::vector<Socket> idle_ RELDEV_GUARDED_BY(mutex_);
 };
 
 /// Transport over per-site TCP channels. Always unique addressing: real
@@ -79,43 +82,50 @@ class TcpPeerTransport final : public Transport {
   /// stragglers) before destroying the channels they use.
   ~TcpPeerTransport() override;
 
-  void set_endpoint(SiteId site, const std::string& host, std::uint16_t port);
-  void remove_endpoint(SiteId site);
+  void set_endpoint(SiteId site, const std::string& host, std::uint16_t port)
+      RELDEV_EXCLUDES(mutex_);
+  void remove_endpoint(SiteId site) RELDEV_EXCLUDES(mutex_);
 
   /// Per-call deadline applied to every channel (existing and future).
-  void set_call_timeout(std::chrono::milliseconds timeout);
+  void set_call_timeout(std::chrono::milliseconds timeout)
+      RELDEV_EXCLUDES(mutex_);
 
   /// The meter must outlive this transport: straggler replies are counted
-  /// from worker threads until the destructor has drained them.
-  void set_traffic_meter(TrafficMeter* meter) noexcept { meter_ = meter; }
+  /// from worker threads until the destructor has drained them. Atomic —
+  /// fan-out workers read it concurrently with this setter.
+  void set_traffic_meter(TrafficMeter* meter) noexcept {
+    meter_.store(meter, std::memory_order_release);
+  }
 
   using Transport::multicast_call;
 
-  Result<Message> call(SiteId from, SiteId to, const Message& request) override;
-  Status send(SiteId from, SiteId to, const Message& message) override;
-  Status multicast(SiteId from, const SiteSet& to,
+  [[nodiscard]] Result<Message> call(SiteId from, SiteId to, const Message& request) override;
+  [[nodiscard]] Status send(SiteId from, SiteId to, const Message& message) override;
+  [[nodiscard]] Status multicast(SiteId from, const SiteSet& to,
                    const Message& message) override;
   std::vector<GatherReply> multicast_call(SiteId from, const SiteSet& to,
                                           const Message& request,
                                           const EarlyStop& early_stop) override;
 
  private:
-  std::shared_ptr<TcpChannel> channel(SiteId site);
+  std::shared_ptr<TcpChannel> channel(SiteId site) RELDEV_EXCLUDES(mutex_);
   void count(std::uint64_t transmissions) const;
   /// Channels for every member of `to` except `from` that has an endpoint.
   std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>> channels_for(
-      SiteId from, const SiteSet& to);
+      SiteId from, const SiteSet& to) RELDEV_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::map<SiteId, std::shared_ptr<TcpChannel>> channels_;
-  std::chrono::milliseconds call_timeout_{kDefaultCallTimeout};
-  TrafficMeter* meter_ = nullptr;
+  Mutex mutex_;
+  std::map<SiteId, std::shared_ptr<TcpChannel>> channels_
+      RELDEV_GUARDED_BY(mutex_);
+  std::chrono::milliseconds call_timeout_ RELDEV_GUARDED_BY(mutex_){
+      kDefaultCallTimeout};
+  std::atomic<TrafficMeter*> meter_{nullptr};
 
   // Outstanding fan-out tasks; the destructor blocks until zero so no task
   // can touch a dead channel or meter.
-  std::mutex outstanding_mutex_;
-  std::condition_variable outstanding_cv_;
-  std::size_t outstanding_ = 0;
+  Mutex outstanding_mutex_ RELDEV_ACQUIRED_AFTER(mutex_);
+  CondVar outstanding_cv_;
+  std::size_t outstanding_ RELDEV_GUARDED_BY(outstanding_mutex_) = 0;
 };
 
 }  // namespace reldev::net::tcp

@@ -8,12 +8,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "reldev/net/tcp/framing.hpp"
 #include "reldev/net/transport.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::net::tcp {
 
@@ -51,17 +51,17 @@ class TcpServer {
   }
 
   /// Stop accepting, close all connections, join all threads.
-  void stop();
+  void stop() RELDEV_EXCLUDES(mutex_);
 
  private:
   TcpServer(Acceptor acceptor, MessageHandler* handler);
-  void accept_loop();
+  void accept_loop() RELDEV_EXCLUDES(mutex_);
   void serve_connection(const std::shared_ptr<Socket>& socket);
   /// Join workers whose connections have closed. A worker cannot join
   /// itself, so it parks its id in `finished_` and the accept thread (or
   /// stop()) joins it — keeping the worker map bounded by the number of
   /// *live* connections instead of growing for the server's lifetime.
-  void reap_finished();
+  void reap_finished() RELDEV_EXCLUDES(mutex_);
 
   Acceptor acceptor_;
   MessageHandler* handler_;
@@ -70,13 +70,14 @@ class TcpServer {
   std::atomic<std::uint64_t> rejected_frames_{0};
   std::atomic<std::uint64_t> served_frames_{0};
   std::thread accept_thread_;
-  std::mutex mutex_;
-  std::uint64_t next_worker_id_ = 0;
-  std::map<std::uint64_t, std::thread> workers_;
-  std::vector<std::uint64_t> finished_;
+  Mutex mutex_;
+  std::uint64_t next_worker_id_ RELDEV_GUARDED_BY(mutex_) = 0;
+  std::map<std::uint64_t, std::thread> workers_ RELDEV_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> finished_ RELDEV_GUARDED_BY(mutex_);
   // Live connection sockets, shut down by stop() so workers blocked in
   // recv() wake up and exit.
-  std::map<std::uint64_t, std::shared_ptr<Socket>> connections_;
+  std::map<std::uint64_t, std::shared_ptr<Socket>> connections_
+      RELDEV_GUARDED_BY(mutex_);
 };
 
 }  // namespace reldev::net::tcp

@@ -43,16 +43,16 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Request/reply to one site. kUnavailable if it cannot be reached.
-  virtual Result<Message> call(SiteId from, SiteId to,
+  [[nodiscard]] virtual Result<Message> call(SiteId from, SiteId to,
                                const Message& request) = 0;
 
   /// Fire-and-forget to one site. Delivery to a down site is silently
   /// dropped (reliable delivery is assumed only between live sites).
-  virtual Status send(SiteId from, SiteId to, const Message& message) = 0;
+  [[nodiscard]] virtual Status send(SiteId from, SiteId to, const Message& message) = 0;
 
   /// Fire-and-forget to a set of sites (the coordinator excluded by the
   /// caller). One transmission in multicast mode; |to| in unique mode.
-  virtual Status multicast(SiteId from, const SiteSet& to,
+  [[nodiscard]] virtual Status multicast(SiteId from, const SiteSet& to,
                            const Message& message) = 0;
 
   /// Scatter the request to `to`, gather replies until `early_stop` is

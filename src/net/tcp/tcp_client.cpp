@@ -25,24 +25,24 @@ TcpChannel::TcpChannel(std::string host, std::uint16_t port,
     : host_(std::move(host)), port_(port), timeout_(timeout) {}
 
 void TcpChannel::set_timeout(std::chrono::milliseconds timeout) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   timeout_ = timeout;
 }
 
 std::chrono::milliseconds TcpChannel::timeout() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return timeout_;
 }
 
 void TcpChannel::disconnect() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   idle_.clear();
 }
 
 Result<Socket> TcpChannel::acquire(bool& pooled,
                                    std::chrono::milliseconds remaining) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (!idle_.empty()) {
       Socket socket = std::move(idle_.back());
       idle_.pop_back();
@@ -56,7 +56,7 @@ Result<Socket> TcpChannel::acquire(bool& pooled,
 
 void TcpChannel::release(Socket socket) {
   if (!socket.valid()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (idle_.size() < kMaxIdlePerEndpoint) idle_.push_back(std::move(socket));
 }
 
@@ -111,29 +111,29 @@ Result<Message> TcpChannel::call(const Message& request) {
 }
 
 TcpPeerTransport::~TcpPeerTransport() {
-  std::unique_lock<std::mutex> lock(outstanding_mutex_);
-  outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  const MutexLock lock(outstanding_mutex_);
+  while (outstanding_ != 0) outstanding_cv_.wait(outstanding_mutex_);
 }
 
 void TcpPeerTransport::set_endpoint(SiteId site, const std::string& host,
                                     std::uint16_t port) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   channels_[site] = std::make_shared<TcpChannel>(host, port, call_timeout_);
 }
 
 void TcpPeerTransport::remove_endpoint(SiteId site) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   channels_.erase(site);
 }
 
 void TcpPeerTransport::set_call_timeout(std::chrono::milliseconds timeout) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   call_timeout_ = timeout;
   for (auto& [site, channel] : channels_) channel->set_timeout(timeout);
 }
 
 std::shared_ptr<TcpChannel> TcpPeerTransport::channel(SiteId site) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = channels_.find(site);
   return it == channels_.end() ? nullptr : it->second;
 }
@@ -141,7 +141,7 @@ std::shared_ptr<TcpChannel> TcpPeerTransport::channel(SiteId site) {
 std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>>
 TcpPeerTransport::channels_for(SiteId from, const SiteSet& to) {
   std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>> targets;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const SiteId dest : to) {
     if (dest == from) continue;
     auto it = channels_.find(dest);
@@ -152,7 +152,8 @@ TcpPeerTransport::channels_for(SiteId from, const SiteSet& to) {
 }
 
 void TcpPeerTransport::count(std::uint64_t transmissions) const {
-  if (meter_ != nullptr) meter_->add(transmissions);
+  TrafficMeter* const meter = meter_.load(std::memory_order_acquire);
+  if (meter != nullptr) meter->add(transmissions);
 }
 
 Result<Message> TcpPeerTransport::call(SiteId /*from*/, SiteId to,
@@ -188,11 +189,11 @@ std::vector<GatherReply> TcpPeerTransport::multicast_call(
     SiteId from, const SiteSet& to, const Message& request,
     const EarlyStop& early_stop) {
   struct GatherState {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::vector<GatherReply> replies;
-    std::size_t pending = 0;
-    bool stopped = false;
+    Mutex mutex;
+    CondVar cv;
+    std::vector<GatherReply> replies RELDEV_GUARDED_BY(mutex);
+    std::size_t pending RELDEV_GUARDED_BY(mutex) = 0;
+    bool stopped RELDEV_GUARDED_BY(mutex) = false;
   };
 
   auto targets = channels_for(from, to);
@@ -204,11 +205,11 @@ std::vector<GatherReply> TcpPeerTransport::multicast_call(
   auto state = std::make_shared<GatherState>();
   state->pending = targets.size();
   auto shared_request = std::make_shared<const Message>(request);
-  TrafficMeter* const meter = meter_;
+  TrafficMeter* const meter = meter_.load(std::memory_order_acquire);
   const OpKind kind = meter != nullptr ? meter->current_op() : OpKind::kOther;
 
   {
-    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    const MutexLock lock(outstanding_mutex_);
     outstanding_ += targets.size();
   }
   count(targets.size());  // one request transmission per addressed peer
@@ -221,7 +222,7 @@ std::vector<GatherReply> TcpPeerTransport::multicast_call(
           // straggler's answer crossed the network either way.
           if (reply.is_ok() && meter != nullptr) meter->add_for(kind, 1);
           {
-            const std::lock_guard<std::mutex> lock(state->mutex);
+            const MutexLock lock(state->mutex);
             if (reply.is_ok() && !state->stopped) {
               state->replies.emplace_back(site, std::move(reply).value());
             }
@@ -231,7 +232,7 @@ std::vector<GatherReply> TcpPeerTransport::multicast_call(
           // Last action: release the outstanding slot. The notify happens
           // under the lock so ~TcpPeerTransport cannot resume (and free
           // `this`) before this task is fully done with it.
-          const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+          const MutexLock lock(outstanding_mutex_);
           --outstanding_;
           outstanding_cv_.notify_all();
         });
@@ -239,11 +240,11 @@ std::vector<GatherReply> TcpPeerTransport::multicast_call(
 
   std::vector<GatherReply> gathered;
   {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&] {
-      return state->pending == 0 ||
-             (early_stop && early_stop(state->replies));
-    });
+    const MutexLock lock(state->mutex);
+    while (state->pending != 0 &&
+           !(early_stop && early_stop(state->replies))) {
+      state->cv.wait(state->mutex);
+    }
     state->stopped = true;
     gathered = std::move(state->replies);
   }

@@ -31,7 +31,7 @@ void TcpServer::stop() {
   acceptor_.close();
   std::map<std::uint64_t, std::thread> workers;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     // Wake every worker blocked in recv() on a live connection.
     for (const auto& [id, connection] : connections_) connection->shutdown();
     workers.swap(workers_);
@@ -40,14 +40,14 @@ void TcpServer::stop() {
   for (auto& [id, worker] : workers) {
     if (worker.joinable()) worker.join();
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   connections_.clear();
 }
 
 void TcpServer::reap_finished() {
   std::vector<std::thread> done;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     done.reserve(finished_.size());
     for (const std::uint64_t id : finished_) {
       auto it = workers_.find(id);
@@ -73,13 +73,13 @@ void TcpServer::accept_loop() {
       break;
     }
     auto connection = std::make_shared<Socket>(std::move(socket).value());
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_.load()) break;
     const std::uint64_t id = next_worker_id_++;
     connections_.emplace(id, connection);
     workers_.emplace(id, std::thread([this, id, connection] {
                        serve_connection(connection);
-                       const std::lock_guard<std::mutex> done_lock(mutex_);
+                       const MutexLock done_lock(mutex_);
                        connections_.erase(id);
                        finished_.push_back(id);
                      }));

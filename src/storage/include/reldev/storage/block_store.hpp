@@ -21,15 +21,15 @@ class BlockStore {
   [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;
 
   /// Read one block's payload and version.
-  virtual Result<VersionedBlock> read(BlockId block) const = 0;
+  [[nodiscard]] virtual Result<VersionedBlock> read(BlockId block) const = 0;
 
   /// Write one block's payload, stamping it with `version`. The payload
   /// must be exactly block_size() bytes.
-  virtual Status write(BlockId block, std::span<const std::byte> data,
+  [[nodiscard]] virtual Status write(BlockId block, std::span<const std::byte> data,
                        VersionNumber version) = 0;
 
   /// The version of one block without reading its payload.
-  virtual Result<VersionNumber> version_of(BlockId block) const = 0;
+  [[nodiscard]] virtual Result<VersionNumber> version_of(BlockId block) const = 0;
 
   /// Snapshot of all block versions (the vector v of §3.2).
   [[nodiscard]] virtual VersionVector version_vector() const = 0;
@@ -37,13 +37,13 @@ class BlockStore {
   /// Opaque site metadata (state flags, was-available set). Persistent
   /// stores keep this across reopen; the in-memory store keeps it for
   /// interface parity.
-  virtual Status put_metadata(std::span<const std::byte> blob) = 0;
+  [[nodiscard]] virtual Status put_metadata(std::span<const std::byte> blob) = 0;
   [[nodiscard]] virtual Result<std::vector<std::byte>> get_metadata() const = 0;
 
  protected:
   /// Shared argument validation for implementations.
-  Status check_write(BlockId block, std::span<const std::byte> data) const;
-  Status check_block(BlockId block) const;
+  [[nodiscard]] Status check_write(BlockId block, std::span<const std::byte> data) const;
+  [[nodiscard]] Status check_block(BlockId block) const;
 };
 
 }  // namespace reldev::storage

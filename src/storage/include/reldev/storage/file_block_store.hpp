@@ -33,17 +33,17 @@ class FileBlockStore final : public BlockStore {
     return block_size_;
   }
 
-  Result<VersionedBlock> read(BlockId block) const override;
-  Status write(BlockId block, std::span<const std::byte> data,
+  [[nodiscard]] Result<VersionedBlock> read(BlockId block) const override;
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data,
                VersionNumber version) override;
-  Result<VersionNumber> version_of(BlockId block) const override;
+  [[nodiscard]] Result<VersionNumber> version_of(BlockId block) const override;
   [[nodiscard]] VersionVector version_vector() const override;
 
-  Status put_metadata(std::span<const std::byte> blob) override;
+  [[nodiscard]] Status put_metadata(std::span<const std::byte> blob) override;
   [[nodiscard]] Result<std::vector<std::byte>> get_metadata() const override;
 
   /// Flush buffered writes to the OS.
-  Status sync();
+  [[nodiscard]] Status sync();
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -55,7 +55,7 @@ class FileBlockStore final : public BlockStore {
                  std::size_t block_size);
 
   [[nodiscard]] long block_offset(BlockId block) const noexcept;
-  Status load_versions();
+  [[nodiscard]] Status load_versions();
 
   std::string path_;
   std::FILE* file_;  // owned; closed in destructor

@@ -19,13 +19,13 @@ class MemBlockStore final : public BlockStore {
     return block_size_;
   }
 
-  Result<VersionedBlock> read(BlockId block) const override;
-  Status write(BlockId block, std::span<const std::byte> data,
+  [[nodiscard]] Result<VersionedBlock> read(BlockId block) const override;
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data,
                VersionNumber version) override;
-  Result<VersionNumber> version_of(BlockId block) const override;
+  [[nodiscard]] Result<VersionNumber> version_of(BlockId block) const override;
   [[nodiscard]] VersionVector version_vector() const override;
 
-  Status put_metadata(std::span<const std::byte> blob) override;
+  [[nodiscard]] Status put_metadata(std::span<const std::byte> blob) override;
   [[nodiscard]] Result<std::vector<std::byte>> get_metadata() const override;
 
   /// Test hook: wipe all data and versions, as if the disk were replaced.

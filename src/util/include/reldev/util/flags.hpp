@@ -25,7 +25,7 @@ class FlagSet {
 
   /// Parses argv; unknown flags or malformed values are errors. Leftover
   /// positional arguments are collected in positional().
-  Status parse(int argc, const char* const* argv);
+  [[nodiscard]] Status parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
@@ -46,7 +46,7 @@ class FlagSet {
     std::string help;
   };
 
-  Status set_from_text(const std::string& name, const std::string& text);
+  [[nodiscard]] Status set_from_text(const std::string& name, const std::string& text);
 
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;

@@ -3,10 +3,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
+
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev {
 
@@ -30,17 +31,17 @@ class Logger {
   }
 
   /// Redirect output (tests). Pass nullptr to restore stderr.
-  void set_sink(std::ostream* sink);
+  void set_sink(std::ostream* sink) RELDEV_EXCLUDES(mutex_);
 
   /// Emit one formatted line: "[level] component: message".
   void write(LogLevel level, const std::string& component,
-             const std::string& message);
+             const std::string& message) RELDEV_EXCLUDES(mutex_);
 
  private:
   Logger();
   std::atomic<int> level_;
-  std::mutex mutex_;
-  std::ostream* sink_;  // not owned
+  Mutex mutex_;
+  std::ostream* sink_ RELDEV_GUARDED_BY(mutex_);  // not owned
 };
 
 namespace detail {

@@ -53,21 +53,21 @@ class BufferReader {
  public:
   explicit BufferReader(std::span<const std::byte> data) : data_(data) {}
 
-  Result<std::uint8_t> get_u8();
-  Result<std::uint16_t> get_u16();
-  Result<std::uint32_t> get_u32();
-  Result<std::uint64_t> get_u64();
-  Result<std::int64_t> get_i64();
-  Result<double> get_f64();
-  Result<bool> get_bool();
+  [[nodiscard]] Result<std::uint8_t> get_u8();
+  [[nodiscard]] Result<std::uint16_t> get_u16();
+  [[nodiscard]] Result<std::uint32_t> get_u32();
+  [[nodiscard]] Result<std::uint64_t> get_u64();
+  [[nodiscard]] Result<std::int64_t> get_i64();
+  [[nodiscard]] Result<double> get_f64();
+  [[nodiscard]] Result<bool> get_bool();
 
-  Result<std::vector<std::byte>> get_bytes();
-  Result<std::string> get_string();
+  [[nodiscard]] Result<std::vector<std::byte>> get_bytes();
+  [[nodiscard]] Result<std::string> get_string();
 
   /// Exactly `size` raw bytes (no length prefix).
-  Result<std::vector<std::byte>> get_raw(std::size_t size);
+  [[nodiscard]] Result<std::vector<std::byte>> get_raw(std::size_t size);
 
-  Result<std::vector<std::uint64_t>> get_u64_vector();
+  [[nodiscard]] Result<std::vector<std::uint64_t>> get_u64_vector();
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - offset_;
@@ -75,7 +75,7 @@ class BufferReader {
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
 
  private:
-  Status need(std::size_t count) const;
+  [[nodiscard]] Status need(std::size_t count) const;
 
   std::span<const std::byte> data_;
   std::size_t offset_ = 0;

@@ -31,14 +31,14 @@ Logger::Logger()
     : level_(static_cast<int>(LogLevel::kWarn)), sink_(&std::cerr) {}
 
 void Logger::set_sink(std::ostream* sink) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   sink_ = sink != nullptr ? sink : &std::cerr;
 }
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   if (!enabled(level)) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   (*sink_) << '[' << log_level_name(level) << "] " << component << ": "
            << message << '\n';
   sink_->flush();

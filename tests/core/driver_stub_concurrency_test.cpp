@@ -1,0 +1,186 @@
+// Concurrent use of one DriverStub: the stub's retry bookkeeping (policy,
+// jitter stream, sticky-scan cursor, failure detail) is mutex-guarded, but
+// transport calls and backoff sleeps run unlocked, so operations from many
+// user processes proceed in parallel — the paper's Figure 1 has several
+// processes sharing one device driver. Runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reldev/core/driver_stub.hpp"
+#include "reldev/core/group.hpp"
+#include "reldev/net/transport.hpp"
+#include "reldev/util/thread_annotations.hpp"
+
+namespace reldev::core {
+namespace {
+
+constexpr SiteId kClientId = 100;
+
+storage::BlockData payload(std::size_t size, std::uint8_t seed) {
+  return storage::BlockData(size, static_cast<std::byte>(seed));
+}
+
+/// Serializes a transport (and, via exclusive(), group administration)
+/// behind one mutex. The in-process replicas are single-threaded engines —
+/// in a real deployment each site is its own process and the TCP server
+/// serializes per connection — so concurrent stub threads must not enter
+/// them simultaneously. The DriverStub under test stays fully concurrent;
+/// only the fake "network" is serialized.
+class SerializingTransport final : public net::Transport {
+ public:
+  explicit SerializingTransport(net::Transport& inner) : inner_(inner) {}
+
+  [[nodiscard]] Result<net::Message> call(SiteId from, SiteId to,
+                                          const net::Message& request) override
+      RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return inner_.call(from, to, request);
+  }
+  [[nodiscard]] Status send(SiteId from, SiteId to,
+                            const net::Message& message) override
+      RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return inner_.send(from, to, message);
+  }
+  [[nodiscard]] Status multicast(SiteId from, const net::SiteSet& to,
+                                 const net::Message& message) override
+      RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return inner_.multicast(from, to, message);
+  }
+  std::vector<net::GatherReply> multicast_call(
+      SiteId from, const net::SiteSet& to, const net::Message& request,
+      const net::EarlyStop& early_stop) override RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return inner_.multicast_call(from, to, request, early_stop);
+  }
+
+  /// Run group administration (crashes, recoveries) mutually excluded
+  /// with in-flight calls.
+  template <typename Fn>
+  void exclusive(Fn&& fn) RELDEV_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    fn();
+  }
+
+ private:
+  Mutex mutex_;
+  net::Transport& inner_;
+};
+
+class DriverStubConcurrencyTest : public ::testing::Test {
+ protected:
+  DriverStubConcurrencyTest()
+      : group_(SchemeKind::kAvailableCopy, GroupConfig::majority(3, 16, 64)),
+        transport_(group_.transport()) {}
+  ReplicaGroup group_;
+  SerializingTransport transport_;
+};
+
+TEST_F(DriverStubConcurrencyTest, ParallelOperationsOnDistinctBlocks) {
+  auto stub =
+      DriverStub::connect(transport_, kClientId, {0, 1, 2}).value();
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns its block, so its read must always see its own
+      // last write regardless of interleaving with the other threads.
+      const auto block = static_cast<storage::BlockId>(t);
+      const auto data = payload(64, static_cast<std::uint8_t>(0x10 + t));
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        if (!stub.write_block(block, data).is_ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto read = stub.read_block(block);
+        if (!read.is_ok() || read.value() != data) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The bookkeeping settled on a valid server.
+  EXPECT_LT(stub.last_server(), 3u);
+}
+
+TEST_F(DriverStubConcurrencyTest, PolicyUpdatesRaceSafelyWithOperations) {
+  auto stub =
+      DriverStub::connect(transport_, kClientId, {0, 1, 2}).value();
+  const auto data = payload(64, 0x77);
+  ASSERT_TRUE(stub.write_block(0, data).is_ok());
+
+  RetryPolicy fast;
+  fast.max_rounds = 2;
+  fast.initial_backoff = std::chrono::milliseconds{1};
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread tuner([&] {
+    // Toggle the policy and poll the accessors while operations run:
+    // every accessor returns a coherent snapshot, never a half-written
+    // struct (TSan would flag the old unguarded layout here).
+    bool use_fast = true;
+    while (!done.load()) {
+      stub.set_retry_policy(use_fast ? fast : RetryPolicy{});
+      use_fast = !use_fast;
+      const auto policy = stub.retry_policy();
+      if (policy.max_rounds != 2 && policy.max_rounds != 3) {
+        failures.fetch_add(1);
+      }
+      (void)stub.last_failure();
+      (void)stub.last_server();
+    }
+  });
+  for (int round = 0; round < 60; ++round) {
+    auto read = stub.read_block(0);
+    if (!read.is_ok() || read.value() != data) failures.fetch_add(1);
+  }
+  done.store(true);
+  tuner.join();
+
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(DriverStubConcurrencyTest, ConcurrentFailoverKeepsServing) {
+  auto stub =
+      DriverStub::connect(transport_, kClientId, {0, 1, 2}).value();
+  const auto data = payload(64, 0x33);
+  ASSERT_TRUE(stub.write_block(5, data).is_ok());
+
+  // Crash the sticky server while readers are mid-stream: every reader
+  // either rides the failover to another available copy or (briefly)
+  // observes kUnavailable — never a wrong answer.
+  constexpr int kThreads = 3;
+  std::atomic<int> wrong{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < 40; ++round) {
+        auto read = stub.read_block(5);
+        if (read.is_ok()) {
+          served.fetch_add(1);
+          if (read.value() != data) wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  transport_.exclusive([&] { group_.crash_site(0); });
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(served.load(), 0);
+}
+
+}  // namespace
+}  // namespace reldev::core

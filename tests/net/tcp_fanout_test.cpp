@@ -164,6 +164,88 @@ TEST(TcpFanOutTest, ChannelPoolReusesConnections) {
   EXPECT_EQ(handler.calls.load(), 20);
 }
 
+TEST(TcpFanOutTest, MeterSwapDuringConcurrentCallsLosesNoCounts) {
+  // Regression: meter_ was a plain pointer, so set_traffic_meter racing
+  // with the count() reads in concurrent call()s was a data race (TSan
+  // catches the old code on this very test). With the atomic, every
+  // transmission lands in whichever meter was installed at count time —
+  // the sum across both meters must be exact.
+  DelayHandler handler(1ms);
+  auto server = TcpServer::start(0, &handler).value();
+  TcpPeerTransport transport;
+  transport.set_endpoint(1, "127.0.0.1", server->port());
+
+  TrafficMeter meter_a;
+  TrafficMeter meter_b;
+  transport.set_traffic_meter(&meter_a);
+
+  constexpr int kCallers = 4;
+  constexpr int kCallsPerCaller = 25;
+  std::atomic<bool> done{false};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&] {
+      for (int call = 0; call < kCallsPerCaller; ++call) {
+        if (transport.call(0, 1, Message{0, StateInquiry{}}).is_ok()) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    bool use_a = false;
+    while (!done.load()) {
+      transport.set_traffic_meter(use_a ? &meter_a : &meter_b);
+      use_a = !use_a;
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  for (auto& caller : callers) caller.join();
+  done.store(true);
+  swapper.join();
+
+  EXPECT_EQ(ok.load(), kCallers * kCallsPerCaller);
+  // Every successful call is 1 request + 1 reply transmission; each must
+  // have been counted in exactly one of the two meters.
+  EXPECT_EQ(meter_a.total() + meter_b.total(),
+            2u * static_cast<std::uint64_t>(kCallers) * kCallsPerCaller);
+}
+
+TEST(TcpFanOutTest, StragglerMetersIntoTheMeterActiveAtMulticastTime) {
+  // The fan-out contract: multicast_call snapshots the meter once, so a
+  // straggler's late reply is charged to the meter that was active when
+  // the round started — not whatever was installed afterwards.
+  constexpr auto kStragglerDelay = 400ms;
+  DelayHandler fast(0ms);
+  DelayHandler slow(kStragglerDelay);
+  auto s1 = TcpServer::start(0, &fast).value();
+  auto s2 = TcpServer::start(0, &slow).value();
+
+  TrafficMeter round_meter;
+  TrafficMeter later_meter;
+  {
+    TcpPeerTransport transport;
+    transport.set_traffic_meter(&round_meter);
+    transport.set_endpoint(1, "127.0.0.1", s1->port());
+    transport.set_endpoint(2, "127.0.0.1", s2->port());
+
+    auto replies = transport.multicast_call(
+        0, SiteSet{1, 2}, Message{0, StateInquiry{}},
+        [](const std::vector<GatherReply>& so_far) { return !so_far.empty(); });
+    ASSERT_EQ(replies.size(), 1u);
+
+    // Gather returned early; the straggler is still in flight. Swapping
+    // the meter now must not redirect (or race with) its reply count.
+    transport.set_traffic_meter(&later_meter);
+    // Destructor drains the straggler.
+  }
+  EXPECT_EQ(round_meter.total(), 4u);  // 2 requests + 2 replies
+  EXPECT_EQ(later_meter.total(), 0u);
+  EXPECT_EQ(slow.calls.load(), 1);
+}
+
 TEST(TcpFanOutTest, TransportDestructorWaitsForStragglers) {
   DelayHandler fast(0ms);
   DelayHandler slow(400ms);

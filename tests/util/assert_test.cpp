@@ -1,0 +1,90 @@
+#include "reldev/util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace reldev {
+namespace {
+
+TEST(AssertTest, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(RELDEV_EXPECTS(1 + 1 == 2));
+}
+
+TEST(AssertTest, EnsuresPassesOnTrue) {
+  EXPECT_NO_THROW(RELDEV_ENSURES(true));
+}
+
+TEST(AssertTest, AssertPassesOnTrue) {
+  EXPECT_NO_THROW(RELDEV_ASSERT(true));
+}
+
+TEST(AssertTest, ExpectsThrowsContractViolation) {
+  EXPECT_THROW(RELDEV_EXPECTS(false), ContractViolation);
+}
+
+TEST(AssertTest, EnsuresThrowsContractViolation) {
+  EXPECT_THROW(RELDEV_ENSURES(false), ContractViolation);
+}
+
+TEST(AssertTest, AssertThrowsContractViolation) {
+  EXPECT_THROW(RELDEV_ASSERT(false), ContractViolation);
+}
+
+TEST(AssertTest, ContractViolationIsALogicError) {
+  // Callers that cannot name ContractViolation (e.g. generic test
+  // harnesses) can still catch the std::logic_error base.
+  EXPECT_THROW(RELDEV_EXPECTS(false), std::logic_error);
+}
+
+TEST(AssertTest, MessageNamesKindExpressionAndLocation) {
+  try {
+    RELDEV_EXPECTS(2 < 1);
+    FAIL() << "RELDEV_EXPECTS(false) did not throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("assert_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(AssertTest, EnsuresMessageSaysPostcondition) {
+  try {
+    RELDEV_ENSURES(false);
+    FAIL() << "RELDEV_ENSURES(false) did not throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("postcondition"),
+              std::string::npos);
+  }
+}
+
+TEST(AssertTest, AssertMessageSaysInvariant) {
+  try {
+    RELDEV_ASSERT(false);
+    FAIL() << "RELDEV_ASSERT(false) did not throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("invariant"),
+              std::string::npos);
+  }
+}
+
+TEST(AssertTest, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  RELDEV_EXPECTS(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(AssertTest, FailingConditionStopsExecutionAtTheCheck) {
+  bool reached_after = false;
+  try {
+    RELDEV_ASSERT(false);
+    reached_after = true;
+  } catch (const ContractViolation&) {
+  }
+  EXPECT_FALSE(reached_after);
+}
+
+}  // namespace
+}  // namespace reldev
