@@ -34,8 +34,21 @@ void AvailableCopyReplica::persist_metadata() {
   meta.clean_shutdown = false;
   meta.was_available = was_available_;
   const auto blob = meta.encode();
-  const Status status = store_.put_metadata(blob);
-  RELDEV_ASSERT(status.is_ok());
+  // A store dying mid-operation must not take the server down with it:
+  // the in-memory W-set stays correct, the double-slot region keeps the
+  // previous durable set, and the recovery closure computed from the older
+  // (superset-safe) set is still correct — just more conservative.
+  if (const Status status = store_.put_metadata(blob); !status.is_ok()) {
+    RELDEV_WARN("available-copy")
+        << "site " << self_ << ": persisting was-available set failed ("
+        << status.to_string() << ")";
+    return;
+  }
+  if (const Status status = store_.sync(); !status.is_ok()) {
+    RELDEV_WARN("available-copy")
+        << "site " << self_ << ": metadata sync failed ("
+        << status.to_string() << ")";
+  }
 }
 
 Result<storage::BlockData> AvailableCopyReplica::read(BlockId block) {
@@ -46,6 +59,14 @@ Result<storage::BlockData> AvailableCopyReplica::read(BlockId block) {
                                net::site_state_name(state_));
   }
   auto stored = store_.read(block);
+  if (!stored && stored.status().code() == ErrorCode::kCorruption) {
+    // Purely-local reads meet media faults here: treat the torn record
+    // like an out-of-date copy — demote it and refill from any peer.
+    if (auto status = heal_corrupt_block(block); !status.is_ok()) {
+      return status;
+    }
+    stored = store_.read(block);
+  }
   if (!stored) return stored.status();
   return std::move(stored).value().data;
 }

@@ -1,5 +1,7 @@
 #include "reldev/core/group.hpp"
 
+#include "reldev/util/logging.hpp"
+
 namespace reldev::core {
 
 const char* scheme_kind_name(SchemeKind kind) noexcept {
@@ -18,6 +20,7 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
                            net::AddressingMode mode, WasAvailablePolicy policy)
     : scheme_(scheme),
       config_(std::move(config)),
+      policy_(policy),
       transport_(mode),
       faults_(transport_) {
   config_.validate();
@@ -28,22 +31,53 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
   for (SiteId site = 0; site < n; ++site) {
     stores_.push_back(std::make_unique<storage::MemBlockStore>(
         config_.block_count, config_.block_size));
-    switch (scheme_) {
-      case SchemeKind::kVoting:
-        replicas_.push_back(std::make_unique<VotingReplica>(
-            site, config_, *stores_.back(), faults_));
-        break;
-      case SchemeKind::kAvailableCopy:
-        replicas_.push_back(std::make_unique<AvailableCopyReplica>(
-            site, config_, *stores_.back(), faults_, policy));
-        break;
-      case SchemeKind::kNaiveAvailableCopy:
-        replicas_.push_back(std::make_unique<NaiveAvailableCopyReplica>(
-            site, config_, *stores_.back(), faults_));
-        break;
-    }
+    replicas_.push_back(make_replica(site));
     transport_.bind(site, replicas_.back().get());
   }
+}
+
+ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
+                           PersistentOptions persist, net::AddressingMode mode,
+                           WasAvailablePolicy policy)
+    : scheme_(scheme),
+      config_(std::move(config)),
+      policy_(policy),
+      transport_(mode),
+      faults_(transport_),
+      persistent_(true),
+      directory_(std::move(persist.directory)) {
+  config_.validate();
+  transport_.set_traffic_meter(&meter_);
+  const std::size_t n = config_.site_count();
+  stores_.reserve(n);
+  replicas_.reserve(n);
+  for (SiteId site = 0; site < n; ++site) {
+    auto file = storage::FileBlockStore::create(
+        store_path(site), config_.block_count, config_.block_size);
+    RELDEV_EXPECTS(file.is_ok());
+    stores_.push_back(std::make_unique<storage::CrashPointBlockStore>(
+        std::move(file).value()));
+    replicas_.push_back(make_replica(site));
+    transport_.bind(site, replicas_.back().get());
+  }
+}
+
+std::unique_ptr<ReplicaBase> ReplicaGroup::make_replica(SiteId site) {
+  switch (scheme_) {
+    case SchemeKind::kVoting:
+      return std::make_unique<VotingReplica>(site, config_, *stores_[site],
+                                             faults_);
+    case SchemeKind::kAvailableCopy:
+      return std::make_unique<AvailableCopyReplica>(site, config_,
+                                                    *stores_[site], faults_,
+                                                    policy_);
+    case SchemeKind::kNaiveAvailableCopy:
+      return std::make_unique<NaiveAvailableCopyReplica>(site, config_,
+                                                         *stores_[site],
+                                                         faults_);
+  }
+  RELDEV_ASSERT(false);
+  return nullptr;
 }
 
 ReplicaBase& ReplicaGroup::replica(SiteId site) {
@@ -51,9 +85,56 @@ ReplicaBase& ReplicaGroup::replica(SiteId site) {
   return *replicas_[site];
 }
 
-storage::MemBlockStore& ReplicaGroup::store(SiteId site) {
+storage::BlockStore& ReplicaGroup::store(SiteId site) {
   RELDEV_EXPECTS(site < stores_.size());
   return *stores_[site];
+}
+
+std::string ReplicaGroup::store_path(SiteId site) const {
+  RELDEV_EXPECTS(persistent_);
+  return directory_ + "/site" + std::to_string(site) + ".rdev";
+}
+
+storage::CrashPointBlockStore& ReplicaGroup::crash_points(SiteId site) {
+  RELDEV_EXPECTS(persistent_ && site < stores_.size());
+  return static_cast<storage::CrashPointBlockStore&>(*stores_[site]);
+}
+
+Status ReplicaGroup::sync_site(SiteId site) {
+  RELDEV_EXPECTS(site < stores_.size());
+  return stores_[site]->sync();
+}
+
+void ReplicaGroup::kill_site(SiteId site) {
+  RELDEV_EXPECTS(persistent_);
+  replica(site).crash();
+  transport_.set_up(site, false);
+  auto& injector = crash_points(site);
+  // Closing the descriptor without a flush leaves exactly the bytes the
+  // (possibly torn) pwrites produced — the on-disk state a dying process
+  // leaves behind.
+  if (injector.has_inner()) (void)injector.surrender();
+}
+
+Status ReplicaGroup::restart_site(SiteId site) {
+  RELDEV_EXPECTS(persistent_);
+  auto& injector = crash_points(site);
+  RELDEV_EXPECTS(!injector.has_inner());  // kill_site first
+  auto reopened = storage::FileBlockStore::open(store_path(site));
+  if (!reopened) return reopened.status();
+  if (!reopened.value()->scrub_demoted().empty()) {
+    RELDEV_INFO("group") << "site " << site << " scrub demoted "
+                         << reopened.value()->scrub_demoted().size()
+                         << " torn block(s) on restart";
+  }
+  injector.adopt(std::move(reopened).value());
+  // A fresh server process over the recovered store: the replica rebuilds
+  // its volatile state (e.g. the was-available set) from the store, starts
+  // failed, and comes up through the scheme's recovery procedure.
+  replicas_[site] = make_replica(site);
+  replicas_[site]->crash();
+  transport_.bind(site, replicas_[site].get());
+  return recover_site(site);
 }
 
 void ReplicaGroup::crash_site(SiteId site) {

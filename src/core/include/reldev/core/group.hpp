@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "reldev/core/available_copy_replica.hpp"
@@ -13,6 +14,7 @@
 #include "reldev/core/voting_replica.hpp"
 #include "reldev/net/fault_transport.hpp"
 #include "reldev/net/inproc_transport.hpp"
+#include "reldev/storage/crash_point_store.hpp"
 #include "reldev/storage/mem_block_store.hpp"
 
 namespace reldev::core {
@@ -21,9 +23,22 @@ enum class SchemeKind { kVoting, kAvailableCopy, kNaiveAvailableCopy };
 
 const char* scheme_kind_name(SchemeKind kind) noexcept;
 
+/// Back every site with a FileBlockStore (wrapped in a crash-point
+/// injector) instead of the in-memory store: one `site<N>.rdev` file per
+/// site under `directory`, created fresh by the constructor.
+struct PersistentOptions {
+  std::string directory;
+};
+
 class ReplicaGroup {
  public:
   ReplicaGroup(SchemeKind scheme, GroupConfig config,
+               net::AddressingMode mode = net::AddressingMode::kMulticast,
+               WasAvailablePolicy policy = WasAvailablePolicy::kEagerBroadcast);
+
+  /// Persistent variant: file-backed stores with crash-point injection.
+  ReplicaGroup(SchemeKind scheme, GroupConfig config,
+               PersistentOptions persist,
                net::AddressingMode mode = net::AddressingMode::kMulticast,
                WasAvailablePolicy policy = WasAvailablePolicy::kEagerBroadcast);
 
@@ -32,7 +47,19 @@ class ReplicaGroup {
   [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
 
   [[nodiscard]] ReplicaBase& replica(SiteId site);
-  [[nodiscard]] storage::MemBlockStore& store(SiteId site);
+  [[nodiscard]] storage::BlockStore& store(SiteId site);
+
+  /// Whether this group runs on file-backed stores.
+  [[nodiscard]] bool persistent() const noexcept { return persistent_; }
+  /// Path of a site's backing file (persistent groups only).
+  [[nodiscard]] std::string store_path(SiteId site) const;
+  /// The crash-point injector wrapping a site's file store (persistent
+  /// groups only) — arm it, then drive writes until it fires.
+  [[nodiscard]] storage::CrashPointBlockStore& crash_points(SiteId site);
+
+  /// fsync a site's store: everything acknowledged before this call is
+  /// crash-durable under the storage durability contract.
+  [[nodiscard]] Status sync_site(SiteId site);
   [[nodiscard]] net::InProcTransport& transport() noexcept { return transport_; }
   /// The fault-injection layer every replica (and any client pointed at
   /// faults()) actually sends through. With no rules set it is a
@@ -51,6 +78,18 @@ class ReplicaGroup {
   /// available or newly recovered site can unblock them). Returns the
   /// status of this site's own recovery attempt (kUnavailable = comatose).
   [[nodiscard]] Status recover_site(SiteId site);
+
+  /// Hard-kill a persistent site the way a dying machine would: fail-stop
+  /// the replica, cut the transport, and drop the store's file handle with
+  /// no flush — whatever torn bytes an armed crash point left stay on disk.
+  void kill_site(SiteId site);
+
+  /// Restart a killed persistent site: reopen its file through the full
+  /// recovery path (header check, metadata-slot election, block scrub),
+  /// rebuild the replica from the recovered state, and run the scheme's
+  /// recovery procedure. kUnavailable = alive but comatose (e.g. the
+  /// available-copy closure has not fully recovered yet).
+  [[nodiscard]] Status restart_site(SiteId site);
 
   /// One fixpoint pass: call recover() on every comatose, reachable
   /// replica until nothing changes. Returns how many became available.
@@ -78,14 +117,21 @@ class ReplicaGroup {
   [[nodiscard]] std::vector<bool> up() const;
 
  private:
+  /// Build the scheme's replica over stores_[site]; used at construction
+  /// and again when restart_site rebuilds a killed site's server process.
+  [[nodiscard]] std::unique_ptr<ReplicaBase> make_replica(SiteId site);
+
   SchemeKind scheme_;
   GroupConfig config_;
+  WasAvailablePolicy policy_;
   net::TrafficMeter meter_;
   net::InProcTransport transport_;
   // Decorates transport_; replicas are wired through it so scripted and
   // randomized faults apply to all inter-replica traffic.
   net::FaultInjectingTransport faults_;
-  std::vector<std::unique_ptr<storage::MemBlockStore>> stores_;
+  bool persistent_ = false;
+  std::string directory_;
+  std::vector<std::unique_ptr<storage::BlockStore>> stores_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
 };
 

@@ -91,6 +91,14 @@ class ReplicaBase : public net::MessageHandler {
   /// Apply a RepairReply: replace every block the source knew newer.
   [[nodiscard]] Status apply_repair(const net::RepairReply& reply);
 
+  /// Media-fault repair: demote a locally corrupt block to "needs repair"
+  /// and refill it from peers with one RepairRequest round, applying every
+  /// answer. kOk once at least one peer replied (the block then holds the
+  /// newest version any reachable peer had); kCorruption when the damaged
+  /// copy is the only one reachable. The available-copy family uses this
+  /// directly; voting heals through its vote round instead.
+  [[nodiscard]] Status heal_corrupt_block(BlockId block);
+
   /// Validation shared by the range operations: count > 0 and the whole
   /// range inside the device.
   [[nodiscard]] Status check_range(BlockId first, std::size_t count) const;

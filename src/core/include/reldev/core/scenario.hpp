@@ -23,6 +23,9 @@
 //   sites <n>                 group size (default 3); must precede actions
 //   blocks <n>                device blocks (default 8)
 //   scheme <name>             voting | available-copy | naive-available-copy
+//   store <mem|file>          backing store; `file` runs every site on a
+//                             crash-consistent FileBlockStore in a private
+//                             temp directory (removed when the run ends)
 //   crash <site>              fail-stop a site
 //   recover <site>            bring a site back; recovery MUST succeed
 //   comeback <site>           bring a site back; may stay comatose
@@ -35,6 +38,20 @@
 //   heal                      clear all partitions AND all fault rules
 //   expect-state <site> <failed|comatose|available>
 //   expect-available <true|false>     the group-level availability rule
+//
+// Crash-consistency commands (require `store file`):
+//   sync-site <site>          fsync the site's store; must succeed
+//   arm-crash <site> <point> <nth>  fail-stop the site's store at the nth
+//                             (0-based) event of <point>: before-block-write |
+//                             mid-block-write | after-block-write |
+//                             mid-metadata-write | before-sync
+//   crash-site <site>         hard-kill: fail-stop the replica AND drop the
+//                             store's file handle with no flush (torn bytes
+//                             from a fired crash point stay on disk)
+//   restart-site <site>       reopen the file through full recovery (header
+//                             check, metadata-slot election, block scrub),
+//                             rebuild the replica, and run the scheme's
+//                             recovery; may stay comatose (like comeback)
 //
 // Fault-injection commands (driven by the group's FaultInjectingTransport;
 // reproducible under `fault-seed`):
@@ -68,6 +85,10 @@ struct Scenario {
   std::size_t block_size = 64;
   /// Seed of the fault-injection schedule (drop/dup/corrupt draws).
   std::uint64_t fault_seed = 1;
+  /// `store file`: back every site with a crash-consistent FileBlockStore
+  /// (in a temp directory private to the run) behind a crash-point
+  /// injector, enabling the crash-consistency commands.
+  bool file_store = false;
   std::vector<ScenarioStep> steps;
 
   /// Parse from script text. kInvalidArgument with a line reference on any

@@ -68,6 +68,10 @@ class VotingReplica final : public ReplicaBase {
   };
   RangeVotes collect_range_votes(net::AccessKind access, BlockId first,
                                  std::size_t count);
+
+  /// Fetch one block from `source` and install it locally at the fetched
+  /// version. Shared by the stale-refresh and corrupt-heal paths of read().
+  [[nodiscard]] Status fetch_from(SiteId source, BlockId block);
 };
 
 }  // namespace reldev::core

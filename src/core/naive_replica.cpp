@@ -15,6 +15,14 @@ Result<storage::BlockData> NaiveAvailableCopyReplica::read(BlockId block) {
                                net::site_state_name(state_));
   }
   auto stored = store_.read(block);
+  if (!stored && stored.status().code() == ErrorCode::kCorruption) {
+    // Same media-fault handling as the tracked scheme: demote the torn
+    // record and refill it from any peer.
+    if (auto status = heal_corrupt_block(block); !status.is_ok()) {
+      return status;
+    }
+    stored = store_.read(block);
+  }
   if (!stored) return stored.status();
   return std::move(stored).value().data;
 }
@@ -77,13 +85,31 @@ Status NaiveAvailableCopyReplica::write_range(BlockId first,
 }
 
 Status NaiveAvailableCopyReplica::repair_from(SiteId source) {
-  auto reply = transport_.call(
-      self_, source, net::Message{self_, net::RepairRequest{local_versions()}});
-  if (!reply) return reply.status();
-  if (!reply.value().holds<net::RepairReply>()) {
-    return errors::protocol("unexpected reply to repair request");
+  // Two passes: the naive write commits locally before the push, so a
+  // coordinator crash can leave this site durably AHEAD of the group on a
+  // write nobody acknowledged. The copy held by the running group is
+  // authoritative — demote such blocks and pull the current record on the
+  // second round.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto reply = transport_.call(self_, source,
+                                 net::Message{self_, net::RepairRequest{
+                                                         local_versions()}});
+    if (!reply) return reply.status();
+    if (!reply.value().holds<net::RepairReply>()) {
+      return errors::protocol("unexpected reply to repair request");
+    }
+    const auto& repair = reply.value().as<net::RepairReply>();
+    if (auto status = apply_repair(repair); !status.is_ok()) return status;
+    const auto ahead = repair.versions.stale_against(local_versions());
+    if (ahead.empty()) return Status::ok();
+    for (const BlockId block : ahead) {
+      RELDEV_WARN("naive-ac")
+          << "site " << self_ << " discards unpushed write of block " << block
+          << " (never acknowledged); adopting the group's copy";
+      if (auto status = store_.demote(block); !status.is_ok()) return status;
+    }
   }
-  return apply_repair(reply.value().as<net::RepairReply>());
+  return Status::ok();
 }
 
 Status NaiveAvailableCopyReplica::recover() {

@@ -116,13 +116,24 @@ net::RepairReply ReplicaBase::build_repair_reply(
     const storage::VersionVector& theirs) const {
   net::RepairReply reply;
   reply.versions = local_versions();
+  bool demoted_any = false;
   for (const BlockId block : theirs.stale_against(reply.versions)) {
     auto stored = store_.read(block);
-    RELDEV_ASSERT(stored.is_ok());
+    if (!stored) {
+      // Never ship a torn record to a repairing peer: demote it locally to
+      // needs-repair and withhold it from the reply.
+      RELDEV_WARN("replica") << "site " << self_ << ": block " << block
+                             << " unreadable while serving repair ("
+                             << stored.status().to_string() << "); demoting";
+      (void)store_.demote(block);
+      demoted_any = true;
+      continue;
+    }
     reply.blocks.push_back(net::BlockUpdate{block,
                                             stored.value().version,
                                             std::move(stored).value().data});
   }
+  if (demoted_any) reply.versions = local_versions();
   return reply;
 }
 
@@ -138,6 +149,30 @@ Status ReplicaBase::apply_repair(const net::RepairReply& reply) {
   }
   RELDEV_TRACE("replica") << "site " << self_ << " repaired "
                           << reply.blocks.size() << " blocks";
+  return Status::ok();
+}
+
+Status ReplicaBase::heal_corrupt_block(BlockId block) {
+  RELDEV_WARN("replica") << "site " << self_ << ": block " << block
+                         << " corrupt locally; healing from peers";
+  if (auto status = store_.demote(block); !status.is_ok()) return status;
+  const auto replies = transport_.multicast_call(
+      self_, peers(),
+      net::Message{self_, net::RepairRequest{local_versions()}});
+  bool healed = false;
+  for (const auto& [site, reply] : replies) {
+    if (!reply.holds<net::RepairReply>()) continue;
+    if (auto status = apply_repair(reply.as<net::RepairReply>());
+        !status.is_ok()) {
+      return status;
+    }
+    healed = true;
+  }
+  if (!healed) {
+    return errors::corruption(
+        "block " + std::to_string(block) +
+        " corrupt locally and no peer reachable to heal it");
+  }
   return Status::ok();
 }
 

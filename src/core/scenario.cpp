@@ -1,7 +1,12 @@
 #include "reldev/core/scenario.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <filesystem>
+#include <optional>
 #include <sstream>
+
+#include <unistd.h>
 
 namespace reldev::core {
 
@@ -60,7 +65,7 @@ Result<double> parse_probability(std::size_t line, const std::string& text,
 /// Commands that take a configuration value before any action runs.
 bool is_config_command(const std::string& command) {
   return command == "sites" || command == "blocks" || command == "scheme" ||
-         command == "fault-seed";
+         command == "fault-seed" || command == "store";
 }
 
 const std::vector<std::pair<std::string, std::size_t>> kArity{
@@ -71,6 +76,38 @@ const std::vector<std::pair<std::string, std::size_t>> kArity{
     {"write-range", 4}, {"fail-write-range", 4}, {"read-range", 4},
     {"drop-rate", 3},   {"delay-ms", 3},  {"dup-rate", 3},
     {"corrupt-rate", 3}, {"block-link", 2},
+    {"sync-site", 1},   {"arm-crash", 3}, {"crash-site", 1},
+    {"restart-site", 1},
+};
+
+/// Commands that only make sense over file-backed stores.
+bool needs_file_store(const std::string& command) {
+  return command == "arm-crash" || command == "crash-site" ||
+         command == "restart-site";
+}
+
+/// A private temp directory for one file-backed scenario run, removed on
+/// destruction (best effort).
+class ScratchDirectory {
+ public:
+  ScratchDirectory() {
+    static std::atomic<std::uint64_t> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("reldev_scenario_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDirectory() {
+    std::error_code ignored;
+    std::filesystem::remove_all(path_, ignored);
+  }
+  ScratchDirectory(const ScratchDirectory&) = delete;
+  ScratchDirectory& operator=(const ScratchDirectory&) = delete;
+
+  [[nodiscard]] std::string string() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
 };
 
 }  // namespace
@@ -121,6 +158,14 @@ Result<Scenario> Scenario::parse(const std::string& text) {
         auto n = parse_number(line, args[0], "fault seed");
         if (!n) return n.status();
         scenario.fault_seed = n.value();
+      } else if (command == "store") {
+        if (args[0] == "mem") {
+          scenario.file_store = false;
+        } else if (args[0] == "file") {
+          scenario.file_store = true;
+        } else {
+          return syntax_error(line, "store takes mem or file");
+        }
       } else {  // scheme
         if (args[0] == "voting") {
           scenario.scheme = SchemeKind::kVoting;
@@ -146,6 +191,9 @@ Result<Scenario> Scenario::parse(const std::string& text) {
       break;
     }
     if (!known) return syntax_error(line, "unknown command '" + command + "'");
+    if (needs_file_store(command) && !scenario.file_store) {
+      return syntax_error(line, command + " requires `store file`");
+    }
     actions_started = true;
     scenario.steps.push_back(ScenarioStep{line, command, std::move(args)});
   }
@@ -153,9 +201,18 @@ Result<Scenario> Scenario::parse(const std::string& text) {
 }
 
 Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
-  ReplicaGroup group(scenario.scheme,
-                     GroupConfig::majority(scenario.sites, scenario.blocks,
-                                           scenario.block_size));
+  const GroupConfig config = GroupConfig::majority(
+      scenario.sites, scenario.blocks, scenario.block_size);
+  std::optional<ScratchDirectory> scratch;
+  std::optional<ReplicaGroup> built;
+  if (scenario.file_store) {
+    scratch.emplace();
+    built.emplace(scenario.scheme, config,
+                  PersistentOptions{scratch->string()});
+  } else {
+    built.emplace(scenario.scheme, config);
+  }
+  ReplicaGroup& group = *built;
   group.faults().reseed(scenario.fault_seed);
   ScenarioOutcome outcome;
 
@@ -354,6 +411,43 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
       if (!to) return to.status();
       group.faults().block_link(from.value(), to.value());
       note(step, "link " + step.args[0] + "->" + step.args[1] + " blocked");
+    } else if (step.command == "sync-site") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      const Status status = group.sync_site(site.value());
+      if (!status.is_ok()) {
+        return expectation_failed(line, "sync of site " + step.args[0] +
+                                            " failed: " + status.to_string());
+      }
+      note(step, "site " + step.args[0] + " synced");
+    } else if (step.command == "arm-crash") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      const storage::CrashPoint point =
+          storage::crash_point_from_name(step.args[1]);
+      if (point == storage::CrashPoint::kNone) {
+        return syntax_error(line, "unknown crash point '" + step.args[1] + "'");
+      }
+      auto nth = parse_number(line, step.args[2], "event index");
+      if (!nth) return nth.status();
+      group.crash_points(site.value())
+          .arm(storage::CrashSchedule{point, nth.value()});
+      note(step, "site " + step.args[0] + " armed at " + step.args[1] +
+                     " #" + step.args[2]);
+    } else if (step.command == "crash-site") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      group.kill_site(site.value());
+      note(step, "site " + step.args[0] + " killed (store handle dropped)");
+    } else if (step.command == "restart-site") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      const Status status = group.restart_site(site.value());
+      if (!status.is_ok() && status.code() != ErrorCode::kUnavailable) {
+        return expectation_failed(line, "restart of site " + step.args[0] +
+                                            " failed: " + status.to_string());
+      }
+      note(step, status.to_string());
     } else if (step.command == "expect-state") {
       auto site = site_of(line, step.args[0]);
       if (!site) return site.status();

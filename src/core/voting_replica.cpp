@@ -14,11 +14,11 @@ VotingReplica::VotingReplica(SiteId self, GroupConfig config,
 VotingReplica::Votes VotingReplica::collect_votes(net::AccessKind access,
                                                   BlockId block) {
   Votes votes;
-  // The local site always votes for itself.
+  // The local site always votes for itself. A store that died under us
+  // mid-operation votes version 0 — the peers' copies then dominate.
   auto local = store_.version_of(block);
-  RELDEV_ASSERT(local.is_ok());
   votes.weight_millivotes = config_.weight_of(self_);
-  votes.max_version = local.value();
+  votes.max_version = local ? local.value() : 0;
   votes.max_site = self_;
 
   const net::Message request{self_, net::VoteRequest{access, block}};
@@ -71,24 +71,53 @@ Result<storage::BlockData> VotingReplica::read(BlockId block) {
         "no read quorum (" + std::to_string(votes.weight_millivotes) + " of " +
         std::to_string(config_.read_quorum_millivotes) + " millivotes)");
   }
-  const auto local = store_.version_of(block).value();
-  if (local < votes.max_version) {
-    auto reply = transport_.call(self_, votes.max_site,
-                                 net::Message{self_,
-                                              net::BlockFetchRequest{block}});
-    if (!reply) return reply.status();
-    if (!reply.value().holds<net::BlockFetchReply>()) {
-      return errors::protocol("unexpected reply to block fetch");
-    }
-    const auto& fetched = reply.value().as<net::BlockFetchReply>();
-    if (auto status = store_.write(block, fetched.data, fetched.version);
-        !status.is_ok()) {
+  const auto local = store_.version_of(block);
+  if (!local) return local.status();
+  if (local.value() < votes.max_version) {
+    if (auto status = fetch_from(votes.max_site, block); !status.is_ok()) {
       return status;
     }
   }
   auto stored = store_.read(block);
+  if (!stored && stored.status().code() == ErrorCode::kCorruption) {
+    // The local record turned out torn or corrupt under its cached version
+    // number. Demote it to needs-repair and refresh from the best voter,
+    // exactly as if our copy had merely been out of date. If no voter holds
+    // a newer copy the block legitimately reads back as version 0 zeros —
+    // the media fault destroyed the only copy we could reach.
+    RELDEV_WARN("voting") << "site " << self_ << ": block " << block
+                          << " corrupt locally; healing from quorum";
+    if (auto status = store_.demote(block); !status.is_ok()) return status;
+    storage::VersionNumber best = 0;
+    SiteId source = self_;
+    for (const auto& [site, reply] : votes.replies) {
+      if (!reply.holds<net::VoteReply>()) continue;
+      const auto& vote = reply.as<net::VoteReply>();
+      if (vote.version > best) {
+        best = vote.version;
+        source = site;
+      }
+    }
+    if (source != self_) {
+      if (auto status = fetch_from(source, block); !status.is_ok()) {
+        return status;
+      }
+    }
+    stored = store_.read(block);
+  }
   if (!stored) return stored.status();
   return std::move(stored).value().data;
+}
+
+Status VotingReplica::fetch_from(SiteId source, BlockId block) {
+  auto reply = transport_.call(
+      self_, source, net::Message{self_, net::BlockFetchRequest{block}});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::BlockFetchReply>()) {
+    return errors::protocol("unexpected reply to block fetch");
+  }
+  const auto& fetched = reply.value().as<net::BlockFetchReply>();
+  return store_.write(block, fetched.data, fetched.version);
 }
 
 Status VotingReplica::write(BlockId block, std::span<const std::byte> data) {
@@ -132,9 +161,9 @@ VotingReplica::RangeVotes VotingReplica::collect_range_votes(
   votes.max_versions.resize(count);
   votes.max_sites.assign(count, self_);
   for (std::size_t i = 0; i < count; ++i) {
+    // As in the scalar round: a store that died under us votes version 0.
     auto local = store_.version_of(first + i);
-    RELDEV_ASSERT(local.is_ok());
-    votes.max_versions[i] = local.value();
+    votes.max_versions[i] = local ? local.value() : 0;
   }
 
   const net::Message request{
@@ -195,8 +224,9 @@ Result<storage::BlockData> VotingReplica::read_range(BlockId first,
   std::map<SiteId, std::vector<BlockId>> stale_by_site;
   for (std::size_t i = 0; i < count; ++i) {
     const BlockId block = first + i;
-    const auto local = store_.version_of(block).value();
-    if (local < votes.max_versions[i]) {
+    const auto local = store_.version_of(block);
+    if (!local) return local.status();
+    if (local.value() < votes.max_versions[i]) {
       stale_by_site[votes.max_sites[i]].push_back(block);
     }
   }
@@ -222,6 +252,17 @@ Result<storage::BlockData> VotingReplica::read_range(BlockId first,
   out.reserve(count * config_.block_size);
   for (std::size_t i = 0; i < count; ++i) {
     auto stored = store_.read(first + i);
+    if (!stored && stored.status().code() == ErrorCode::kCorruption) {
+      // Rare media-fault path: demote the torn record and re-read the one
+      // block through the scalar protocol, which heals from the best voter.
+      if (auto status = store_.demote(first + i); !status.is_ok()) {
+        return status;
+      }
+      auto healed = read(first + i);
+      if (!healed) return healed.status();
+      out.insert(out.end(), healed.value().begin(), healed.value().end());
+      continue;
+    }
     if (!stored) return stored.status();
     out.insert(out.end(), stored.value().data.begin(),
                stored.value().data.end());
@@ -307,8 +348,16 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
         self_, net::VoteReply{version.value(), config_.weight_of(self_)}};
   }
   if (request.holds<net::BlockFetchRequest>()) {
-    auto stored = store_.read(request.as<net::BlockFetchRequest>().block);
-    if (!stored) return net::make_error(self_, stored.status());
+    const BlockId block = request.as<net::BlockFetchRequest>().block;
+    auto stored = store_.read(block);
+    if (!stored) {
+      // A torn record must not be shipped; demote it so our next vote
+      // offers version 0 and the fetcher goes elsewhere.
+      if (stored.status().code() == ErrorCode::kCorruption) {
+        (void)store_.demote(block);
+      }
+      return net::make_error(self_, stored.status());
+    }
     return net::Message{self_,
                         net::BlockFetchReply{stored.value().version,
                                              std::move(stored).value().data}};
@@ -334,7 +383,12 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
     reply.updates.reserve(fetch.blocks.size());
     for (const BlockId block : fetch.blocks) {
       auto stored = store_.read(block);
-      if (!stored) return net::make_error(self_, stored.status());
+      if (!stored) {
+        if (stored.status().code() == ErrorCode::kCorruption) {
+          (void)store_.demote(block);
+        }
+        return net::make_error(self_, stored.status());
+      }
       reply.updates.push_back(net::BlockUpdate{
           block, stored.value().version, std::move(stored).value().data});
     }

@@ -11,6 +11,12 @@ Status BlockStore::check_block(BlockId block) const {
   return Status::ok();
 }
 
+Status BlockStore::demote(BlockId block) {
+  if (auto status = check_block(block); !status.is_ok()) return status;
+  const std::vector<std::byte> zeros(block_size(), std::byte{0});
+  return write(block, zeros, 0);
+}
+
 Status BlockStore::check_write(BlockId block,
                                std::span<const std::byte> data) const {
   if (auto status = check_block(block); !status.is_ok()) return status;

@@ -1,0 +1,178 @@
+#include "reldev/storage/crash_point_store.hpp"
+
+#include <string>
+#include <utility>
+
+#include "reldev/util/assert.hpp"
+#include "reldev/util/crc32.hpp"
+#include "reldev/util/logging.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::storage {
+
+const char* crash_point_name(CrashPoint point) noexcept {
+  switch (point) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kBeforeBlockWrite:
+      return "before-block-write";
+    case CrashPoint::kMidBlockWrite:
+      return "mid-block-write";
+    case CrashPoint::kAfterBlockWrite:
+      return "after-block-write";
+    case CrashPoint::kMidMetadataWrite:
+      return "mid-metadata-write";
+    case CrashPoint::kBeforeSync:
+      return "before-sync";
+  }
+  return "unknown";
+}
+
+CrashPoint crash_point_from_name(const std::string& name) noexcept {
+  for (const CrashPoint point : kAllCrashPoints) {
+    if (name == crash_point_name(point)) return point;
+  }
+  return CrashPoint::kNone;
+}
+
+CrashPointBlockStore::CrashPointBlockStore(
+    std::unique_ptr<FileBlockStore> inner)
+    : inner_(std::move(inner)) {
+  RELDEV_EXPECTS(inner_ != nullptr);
+  block_count_ = inner_->block_count();
+  block_size_ = inner_->block_size();
+}
+
+void CrashPointBlockStore::arm(CrashSchedule schedule) {
+  schedule_ = schedule;
+  block_writes_seen_ = 0;
+  metadata_writes_seen_ = 0;
+  syncs_seen_ = 0;
+}
+
+std::unique_ptr<FileBlockStore> CrashPointBlockStore::surrender() {
+  return std::move(inner_);
+}
+
+void CrashPointBlockStore::adopt(std::unique_ptr<FileBlockStore> inner) {
+  RELDEV_EXPECTS(inner != nullptr);
+  RELDEV_EXPECTS(inner->block_count() == block_count_);
+  RELDEV_EXPECTS(inner->block_size() == block_size_);
+  inner_ = std::move(inner);
+  crashed_ = false;
+  fired_ = CrashPoint::kNone;
+  schedule_ = CrashSchedule{};
+}
+
+FileBlockStore& CrashPointBlockStore::inner() {
+  RELDEV_EXPECTS(inner_ != nullptr);
+  return *inner_;
+}
+
+bool CrashPointBlockStore::fire(CrashPoint point, std::uint64_t& counter) {
+  if (crashed_ || schedule_.point != point) return false;
+  const bool hit = counter == schedule_.nth;
+  ++counter;
+  if (!hit) return false;
+  crashed_ = true;
+  fired_ = point;
+  RELDEV_DEBUG("crash-point")
+      << "fired " << crash_point_name(point) << " (event #"
+      << schedule_.nth << ")";
+  return true;
+}
+
+Status CrashPointBlockStore::crashed_error() const {
+  return errors::unavailable(std::string("store crashed at ") +
+                             crash_point_name(fired_));
+}
+
+Result<VersionedBlock> CrashPointBlockStore::read(BlockId block) const {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  return inner_->read(block);
+}
+
+Status CrashPointBlockStore::write(BlockId block,
+                                   std::span<const std::byte> data,
+                                   VersionNumber version) {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  if (fire(CrashPoint::kBeforeBlockWrite, block_writes_seen_)) {
+    // Nothing reached the file.
+    return errors::io_error("crash injected before block write");
+  }
+  if (fire(CrashPoint::kMidBlockWrite, block_writes_seen_)) {
+    // The torn write: new version + new CRC + the first half of the new
+    // payload; the record's tail keeps its previous bytes. The CRC can no
+    // longer match, so the opening scrub must demote this record.
+    if (auto status = check_write(block, data); !status.is_ok()) {
+      return status;
+    }
+    BufferWriter torn(FileBlockStore::kBlockRecordHeader + data.size() / 2);
+    torn.put_u64(version);
+    torn.put_u32(crc32c(data));
+    torn.put_raw(data.first(data.size() / 2));
+    (void)inner_->raw_write_at(inner_->block_record_offset(block),
+                               torn.bytes());
+    return errors::io_error("crash injected mid block write");
+  }
+  if (fire(CrashPoint::kAfterBlockWrite, block_writes_seen_)) {
+    // The record lands completely but the writer dies before returning.
+    (void)inner_->write(block, data, version);
+    return errors::io_error("crash injected after block write");
+  }
+  return inner_->write(block, data, version);
+}
+
+Result<VersionNumber> CrashPointBlockStore::version_of(BlockId block) const {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  return inner_->version_of(block);
+}
+
+VersionVector CrashPointBlockStore::version_vector() const {
+  if (crashed_ || inner_ == nullptr) return VersionVector(block_count_);
+  return inner_->version_vector();
+}
+
+Status CrashPointBlockStore::put_metadata(std::span<const std::byte> blob) {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  if (fire(CrashPoint::kMidMetadataWrite, metadata_writes_seen_)) {
+    // Tear the slot put_metadata would have targeted: full header (next
+    // sequence + size + CRC of the complete blob) but only half the blob,
+    // so the slot cannot validate and the election must fall back to the
+    // live slot.
+    if (blob.size() > FileBlockStore::kMetadataCapacity) {
+      return errors::invalid_argument("metadata blob exceeds capacity");
+    }
+    const std::uint64_t next = inner_->metadata_sequence() + 1;
+    BufferWriter torn(FileBlockStore::kSlotHeader + blob.size() / 2);
+    torn.put_u64(next);
+    torn.put_u32(static_cast<std::uint32_t>(blob.size()));
+    torn.put_u32(crc32c(blob));
+    torn.put_raw(blob.first(blob.size() / 2));
+    (void)inner_->raw_write_at(
+        FileBlockStore::metadata_slot_offset(static_cast<unsigned>(next % 2)),
+        torn.bytes());
+    return errors::io_error("crash injected mid metadata write");
+  }
+  return inner_->put_metadata(blob);
+}
+
+Result<std::vector<std::byte>> CrashPointBlockStore::get_metadata() const {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  return inner_->get_metadata();
+}
+
+Status CrashPointBlockStore::sync() {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  if (fire(CrashPoint::kBeforeSync, syncs_seen_)) {
+    return errors::io_error("crash injected before sync");
+  }
+  return inner_->sync();
+}
+
+Status CrashPointBlockStore::demote(BlockId block) {
+  if (crashed_ || inner_ == nullptr) return crashed_error();
+  return inner_->demote(block);
+}
+
+}  // namespace reldev::storage

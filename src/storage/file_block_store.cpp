@@ -1,23 +1,30 @@
 #include "reldev/storage/file_block_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
+#include <filesystem>
+#include <optional>
 #include <utility>
 
 #include "reldev/util/assert.hpp"
 #include "reldev/util/crc32.hpp"
+#include "reldev/util/logging.hpp"
 #include "reldev/util/serial.hpp"
 
 namespace reldev::storage {
 
 namespace {
 
-// File layout:
-//   [header: 40 bytes] [metadata region: 8 + kMetadataCapacity bytes]
-//   [block records: block_count x (8 version + 4 crc + block_size data)]
+// File layout (format v2):
+//   [header: kHeaderSize bytes]
+//   [metadata slot 0: kSlotHeader + kMetadataCapacity bytes]
+//   [metadata slot 1: kSlotHeader + kMetadataCapacity bytes]
+//   [block records: block_count x (u64 version + u32 crc + block_size data)]
 constexpr std::uint32_t kMagic = 0x52444256;  // "RDBV"
-constexpr std::uint32_t kFormatVersion = 1;
-constexpr std::size_t kHeaderSize = 40;
-constexpr std::size_t kBlockRecordHeader = 12;  // u64 version + u32 crc
+constexpr std::uint32_t kFormatVersion = 2;
 
 struct Header {
   std::uint64_t block_count;
@@ -25,7 +32,7 @@ struct Header {
 };
 
 std::vector<std::byte> encode_header(const Header& header) {
-  BufferWriter writer(kHeaderSize);
+  BufferWriter writer(FileBlockStore::kHeaderSize);
   writer.put_u32(kMagic);
   writer.put_u32(kFormatVersion);
   writer.put_u64(header.block_count);
@@ -34,15 +41,16 @@ std::vector<std::byte> encode_header(const Header& header) {
   writer.put_u32(0);  // reserved; pads the pre-CRC header to 36 bytes
   // CRC over everything above.
   writer.put_u32(crc32c(writer.bytes()));
-  RELDEV_ENSURES(writer.size() == kHeaderSize);
+  RELDEV_ENSURES(writer.size() == FileBlockStore::kHeaderSize);
   return std::move(writer).take();
 }
 
 Result<Header> decode_header(std::span<const std::byte> raw) {
-  if (raw.size() != kHeaderSize) {
+  if (raw.size() != FileBlockStore::kHeaderSize) {
     return errors::corruption("short store header");
   }
-  const std::uint32_t expected = crc32c(raw.first(kHeaderSize - 4));
+  const std::uint32_t expected =
+      crc32c(raw.first(FileBlockStore::kHeaderSize - 4));
   BufferReader reader(raw);
   auto magic = reader.get_u32();
   auto format = reader.get_u32();
@@ -58,56 +66,142 @@ Result<Header> decode_header(std::span<const std::byte> raw) {
   if (magic.value() != kMagic) return errors::corruption("bad store magic");
   if (format.value() != kFormatVersion) {
     return errors::corruption("unsupported store format " +
-                              std::to_string(format.value()));
+                              std::to_string(format.value()) + " (want " +
+                              std::to_string(kFormatVersion) + ")");
   }
   if (crc.value() != expected) return errors::corruption("store header CRC");
   return Header{block_count.value(), block_size.value()};
 }
 
-Status write_at(std::FILE* file, long offset, const void* data,
+std::string errno_text() { return std::strerror(errno); }
+
+/// Full-coverage pwrite loop; explicit 64-bit offsets (off_t, not long).
+Status write_at(int fd, std::uint64_t offset, const void* data,
                 std::size_t size) {
-  if (std::fseek(file, offset, SEEK_SET) != 0) {
-    return errors::io_error("seek failed");
-  }
-  if (std::fwrite(data, 1, size, file) != size) {
-    return errors::io_error("write failed");
-  }
-  return Status::ok();
-}
-
-Status read_at(std::FILE* file, long offset, void* data, std::size_t size) {
-  if (std::fseek(file, offset, SEEK_SET) != 0) {
-    return errors::io_error("seek failed");
-  }
-  if (std::fread(data, 1, size, file) != size) {
-    return errors::io_error("read failed (truncated file?)");
+  const auto* bytes = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::pwrite(fd, bytes + done, size - done,
+                                 static_cast<::off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errors::io_error("write failed: " + errno_text());
+    }
+    done += static_cast<std::size_t>(n);
   }
   return Status::ok();
 }
 
-constexpr long metadata_offset() { return kHeaderSize; }
+/// Full-coverage pread loop. Distinguishes a short read (end of file —
+/// the signature of a truncated/torn record) from a true I/O error.
+enum class ReadOutcome { kOk, kShort };
+Result<ReadOutcome> read_at(int fd, std::uint64_t offset, void* data,
+                            std::size_t size) {
+  auto* bytes = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::pread(fd, bytes + done, size - done,
+                                static_cast<::off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errors::io_error("read failed: " + errno_text());
+    }
+    if (n == 0) return ReadOutcome::kShort;  // end of file
+    done += static_cast<std::size_t>(n);
+  }
+  return ReadOutcome::kOk;
+}
 
-long first_block_offset() {
-  return static_cast<long>(kHeaderSize + 8 + FileBlockStore::kMetadataCapacity);
+std::uint64_t first_block_offset() {
+  return FileBlockStore::metadata_slot_offset(1) +
+         FileBlockStore::kSlotHeader + FileBlockStore::kMetadataCapacity;
+}
+
+std::vector<std::byte> encode_slot(std::uint64_t sequence,
+                                   std::span<const std::byte> blob) {
+  BufferWriter writer(FileBlockStore::kSlotHeader +
+                      FileBlockStore::kMetadataCapacity);
+  writer.put_u64(sequence);
+  writer.put_u32(static_cast<std::uint32_t>(blob.size()));
+  writer.put_u32(crc32c(blob));
+  writer.put_raw(blob);
+  const std::vector<std::byte> pad(
+      FileBlockStore::kMetadataCapacity - blob.size(), std::byte{0});
+  writer.put_raw(pad);
+  return std::move(writer).take();
+}
+
+struct SlotContents {
+  std::uint64_t sequence = 0;
+  std::vector<std::byte> blob;
+};
+
+/// Decode one metadata slot; nullopt when the slot is torn or garbage.
+std::optional<SlotContents> decode_slot(std::span<const std::byte> raw) {
+  BufferReader reader(raw);
+  auto sequence = reader.get_u64();
+  auto size = reader.get_u32();
+  auto crc = reader.get_u32();
+  if (!sequence || !size || !crc) return std::nullopt;
+  if (size.value() > FileBlockStore::kMetadataCapacity) return std::nullopt;
+  auto blob = reader.get_raw(size.value());
+  if (!blob) return std::nullopt;
+  if (crc32c(std::span<const std::byte>(blob.value())) != crc.value()) {
+    return std::nullopt;
+  }
+  return SlotContents{sequence.value(), std::move(blob).value()};
+}
+
+/// Read and elect the live metadata slot: the CRC-valid slot with the
+/// highest sequence (ties go to the slot the sequence designates).
+Result<SlotContents> elect_slot(int fd) {
+  std::optional<SlotContents> slots[2];
+  for (unsigned i = 0; i < 2; ++i) {
+    std::vector<std::byte> raw(FileBlockStore::kSlotHeader +
+                               FileBlockStore::kMetadataCapacity);
+    auto outcome = read_at(fd, FileBlockStore::metadata_slot_offset(i),
+                           raw.data(), raw.size());
+    if (!outcome) return outcome.status();
+    if (outcome.value() == ReadOutcome::kShort) continue;  // truncated: torn
+    slots[i] = decode_slot(raw);
+  }
+  if (!slots[0] && !slots[1]) {
+    return errors::corruption("both metadata slots torn or corrupt");
+  }
+  if (slots[0] && slots[1]) {
+    if (slots[0]->sequence == slots[1]->sequence) {
+      return std::move(*slots[slots[0]->sequence % 2]);
+    }
+    return std::move(
+        *slots[slots[0]->sequence > slots[1]->sequence ? 0 : 1]);
+  }
+  return std::move(*slots[slots[0] ? 0 : 1]);
 }
 
 }  // namespace
 
-FileBlockStore::FileBlockStore(std::string path, std::FILE* file,
+std::uint64_t FileBlockStore::metadata_slot_offset(unsigned slot) noexcept {
+  return kHeaderSize +
+         static_cast<std::uint64_t>(slot % 2) *
+             (kSlotHeader + kMetadataCapacity);
+}
+
+std::uint64_t FileBlockStore::block_record_offset(
+    BlockId block) const noexcept {
+  return first_block_offset() +
+         block * static_cast<std::uint64_t>(kBlockRecordHeader + block_size_);
+}
+
+FileBlockStore::FileBlockStore(std::string path, int fd,
                                std::size_t block_count, std::size_t block_size)
     : path_(std::move(path)),
-      file_(file),
+      fd_(fd),
       block_count_(block_count),
       block_size_(block_size),
       versions_(block_count, 0) {}
 
 FileBlockStore::~FileBlockStore() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-long FileBlockStore::block_offset(BlockId block) const noexcept {
-  return first_block_offset() +
-         static_cast<long>(block * (kBlockRecordHeader + block_size_));
+  if (fd_ >= 0) ::close(fd_);
 }
 
 Result<std::unique_ptr<FileBlockStore>> FileBlockStore::create(
@@ -115,20 +209,28 @@ Result<std::unique_ptr<FileBlockStore>> FileBlockStore::create(
   if (block_count == 0 || block_size == 0) {
     return errors::invalid_argument("block_count and block_size must be > 0");
   }
-  std::FILE* file = std::fopen(path.c_str(), "wb+");
-  if (file == nullptr) {
-    return errors::io_error("cannot create " + path);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return errors::io_error("cannot create " + path + ": " + errno_text());
   }
   auto store = std::unique_ptr<FileBlockStore>(
-      new FileBlockStore(path, file, block_count, block_size));
+      new FileBlockStore(path, fd, block_count, block_size));
 
   const auto header = encode_header(Header{block_count, block_size});
-  if (auto status = write_at(file, 0, header.data(), header.size());
+  if (auto status = write_at(fd, 0, header.data(), header.size());
       !status.is_ok()) {
     return status;
   }
-  // Empty metadata region.
-  if (auto status = store->put_metadata({}); !status.is_ok()) return status;
+  // Both slots start identical at sequence 0 with an empty blob; the first
+  // put_metadata then writes sequence 1 into slot 1.
+  const auto slot = encode_slot(0, {});
+  for (unsigned i = 0; i < 2; ++i) {
+    if (auto status =
+            write_at(fd, metadata_slot_offset(i), slot.data(), slot.size());
+        !status.is_ok()) {
+      return status;
+    }
+  }
   // Zero-fill every block with version 0.
   const std::vector<std::byte> zeros(block_size, std::byte{0});
   for (BlockId block = 0; block < block_count; ++block) {
@@ -136,43 +238,98 @@ Result<std::unique_ptr<FileBlockStore>> FileBlockStore::create(
       return status;
     }
   }
+  // The new store must be durable before anyone relies on it: fsync the
+  // file, then the directory entry that names it.
   if (auto status = store->sync(); !status.is_ok()) return status;
+  const auto parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);  // best effort; some filesystems refuse dir fsync
+    ::close(dir_fd);
+  }
   return store;
 }
 
 Result<std::unique_ptr<FileBlockStore>> FileBlockStore::open(
     const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb+");
-  if (file == nullptr) {
-    return errors::io_error("cannot open " + path);
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return errors::io_error("cannot open " + path + ": " + errno_text());
   }
   std::vector<std::byte> raw(kHeaderSize);
-  if (auto status = read_at(file, 0, raw.data(), raw.size()); !status.is_ok()) {
-    std::fclose(file);
-    return status;
+  auto outcome = read_at(fd, 0, raw.data(), raw.size());
+  if (!outcome) {
+    ::close(fd);
+    return outcome.status();
+  }
+  if (outcome.value() == ReadOutcome::kShort) {
+    ::close(fd);
+    return errors::corruption("short store header");
   }
   auto header = decode_header(raw);
   if (!header) {
-    std::fclose(file);
+    ::close(fd);
     return header.status();
   }
   auto store = std::unique_ptr<FileBlockStore>(
-      new FileBlockStore(path, file, header.value().block_count,
+      new FileBlockStore(path, fd, header.value().block_count,
                          header.value().block_size));
-  if (auto status = store->load_versions(); !status.is_ok()) return status;
+  if (auto status = store->load_metadata_slots(); !status.is_ok()) {
+    return status;
+  }
+  if (auto status = store->scrub_records(); !status.is_ok()) return status;
   return store;
 }
 
-Status FileBlockStore::load_versions() {
-  std::vector<std::byte> record(kBlockRecordHeader);
+Status FileBlockStore::load_metadata_slots() {
+  auto slot = elect_slot(fd_);
+  if (!slot) return slot.status();
+  meta_sequence_ = slot.value().sequence;
+  return Status::ok();
+}
+
+Status FileBlockStore::scrub_records() {
+  std::vector<std::byte> record(kBlockRecordHeader + block_size_);
   for (BlockId block = 0; block < block_count_; ++block) {
-    if (auto status = read_at(file_, block_offset(block), record.data(),
-                              record.size());
-        !status.is_ok()) {
-      return status;
+    auto outcome = read_at(fd_, block_record_offset(block), record.data(),
+                           record.size());
+    if (!outcome) {
+      // A record whose bytes cannot be read at all is not a torn write —
+      // name the block and refuse to open.
+      return errors::io_error("block " + std::to_string(block) + ": " +
+                              outcome.status().message());
     }
-    BufferReader reader(record);
-    versions_[block] = reader.get_u64().value();
+    bool torn = outcome.value() == ReadOutcome::kShort;
+    if (!torn) {
+      BufferReader reader(record);
+      const std::uint64_t version = reader.get_u64().value();
+      const std::uint32_t stored_crc = reader.get_u32().value();
+      const auto payload =
+          std::span<const std::byte>(record).subspan(kBlockRecordHeader);
+      if (crc32c(payload) != stored_crc) {
+        torn = true;
+      } else {
+        versions_[block] = version;
+      }
+    }
+    if (torn) {
+      // Demote: version 0, zeroed payload, valid CRC. The block now looks
+      // out-of-date to every engine and heals lazily from peers.
+      const std::vector<std::byte> zeros(block_size_, std::byte{0});
+      if (auto status = write(block, zeros, 0); !status.is_ok()) {
+        return errors::io_error("block " + std::to_string(block) +
+                                ": demotion rewrite failed: " +
+                                status.message());
+      }
+      scrub_demoted_.push_back(block);
+    }
+  }
+  if (!scrub_demoted_.empty()) {
+    RELDEV_WARN("file-store")
+        << path_ << ": opening scrub demoted " << scrub_demoted_.size()
+        << " torn block record(s)";
+    if (auto status = sync(); !status.is_ok()) return status;
   }
   return Status::ok();
 }
@@ -180,10 +337,12 @@ Status FileBlockStore::load_versions() {
 Result<VersionedBlock> FileBlockStore::read(BlockId block) const {
   if (auto status = check_block(block); !status.is_ok()) return status;
   std::vector<std::byte> record(kBlockRecordHeader + block_size_);
-  if (auto status =
-          read_at(file_, block_offset(block), record.data(), record.size());
-      !status.is_ok()) {
-    return status;
+  auto outcome =
+      read_at(fd_, block_record_offset(block), record.data(), record.size());
+  if (!outcome) return outcome.status();
+  if (outcome.value() == ReadOutcome::kShort) {
+    return errors::corruption("block " + std::to_string(block) +
+                              " record truncated");
   }
   BufferReader reader(record);
   VersionedBlock result;
@@ -206,8 +365,8 @@ Status FileBlockStore::write(BlockId block, std::span<const std::byte> data,
   writer.put_u64(version);
   writer.put_u32(crc32c(data));
   writer.put_raw(data);
-  if (auto status = write_at(file_, block_offset(block), writer.bytes().data(),
-                             writer.size());
+  if (auto status = write_at(fd_, block_record_offset(block),
+                             writer.bytes().data(), writer.size());
       !status.is_ok()) {
     return status;
   }
@@ -228,41 +387,40 @@ Status FileBlockStore::put_metadata(std::span<const std::byte> blob) {
   if (blob.size() > kMetadataCapacity) {
     return errors::invalid_argument("metadata blob exceeds capacity");
   }
-  BufferWriter writer(8 + kMetadataCapacity);
-  writer.put_u32(static_cast<std::uint32_t>(blob.size()));
-  writer.put_u32(crc32c(blob));
-  writer.put_raw(blob);
-  // Pad the region so the file geometry never changes.
-  const std::vector<std::byte> pad(kMetadataCapacity - blob.size(),
-                                   std::byte{0});
-  writer.put_raw(pad);
-  return write_at(file_, metadata_offset(), writer.bytes().data(),
-                  writer.size());
-}
-
-Result<std::vector<std::byte>> FileBlockStore::get_metadata() const {
-  std::vector<std::byte> region(8 + kMetadataCapacity);
+  // Write the NOT-currently-active slot with the next sequence number; the
+  // live slot is untouched, so a crash tearing this write loses nothing.
+  const std::uint64_t next = meta_sequence_ + 1;
+  const auto slot = encode_slot(next, blob);
   if (auto status =
-          read_at(file_, metadata_offset(), region.data(), region.size());
+          write_at(fd_, metadata_slot_offset(static_cast<unsigned>(next % 2)),
+                   slot.data(), slot.size());
       !status.is_ok()) {
     return status;
   }
-  BufferReader reader(region);
-  const std::uint32_t size = reader.get_u32().value();
-  const std::uint32_t stored_crc = reader.get_u32().value();
-  if (size > kMetadataCapacity) {
-    return errors::corruption("metadata length field out of range");
-  }
-  auto blob = reader.get_raw(size).value();
-  if (crc32c(std::span<const std::byte>(blob)) != stored_crc) {
-    return errors::corruption("metadata CRC mismatch");
-  }
-  return blob;
+  meta_sequence_ = next;
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> FileBlockStore::get_metadata() const {
+  // Re-run the slot election on every call so runtime corruption of the
+  // live slot (bit rot, mutilation) falls back to the surviving slot
+  // instead of serving garbage.
+  auto slot = elect_slot(fd_);
+  if (!slot) return slot.status();
+  return std::move(slot).value().blob;
 }
 
 Status FileBlockStore::sync() {
-  if (std::fflush(file_) != 0) return errors::io_error("fflush failed");
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return errors::io_error("fsync failed: " + errno_text());
+  }
   return Status::ok();
+}
+
+Status FileBlockStore::raw_write_at(std::uint64_t offset,
+                                    std::span<const std::byte> bytes) {
+  return write_at(fd_, offset, bytes.data(), bytes.size());
 }
 
 }  // namespace reldev::storage

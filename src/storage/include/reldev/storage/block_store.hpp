@@ -40,6 +40,19 @@ class BlockStore {
   [[nodiscard]] virtual Status put_metadata(std::span<const std::byte> blob) = 0;
   [[nodiscard]] virtual Result<std::vector<std::byte>> get_metadata() const = 0;
 
+  /// Make everything written so far crash-durable. A no-op for volatile
+  /// stores; persistent stores fsync. The durability contract across the
+  /// library: a write is "committed" once a sync() issued after it
+  /// returned OK.
+  [[nodiscard]] virtual Status sync() { return Status::ok(); }
+
+  /// Demote a block to "needs repair": version 0 with zeroed payload.
+  /// Used when a local record turns out torn or corrupt — the consistency
+  /// engines then treat the block exactly like an out-of-date copy and
+  /// lazily refresh it from peers (the paper's per-block repair, extended
+  /// to media faults).
+  [[nodiscard]] virtual Status demote(BlockId block);
+
  protected:
   /// Shared argument validation for implementations.
   [[nodiscard]] Status check_write(BlockId block, std::span<const std::byte> data) const;

@@ -1,0 +1,119 @@
+// Deterministic crash-point injection for persistent stores, in the
+// spirit of crash-enumeration testing (CrashMonkey / ALICE): a decorator
+// over FileBlockStore that fail-stops the store at an enumerated point —
+// before, mid, or after a block-record write, mid-metadata write, or just
+// before a sync — leaving the file in exactly the torn state a kernel
+// crash at that instant could leave.
+//
+// A schedule names one (point, nth) pair: the store crashes at the nth
+// eligible event of that kind counted from arming. After firing, every
+// operation returns kUnavailable (fail-stop) until the harness drops the
+// torn file handle (surrender) and reopens through the full recovery path
+// (adopt). The decorator caches the device geometry so a replica can keep
+// referencing it across kill/restart cycles.
+#pragma once
+
+#include <memory>
+
+#include "reldev/storage/file_block_store.hpp"
+
+namespace reldev::storage {
+
+/// Where in the storage write path the simulated crash fires.
+enum class CrashPoint : std::uint8_t {
+  kNone = 0,
+  /// The block write never reaches the file (crash before pwrite).
+  kBeforeBlockWrite,
+  /// The record header (new version + new CRC) and the first half of the
+  /// new payload land; the rest of the record keeps its old bytes — the
+  /// classic torn write the opening scrub must demote.
+  kMidBlockWrite,
+  /// The record lands completely, but the operation still dies before
+  /// acknowledging (durable-but-unacked).
+  kAfterBlockWrite,
+  /// The inactive metadata slot gets its new header and half the blob —
+  /// a torn put_metadata the double-slot region must survive.
+  kMidMetadataWrite,
+  /// sync() dies without fsyncing anything.
+  kBeforeSync,
+};
+
+/// All injectable points, for harnesses that enumerate exhaustively.
+inline constexpr CrashPoint kAllCrashPoints[] = {
+    CrashPoint::kBeforeBlockWrite, CrashPoint::kMidBlockWrite,
+    CrashPoint::kAfterBlockWrite, CrashPoint::kMidMetadataWrite,
+    CrashPoint::kBeforeSync};
+
+[[nodiscard]] const char* crash_point_name(CrashPoint point) noexcept;
+
+/// Parse a crash-point name ("mid-block-write", ...); kNone on no match.
+[[nodiscard]] CrashPoint crash_point_from_name(const std::string& name) noexcept;
+
+/// One armed crash: fire at the nth (0-based) eligible event of `point`,
+/// counted from the moment arm() was called.
+struct CrashSchedule {
+  CrashPoint point = CrashPoint::kNone;
+  std::uint64_t nth = 0;
+};
+
+class CrashPointBlockStore final : public BlockStore {
+ public:
+  explicit CrashPointBlockStore(std::unique_ptr<FileBlockStore> inner);
+
+  /// Arm one crash; resets the event counters. Replaces any armed one.
+  void arm(CrashSchedule schedule);
+  /// Remove the armed crash (does not clear an already-fired one).
+  void disarm() noexcept { schedule_ = CrashSchedule{}; }
+
+  /// True once the armed point fired; all operations fail until adopt().
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] CrashPoint fired() const noexcept { return fired_; }
+
+  /// Drop the underlying store the way a dying process would: the handle
+  /// closes, nothing extra is flushed, the torn file stays on disk.
+  /// Returns the released store (usually discarded).
+  std::unique_ptr<FileBlockStore> surrender();
+
+  /// Install a freshly reopened store after a simulated restart; clears
+  /// the crashed state and the armed schedule.
+  void adopt(std::unique_ptr<FileBlockStore> inner);
+
+  [[nodiscard]] bool has_inner() const noexcept { return inner_ != nullptr; }
+  [[nodiscard]] FileBlockStore& inner();
+
+  // --- BlockStore -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return block_count_;
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return block_size_;
+  }
+  [[nodiscard]] Result<VersionedBlock> read(BlockId block) const override;
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data,
+               VersionNumber version) override;
+  [[nodiscard]] Result<VersionNumber> version_of(BlockId block) const override;
+  [[nodiscard]] VersionVector version_vector() const override;
+  [[nodiscard]] Status put_metadata(std::span<const std::byte> blob) override;
+  [[nodiscard]] Result<std::vector<std::byte>> get_metadata() const override;
+  [[nodiscard]] Status sync() override;
+  [[nodiscard]] Status demote(BlockId block) override;
+
+ private:
+  /// True when the armed point matches and this is its nth event; marks
+  /// the store crashed.
+  [[nodiscard]] bool fire(CrashPoint point, std::uint64_t& counter);
+  [[nodiscard]] Status crashed_error() const;
+
+  std::unique_ptr<FileBlockStore> inner_;
+  std::size_t block_count_;
+  std::size_t block_size_;
+  CrashSchedule schedule_;
+  bool crashed_ = false;
+  CrashPoint fired_ = CrashPoint::kNone;
+  std::uint64_t block_writes_seen_ = 0;
+  std::uint64_t metadata_writes_seen_ = 0;
+  std::uint64_t syncs_seen_ = 0;
+};
+
+}  // namespace reldev::storage

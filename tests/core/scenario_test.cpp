@@ -274,5 +274,71 @@ read 2 0 steady
   EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
 }
 
+TEST(ScenarioParseTest, CrashVerbsRequireFileStore) {
+  auto scenario = Scenario::parse("crash-site 0\n");
+  ASSERT_FALSE(scenario.is_ok());
+  EXPECT_NE(scenario.status().message().find("store file"), std::string::npos);
+  EXPECT_TRUE(Scenario::parse("store file\ncrash-site 0\n").is_ok());
+}
+
+TEST(ScenarioParseTest, StoreConfigValidated) {
+  EXPECT_TRUE(Scenario::parse("store mem\n").is_ok());
+  EXPECT_TRUE(Scenario::parse("store file\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("store floppy\n").is_ok());
+}
+
+TEST(ScenarioRunTest, FileStoreCrashRestartCycle) {
+  // A torn block write at site 0, a hard kill, then a restart through the
+  // scrub: the damaged record is demoted and healed from peers, and the
+  // synced earlier write survives.
+  auto scenario = Scenario::parse(R"(
+scheme available-copy
+store file
+write 0 0 durable
+sync-site 0
+arm-crash 0 mid-block-write 0
+fail-write 0 1 lost      # the store dies mid-record; the write is refused
+crash-site 0
+expect-state 0 failed
+restart-site 0
+expect-state 0 available
+read 0 0 durable
+read 1 0 durable
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, FileStoreVotingSurvivesMetadataArmNeverFiring) {
+  // Voting never persists metadata on the write path, so this armed crash
+  // cannot fire; the script must still run to completion.
+  auto scenario = Scenario::parse(R"(
+scheme voting
+store file
+arm-crash 0 mid-metadata-write 0
+write 0 0 spin
+read 1 0 spin
+crash-site 0
+restart-site 0
+read 0 0 spin
+)");
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto outcome = run_scenario(scenario.value());
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+}
+
+TEST(ScenarioRunTest, UnknownCrashPointRejected) {
+  auto scenario = Scenario::parse(R"(
+store file
+arm-crash 0 half-past-write 0
+)");
+  ASSERT_TRUE(scenario.is_ok());  // parses; the point name is checked at run
+  auto outcome = run_scenario(scenario.value());
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_NE(outcome.status().message().find("unknown crash point"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace reldev::core

@@ -92,34 +92,56 @@ TEST_F(FileBlockStoreTest, OpenGarbageFileFailsWithCorruption) {
   EXPECT_EQ(store.status().code(), reldev::ErrorCode::kCorruption);
 }
 
-TEST_F(FileBlockStoreTest, CorruptBlockDetectedOnRead) {
+TEST_F(FileBlockStoreTest, CorruptBlockDetectedOnReadAndDemotedByScrub) {
   auto store = FileBlockStore::create(path_.string(), 2, 64).value();
   ASSERT_TRUE(store->write(0, pattern(64, 8), 1).is_ok());
+  ASSERT_TRUE(store->write(1, pattern(64, 9), 3).is_ok());
   ASSERT_TRUE(store->sync().is_ok());
-  // Flip a data byte behind the store's back.
+  // Flip a payload byte of block 0 behind the store's back.
   {
     std::FILE* f = std::fopen(path_.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
-    // Past header + metadata region + record header: inside block 0 data.
-    std::fseek(f, -32, SEEK_END);
-    const long where = std::ftell(f);
-    (void)where;
-    std::fseek(f, 0, SEEK_END);
-    const long end = std::ftell(f);
-    std::fseek(f, end - 70, SEEK_SET);  // inside block 1's data area
-    // Corrupt block 0 instead: compute its data offset from the end:
-    // file = header + meta + 2 * (12 + 64); block 0 data starts at
-    // end - 2*76 + 12.
-    std::fseek(f, end - 2 * 76 + 12 + 5, SEEK_SET);
+    const auto where = static_cast<long>(store->block_record_offset(0) +
+                                         FileBlockStore::kBlockRecordHeader +
+                                         5);
+    std::fseek(f, where, SEEK_SET);
     const char zap = 0x5A;
     std::fwrite(&zap, 1, 1, f);
     std::fclose(f);
   }
+  // The live store detects the rot on the next read of that block; the
+  // untouched block still reads fine.
+  EXPECT_EQ(store->read(0).status().code(), reldev::ErrorCode::kCorruption);
+  EXPECT_TRUE(store->read(1).is_ok());
+  store.reset();
+  // Reopen: the scrub demotes the damaged record to "needs repair" —
+  // version 0, zeroed payload — instead of ever serving the bad bytes.
   auto reopened = FileBlockStore::open(path_.string()).value();
-  EXPECT_EQ(reopened->read(0).status().code(),
-            reldev::ErrorCode::kCorruption);
-  // The untouched block still reads fine.
-  EXPECT_TRUE(reopened->read(1).is_ok());
+  EXPECT_EQ(reopened->scrub_demoted(), std::vector<BlockId>{0});
+  auto demoted = reopened->read(0);
+  ASSERT_TRUE(demoted.is_ok());
+  EXPECT_EQ(demoted.value().version, 0u);
+  EXPECT_EQ(demoted.value().data, BlockData(64, std::byte{0}));
+  EXPECT_EQ(reopened->read(1).value().data, pattern(64, 9));
+  EXPECT_EQ(reopened->read(1).value().version, 3u);
+}
+
+TEST_F(FileBlockStoreTest, MetadataUpdatesAlternateSlots) {
+  auto store = FileBlockStore::create(path_.string(), 1, 64).value();
+  EXPECT_EQ(store->metadata_sequence(), 0u);
+  EXPECT_TRUE(store->get_metadata().value().empty());
+  ASSERT_TRUE(store->put_metadata(pattern(16, 1)).is_ok());
+  EXPECT_EQ(store->metadata_sequence(), 1u);
+  EXPECT_EQ(store->active_metadata_slot(), 1u);
+  ASSERT_TRUE(store->put_metadata(pattern(16, 2)).is_ok());
+  EXPECT_EQ(store->metadata_sequence(), 2u);
+  EXPECT_EQ(store->active_metadata_slot(), 0u);
+  EXPECT_EQ(store->get_metadata().value(), pattern(16, 2));
+  store.reset();
+  // Reopen elects the highest-sequence valid slot.
+  auto reopened = FileBlockStore::open(path_.string()).value();
+  EXPECT_EQ(reopened->metadata_sequence(), 2u);
+  EXPECT_EQ(reopened->get_metadata().value(), pattern(16, 2));
 }
 
 TEST_F(FileBlockStoreTest, MetadataCapacityEnforced) {
