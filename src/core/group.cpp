@@ -45,6 +45,8 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
       transport_(mode),
       faults_(transport_),
       persistent_(true),
+      journal_(persist.journal),
+      journal_options_(persist.journal_options),
       directory_(std::move(persist.directory)) {
   config_.validate();
   transport_.set_traffic_meter(&meter_);
@@ -52,11 +54,20 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
   stores_.reserve(n);
   replicas_.reserve(n);
   for (SiteId site = 0; site < n; ++site) {
-    auto file = storage::FileBlockStore::create(
-        store_path(site), config_.block_count, config_.block_size);
-    RELDEV_EXPECTS(file.is_ok());
-    stores_.push_back(std::make_unique<storage::CrashPointBlockStore>(
-        std::move(file).value()));
+    if (journal_) {
+      auto wal = storage::JournaledBlockStore::create(
+          store_path(site), config_.block_count, config_.block_size,
+          journal_options_);
+      RELDEV_EXPECTS(wal.is_ok());
+      stores_.push_back(std::make_unique<storage::CrashPointBlockStore>(
+          std::move(wal).value()));
+    } else {
+      auto file = storage::FileBlockStore::create(
+          store_path(site), config_.block_count, config_.block_size);
+      RELDEV_EXPECTS(file.is_ok());
+      stores_.push_back(std::make_unique<storage::CrashPointBlockStore>(
+          std::move(file).value()));
+    }
     replicas_.push_back(make_replica(site));
     transport_.bind(site, replicas_.back().get());
   }
@@ -105,6 +116,11 @@ Status ReplicaGroup::sync_site(SiteId site) {
   return stores_[site]->sync();
 }
 
+Status ReplicaGroup::checkpoint_site(SiteId site) {
+  RELDEV_EXPECTS(persistent_ && journal_);
+  return crash_points(site).checkpoint();
+}
+
 void ReplicaGroup::kill_site(SiteId site) {
   RELDEV_EXPECTS(persistent_);
   replica(site).crash();
@@ -112,14 +128,33 @@ void ReplicaGroup::kill_site(SiteId site) {
   auto& injector = crash_points(site);
   // Closing the descriptor without a flush leaves exactly the bytes the
   // (possibly torn) pwrites produced — the on-disk state a dying process
-  // leaves behind.
-  if (injector.has_inner()) (void)injector.surrender();
+  // leaves behind. In journal mode this also vaporises the in-memory
+  // pending batch and write-back table, as a process death would.
+  injector.drop_inner();
 }
 
 Status ReplicaGroup::restart_site(SiteId site) {
   RELDEV_EXPECTS(persistent_);
   auto& injector = crash_points(site);
   RELDEV_EXPECTS(!injector.has_inner());  // kill_site first
+  if (journal_) {
+    auto reopened =
+        storage::JournaledBlockStore::open(store_path(site), journal_options_);
+    if (!reopened) return reopened.status();
+    auto& wal = *reopened.value();
+    if (wal.replayed_records() > 0 || wal.replay_truncated_tail()) {
+      RELDEV_INFO("group") << "site " << site << " journal replay applied "
+                           << wal.replayed_records() << " record(s)"
+                           << (wal.replay_truncated_tail()
+                                   ? " (torn tail truncated)"
+                                   : "");
+    }
+    injector.adopt(std::move(reopened).value());
+    replicas_[site] = make_replica(site);
+    replicas_[site]->crash();
+    transport_.bind(site, replicas_[site].get());
+    return recover_site(site);
+  }
   auto reopened = storage::FileBlockStore::open(store_path(site));
   if (!reopened) return reopened.status();
   if (!reopened.value()->scrub_demoted().empty()) {

@@ -25,9 +25,14 @@ const char* scheme_kind_name(SchemeKind kind) noexcept;
 
 /// Back every site with a FileBlockStore (wrapped in a crash-point
 /// injector) instead of the in-memory store: one `site<N>.rdev` file per
-/// site under `directory`, created fresh by the constructor.
+/// site under `directory`, created fresh by the constructor. With
+/// `journal` set, each site instead runs a JournaledBlockStore —
+/// write-ahead journal (`site<N>.rdev.wal`) with group commit in front of
+/// the same v2 file — under the same injector.
 struct PersistentOptions {
   std::string directory;
+  bool journal = false;
+  storage::JournalOptions journal_options;
 };
 
 class ReplicaGroup {
@@ -51,6 +56,8 @@ class ReplicaGroup {
 
   /// Whether this group runs on file-backed stores.
   [[nodiscard]] bool persistent() const noexcept { return persistent_; }
+  /// Whether the file-backed stores run in journal (write-ahead) mode.
+  [[nodiscard]] bool journaled() const noexcept { return journal_; }
   /// Path of a site's backing file (persistent groups only).
   [[nodiscard]] std::string store_path(SiteId site) const;
   /// The crash-point injector wrapping a site's file store (persistent
@@ -58,8 +65,12 @@ class ReplicaGroup {
   [[nodiscard]] storage::CrashPointBlockStore& crash_points(SiteId site);
 
   /// fsync a site's store: everything acknowledged before this call is
-  /// crash-durable under the storage durability contract.
+  /// crash-durable under the storage durability contract. In journal mode
+  /// this is a group commit (one journal fsync), not a full-file flush.
   [[nodiscard]] Status sync_site(SiteId site);
+  /// Journal mode: fold a site's journal into its main file and truncate
+  /// it (the checkpoint crash points fire through here when armed).
+  [[nodiscard]] Status checkpoint_site(SiteId site);
   [[nodiscard]] net::InProcTransport& transport() noexcept { return transport_; }
   /// The fault-injection layer every replica (and any client pointed at
   /// faults()) actually sends through. With no rules set it is a
@@ -130,6 +141,8 @@ class ReplicaGroup {
   // randomized faults apply to all inter-replica traffic.
   net::FaultInjectingTransport faults_;
   bool persistent_ = false;
+  bool journal_ = false;
+  storage::JournalOptions journal_options_;
   std::string directory_;
   std::vector<std::unique_ptr<storage::BlockStore>> stores_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;

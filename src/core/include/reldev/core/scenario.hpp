@@ -89,6 +89,10 @@ struct Scenario {
   /// (in a temp directory private to the run) behind a crash-point
   /// injector, enabling the crash-consistency commands.
   bool file_store = false;
+  /// `store journal`: like `store file` but through the write-ahead
+  /// journal with group commit; enables the journal crash points and the
+  /// checkpoint-site command.
+  bool journal = false;
   std::vector<ScenarioStep> steps;
 
   /// Parse from script text. kInvalidArgument with a line reference on any

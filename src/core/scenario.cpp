@@ -77,13 +77,13 @@ const std::vector<std::pair<std::string, std::size_t>> kArity{
     {"drop-rate", 3},   {"delay-ms", 3},  {"dup-rate", 3},
     {"corrupt-rate", 3}, {"block-link", 2},
     {"sync-site", 1},   {"arm-crash", 3}, {"crash-site", 1},
-    {"restart-site", 1},
+    {"restart-site", 1}, {"checkpoint-site", 1},
 };
 
 /// Commands that only make sense over file-backed stores.
 bool needs_file_store(const std::string& command) {
   return command == "arm-crash" || command == "crash-site" ||
-         command == "restart-site";
+         command == "restart-site" || command == "checkpoint-site";
 }
 
 /// A private temp directory for one file-backed scenario run, removed on
@@ -161,10 +161,15 @@ Result<Scenario> Scenario::parse(const std::string& text) {
       } else if (command == "store") {
         if (args[0] == "mem") {
           scenario.file_store = false;
+          scenario.journal = false;
         } else if (args[0] == "file") {
           scenario.file_store = true;
+          scenario.journal = false;
+        } else if (args[0] == "journal") {
+          scenario.file_store = true;
+          scenario.journal = true;
         } else {
-          return syntax_error(line, "store takes mem or file");
+          return syntax_error(line, "store takes mem, file, or journal");
         }
       } else {  // scheme
         if (args[0] == "voting") {
@@ -194,6 +199,9 @@ Result<Scenario> Scenario::parse(const std::string& text) {
     if (needs_file_store(command) && !scenario.file_store) {
       return syntax_error(line, command + " requires `store file`");
     }
+    if (command == "checkpoint-site" && !scenario.journal) {
+      return syntax_error(line, command + " requires `store journal`");
+    }
     actions_started = true;
     scenario.steps.push_back(ScenarioStep{line, command, std::move(args)});
   }
@@ -207,8 +215,10 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
   std::optional<ReplicaGroup> built;
   if (scenario.file_store) {
     scratch.emplace();
-    built.emplace(scenario.scheme, config,
-                  PersistentOptions{scratch->string()});
+    PersistentOptions persist;
+    persist.directory = scratch->string();
+    persist.journal = scenario.journal;
+    built.emplace(scenario.scheme, config, std::move(persist));
   } else {
     built.emplace(scenario.scheme, config);
   }
@@ -416,10 +426,18 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
       if (!site) return site.status();
       const Status status = group.sync_site(site.value());
       if (!status.is_ok()) {
-        return expectation_failed(line, "sync of site " + step.args[0] +
-                                            " failed: " + status.to_string());
+        // An armed crash point firing during the sync is the expected way
+        // to tear a commit; anything else is a real failure.
+        if (!scenario.file_store ||
+            !group.crash_points(site.value()).crashed()) {
+          return expectation_failed(line,
+                                    "sync of site " + step.args[0] +
+                                        " failed: " + status.to_string());
+        }
+        note(step, "armed crash fired during sync");
+      } else {
+        note(step, "site " + step.args[0] + " synced");
       }
-      note(step, "site " + step.args[0] + " synced");
     } else if (step.command == "arm-crash") {
       auto site = site_of(line, step.args[0]);
       if (!site) return site.status();
@@ -428,12 +446,39 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
       if (point == storage::CrashPoint::kNone) {
         return syntax_error(line, "unknown crash point '" + step.args[1] + "'");
       }
+      const auto in = [point](auto& list) {
+        for (const storage::CrashPoint p : list) {
+          if (p == point) return true;
+        }
+        return false;
+      };
+      if (scenario.journal ? !in(storage::kJournalCrashPoints)
+                           : !in(storage::kAllCrashPoints)) {
+        return syntax_error(line, "crash point '" + step.args[1] +
+                                      "' not available with this store mode");
+      }
       auto nth = parse_number(line, step.args[2], "event index");
       if (!nth) return nth.status();
       group.crash_points(site.value())
           .arm(storage::CrashSchedule{point, nth.value()});
       note(step, "site " + step.args[0] + " armed at " + step.args[1] +
                      " #" + step.args[2]);
+    } else if (step.command == "checkpoint-site") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      const Status status = group.checkpoint_site(site.value());
+      if (!status.is_ok()) {
+        // An armed checkpoint crash point firing here is the expected way
+        // to tear a checkpoint; anything else is a real failure.
+        if (!group.crash_points(site.value()).crashed()) {
+          return expectation_failed(line,
+                                    "checkpoint of site " + step.args[0] +
+                                        " failed: " + status.to_string());
+        }
+        note(step, "armed crash fired during checkpoint");
+      } else {
+        note(step, "site " + step.args[0] + " checkpointed");
+      }
     } else if (step.command == "crash-site") {
       auto site = site_of(line, step.args[0]);
       if (!site) return site.status();

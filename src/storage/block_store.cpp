@@ -11,6 +11,11 @@ Status BlockStore::check_block(BlockId block) const {
   return Status::ok();
 }
 
+Status BlockStore::wait_durable(CommitSequence sequence) {
+  (void)sequence;  // stores without sequence tracking drain everything
+  return sync();
+}
+
 Status BlockStore::demote(BlockId block) {
   if (auto status = check_block(block); !status.is_ok()) return status;
   const std::vector<std::byte> zeros(block_size(), std::byte{0});

@@ -9,6 +9,7 @@
 #include <optional>
 #include <utility>
 
+#include "fd_io.hpp"
 #include "reldev/util/assert.hpp"
 #include "reldev/util/crc32.hpp"
 #include "reldev/util/logging.hpp"
@@ -239,14 +240,12 @@ Result<std::unique_ptr<FileBlockStore>> FileBlockStore::create(
     }
   }
   // The new store must be durable before anyone relies on it: fsync the
-  // file, then the directory entry that names it.
+  // file, then the directory entry that names it. A directory fsync the
+  // filesystem refuses (EINVAL/ENOTSUP-class) stays best-effort; a real
+  // I/O failure surfaces — see sync_parent_dir.
   if (auto status = store->sync(); !status.is_ok()) return status;
-  const auto parent = std::filesystem::path(path).parent_path();
-  const std::string dir = parent.empty() ? "." : parent.string();
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);  // best effort; some filesystems refuse dir fsync
-    ::close(dir_fd);
+  if (auto status = detail::sync_parent_dir(path); !status.is_ok()) {
+    return status;
   }
   return store;
 }

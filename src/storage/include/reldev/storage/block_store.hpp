@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "reldev/storage/block.hpp"
@@ -12,6 +13,11 @@
 #include "reldev/util/result.hpp"
 
 namespace reldev::storage {
+
+/// Monotonic per-store sequence number stamped on every accepted mutation.
+/// 0 means "nothing accepted yet"; sequences never repeat within one open
+/// store instance.
+using CommitSequence = std::uint64_t;
 
 class BlockStore {
  public:
@@ -45,6 +51,27 @@ class BlockStore {
   /// library: a write is "committed" once a sync() issued after it
   /// returned OK.
   [[nodiscard]] virtual Status sync() { return Status::ok(); }
+
+  // --- async-friendly commit/wait surface -----------------------------------
+  // sync() is "wait for everything"; stores that batch durability (the
+  // journaled store's group commit) expose the finer-grained form: read
+  // the sequence your mutation got, then wait for exactly that sequence.
+  // Defaults make every store trivially conformant: a store without
+  // sequence tracking reports 0/0 and wait_durable() degrades to sync().
+
+  /// Sequence of the most recently accepted mutation (0 = none, or the
+  /// store does not track sequences).
+  [[nodiscard]] virtual CommitSequence last_sequence() const noexcept {
+    return 0;
+  }
+  /// Highest sequence already crash-durable.
+  [[nodiscard]] virtual CommitSequence durable_sequence() const noexcept {
+    return last_sequence();
+  }
+  /// Block until every mutation up through `sequence` is crash-durable.
+  /// Callers that captured last_sequence() after their write wait for
+  /// exactly their own commit instead of draining the whole store.
+  [[nodiscard]] virtual Status wait_durable(CommitSequence sequence);
 
   /// Demote a block to "needs repair": version 0 with zeroed payload.
   /// Used when a local record turns out torn or corrupt — the consistency

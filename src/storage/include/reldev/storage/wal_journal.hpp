@@ -1,0 +1,124 @@
+// The write-ahead journal file behind JournaledBlockStore: an append-only
+// sidecar (`<store>.wal`) of CRC-32C-framed, sequence-numbered records.
+// Each record is one mutation (block write, metadata put, demote); a group
+// commit appends many records in one pwrite and makes them durable with
+// one fsync. Recovery scans the file front to back and stops at the first
+// frame that fails its CRC, length sanity, or sequence monotonicity check —
+// the committed prefix is exactly what replays, and the torn tail is
+// truncated, never fatal (the journal twin of the v2 opening scrub).
+//
+// This class is deliberately single-threaded: JournaledBlockStore's
+// group-commit batcher guarantees at most one appender/syncer at a time
+// (the commit leader), so the journal itself needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reldev/storage/block.hpp"
+#include "reldev/storage/version.hpp"
+#include "reldev/util/result.hpp"
+#include "reldev/util/serial.hpp"
+
+namespace reldev::storage {
+
+/// What one journal record does when replayed.
+enum class WalRecordType : std::uint8_t {
+  kBlockWrite = 1,  // block id + version + full payload
+  kMetadataPut = 2, // opaque metadata blob
+  kDemote = 3,      // block id (rewritten as version 0, zeroed)
+};
+
+/// One decoded journal record.
+struct WalRecord {
+  std::uint64_t sequence = 0;
+  WalRecordType type = WalRecordType::kBlockWrite;
+  BlockId block = 0;              // kBlockWrite / kDemote
+  VersionNumber version = 0;      // kBlockWrite
+  std::vector<std::byte> payload; // kBlockWrite (block data) / kMetadataPut
+};
+
+/// Append one encoded record frame to `batch` (the group-commit buffer).
+void wal_encode_block_write(BufferWriter& batch, std::uint64_t sequence,
+                            BlockId block, VersionNumber version,
+                            std::span<const std::byte> data);
+void wal_encode_metadata_put(BufferWriter& batch, std::uint64_t sequence,
+                             std::span<const std::byte> blob);
+void wal_encode_demote(BufferWriter& batch, std::uint64_t sequence,
+                       BlockId block);
+
+class WalJournal {
+ public:
+  /// Journal header size (magic, format, geometry, CRC).
+  static constexpr std::size_t kHeaderSize = 32;
+  /// Per-record frame prefix: u32 body length + u32 CRC-32C of the body.
+  static constexpr std::size_t kFrameHeader = 8;
+
+  /// What a recovery scan of the journal found.
+  struct ScanResult {
+    std::vector<WalRecord> records;  // the valid committed prefix, in order
+    std::uint64_t next_sequence = 1; // first sequence a new record may use
+    bool torn_tail = false;          // the scan stopped at a bad frame
+    std::uint64_t valid_end = 0;     // file offset the valid prefix ends at
+  };
+
+  /// Create a fresh, empty journal (truncating any existing file), synced
+  /// to disk before returning. `preallocate_bytes` pre-writes that many
+  /// bytes of zeros past the header: appends then overwrite the zeroed
+  /// region in place, so each group commit's fsync skips the ext4-journal
+  /// metadata commit a file-size change would cost. Zeros are a valid
+  /// scan terminator (a frame length of 0 ends the committed prefix), so
+  /// the preallocation is invisible to recovery.
+  static Result<std::unique_ptr<WalJournal>> create(
+      const std::string& path, std::size_t block_count, std::size_t block_size,
+      std::size_t preallocate_bytes = 0);
+
+  /// Open an existing journal: validate the header against the store
+  /// geometry, scan the committed prefix into `out`, and neutralize any
+  /// torn tail (overwrite it with zeros — preserving preallocation where
+  /// a truncate would discard it) so later appends never interleave with
+  /// garbage.
+  static Result<std::unique_ptr<WalJournal>> open(const std::string& path,
+                                                  std::size_t block_count,
+                                                  std::size_t block_size,
+                                                  ScanResult& out);
+
+  ~WalJournal();
+  WalJournal(const WalJournal&) = delete;
+  WalJournal& operator=(const WalJournal&) = delete;
+
+  /// Append a batch of encoded frames at the current end. No fsync: call
+  /// sync() to commit. The batch must be whole frames (the encoders above).
+  [[nodiscard]] Status append(std::span<const std::byte> batch);
+
+  /// fsync(2) the journal: every append before this call is now durable.
+  [[nodiscard]] Status sync();
+
+  /// Checkpoint reset: discard every record (they are folded into the
+  /// main store first) by zeroing the used region back to the bare
+  /// header, and fsync. The file keeps its high-water size so appends
+  /// stay in-place overwrites.
+  [[nodiscard]] Status reset();
+
+  /// Logical journal size (header + committed/appended frames); the file
+  /// itself may be longer (zeroed preallocation).
+  [[nodiscard]] std::uint64_t size() const noexcept { return end_; }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Crash-injection hook: append only `bytes` (e.g. half a batch) with no
+  /// bookkeeping, leaving exactly the torn tail a kernel crash mid-append
+  /// would leave. Unsafe by design; the store fail-stops right after.
+  [[nodiscard]] Status raw_append(std::span<const std::byte> bytes);
+
+ private:
+  WalJournal(std::string path, int fd, std::uint64_t end);
+
+  std::string path_;
+  int fd_;  // owned; closed in destructor
+  std::uint64_t end_;
+};
+
+}  // namespace reldev::storage

@@ -1,0 +1,336 @@
+#include "reldev/storage/wal_journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "fd_io.hpp"
+#include "reldev/storage/file_block_store.hpp"
+#include "reldev/util/assert.hpp"
+#include "reldev/util/crc32.hpp"
+#include "reldev/util/logging.hpp"
+
+namespace reldev::storage {
+
+namespace {
+
+using detail::ReadOutcome;
+
+// Journal file layout (format v1):
+//   [header: kHeaderSize bytes]
+//   [frame]* where frame = u32 body-length + u32 CRC-32C(body) + body
+//   body = u64 sequence + u8 record-type + type-specific fields
+constexpr std::uint32_t kWalMagic = 0x5244574A;  // "RDWJ"
+constexpr std::uint32_t kWalFormat = 1;
+
+// Body prefix: sequence (8) + type (1).
+constexpr std::size_t kBodyPrefix = 9;
+
+std::vector<std::byte> encode_wal_header(std::uint64_t block_count,
+                                         std::uint64_t block_size) {
+  BufferWriter writer(WalJournal::kHeaderSize);
+  writer.put_u32(kWalMagic);
+  writer.put_u32(kWalFormat);
+  writer.put_u64(block_count);
+  writer.put_u64(block_size);
+  writer.put_u32(0);  // reserved; pads the pre-CRC header to 28 bytes
+  writer.put_u32(crc32c(writer.bytes()));
+  RELDEV_ENSURES(writer.size() == WalJournal::kHeaderSize);
+  return std::move(writer).take();
+}
+
+Status check_wal_header(std::span<const std::byte> raw,
+                        std::uint64_t block_count, std::uint64_t block_size) {
+  if (raw.size() != WalJournal::kHeaderSize) {
+    return errors::corruption("short journal header");
+  }
+  const std::uint32_t expected = crc32c(raw.first(WalJournal::kHeaderSize - 4));
+  BufferReader reader(raw);
+  auto magic = reader.get_u32();
+  auto format = reader.get_u32();
+  auto count = reader.get_u64();
+  auto size = reader.get_u64();
+  auto reserved = reader.get_u32();
+  auto crc = reader.get_u32();
+  if (!magic || !format || !count || !size || !reserved || !crc) {
+    return errors::corruption("unreadable journal header");
+  }
+  if (magic.value() != kWalMagic) {
+    return errors::corruption("bad journal magic");
+  }
+  if (format.value() != kWalFormat) {
+    return errors::corruption("unsupported journal format " +
+                              std::to_string(format.value()));
+  }
+  if (crc.value() != expected) {
+    return errors::corruption("journal header CRC");
+  }
+  if (count.value() != block_count || size.value() != block_size) {
+    return errors::corruption("journal geometry does not match its store");
+  }
+  return Status::ok();
+}
+
+/// Frame one record body into `batch`.
+void put_frame(BufferWriter& batch, const BufferWriter& body) {
+  batch.put_u32(static_cast<std::uint32_t>(body.size()));
+  batch.put_u32(crc32c(body.bytes()));
+  batch.put_raw(body.bytes());
+}
+
+/// Decode one frame body; nullopt when malformed (torn tail).
+std::optional<WalRecord> decode_body(std::span<const std::byte> body,
+                                     std::size_t block_size) {
+  BufferReader reader(body);
+  auto sequence = reader.get_u64();
+  auto type = reader.get_u8();
+  if (!sequence || !type || sequence.value() == 0) return std::nullopt;
+  WalRecord record;
+  record.sequence = sequence.value();
+  switch (static_cast<WalRecordType>(type.value())) {
+    case WalRecordType::kBlockWrite: {
+      record.type = WalRecordType::kBlockWrite;
+      auto block = reader.get_u64();
+      auto version = reader.get_u64();
+      if (!block || !version) return std::nullopt;
+      auto payload = reader.get_raw(block_size);
+      if (!payload || !reader.exhausted()) return std::nullopt;
+      record.block = block.value();
+      record.version = version.value();
+      record.payload = std::move(payload).value();
+      return record;
+    }
+    case WalRecordType::kMetadataPut: {
+      record.type = WalRecordType::kMetadataPut;
+      auto blob = reader.get_bytes();
+      if (!blob || !reader.exhausted()) return std::nullopt;
+      record.payload = std::move(blob).value();
+      return record;
+    }
+    case WalRecordType::kDemote: {
+      record.type = WalRecordType::kDemote;
+      auto block = reader.get_u64();
+      if (!block || !reader.exhausted()) return std::nullopt;
+      record.block = block.value();
+      return record;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Overwrite [offset, offset + length) with zeros in buffered chunks.
+/// Zeros are the journal's end-of-log terminator, so this both erases
+/// torn garbage and re-establishes preallocation.
+Status write_zeros(int fd, std::uint64_t offset, std::uint64_t length) {
+  static constexpr std::size_t kChunk = 256u << 10;
+  const std::vector<std::byte> zeros(
+      static_cast<std::size_t>(std::min<std::uint64_t>(kChunk, length)));
+  while (length > 0) {
+    const auto step = std::min<std::uint64_t>(zeros.size(), length);
+    if (auto status = detail::write_at(fd, offset, zeros.data(),
+                                       static_cast<std::size_t>(step));
+        !status.is_ok()) {
+      return status;
+    }
+    offset += step;
+    length -= step;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+void wal_encode_block_write(BufferWriter& batch, std::uint64_t sequence,
+                            BlockId block, VersionNumber version,
+                            std::span<const std::byte> data) {
+  BufferWriter body(kBodyPrefix + 16 + data.size());
+  body.put_u64(sequence);
+  body.put_u8(static_cast<std::uint8_t>(WalRecordType::kBlockWrite));
+  body.put_u64(block);
+  body.put_u64(version);
+  body.put_raw(data);
+  put_frame(batch, body);
+}
+
+void wal_encode_metadata_put(BufferWriter& batch, std::uint64_t sequence,
+                             std::span<const std::byte> blob) {
+  BufferWriter body(kBodyPrefix + 4 + blob.size());
+  body.put_u64(sequence);
+  body.put_u8(static_cast<std::uint8_t>(WalRecordType::kMetadataPut));
+  body.put_bytes(blob);
+  put_frame(batch, body);
+}
+
+void wal_encode_demote(BufferWriter& batch, std::uint64_t sequence,
+                       BlockId block) {
+  BufferWriter body(kBodyPrefix + 8);
+  body.put_u64(sequence);
+  body.put_u8(static_cast<std::uint8_t>(WalRecordType::kDemote));
+  body.put_u64(block);
+  put_frame(batch, body);
+}
+
+WalJournal::WalJournal(std::string path, int fd, std::uint64_t end)
+    : path_(std::move(path)), fd_(fd), end_(end) {}
+
+WalJournal::~WalJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WalJournal>> WalJournal::create(
+    const std::string& path, std::size_t block_count, std::size_t block_size,
+    std::size_t preallocate_bytes) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return errors::io_error("cannot create " + path + ": " +
+                            detail::errno_text());
+  }
+  auto journal =
+      std::unique_ptr<WalJournal>(new WalJournal(path, fd, kHeaderSize));
+  const auto header = encode_wal_header(block_count, block_size);
+  if (auto status = detail::write_at(fd, 0, header.data(), header.size());
+      !status.is_ok()) {
+    return status;
+  }
+  if (preallocate_bytes > kHeaderSize) {
+    if (auto status =
+            write_zeros(fd, kHeaderSize, preallocate_bytes - kHeaderSize);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  if (auto status = detail::sync_fd(fd); !status.is_ok()) return status;
+  if (auto status = detail::sync_parent_dir(path); !status.is_ok()) {
+    return status;
+  }
+  return journal;
+}
+
+Result<std::unique_ptr<WalJournal>> WalJournal::open(const std::string& path,
+                                                     std::size_t block_count,
+                                                     std::size_t block_size,
+                                                     ScanResult& out) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return errors::io_error("cannot open " + path + ": " +
+                            detail::errno_text());
+  }
+  auto journal = std::unique_ptr<WalJournal>(new WalJournal(path, fd, 0));
+
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0) {
+    return errors::io_error("cannot stat " + path + ": " +
+                            detail::errno_text());
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  if (file_size < kHeaderSize) {
+    return errors::corruption("short journal header");
+  }
+  std::vector<std::byte> header(kHeaderSize);
+  auto got = detail::read_at(fd, 0, header.data(), header.size());
+  if (!got) return got.status();
+  if (got.value() == ReadOutcome::kShort) {
+    return errors::corruption("short journal header");
+  }
+  if (auto status = check_wal_header(header, block_count, block_size);
+      !status.is_ok()) {
+    return status;
+  }
+
+  // Scan the committed prefix. Frames must parse, CRC-check, and carry
+  // strictly increasing sequence numbers; the first violation is the torn
+  // tail a crash mid-append left, and everything from there on is cut.
+  std::vector<std::byte> tail(file_size - kHeaderSize);
+  if (!tail.empty()) {
+    auto read = detail::read_at(fd, kHeaderSize, tail.data(), tail.size());
+    if (!read) return read.status();
+    if (read.value() == ReadOutcome::kShort) {
+      return errors::io_error("journal shrank while scanning");
+    }
+  }
+  // No frame body can legitimately exceed a full block write or a full
+  // metadata blob; anything larger is tail garbage, not a record.
+  const std::size_t max_body =
+      kBodyPrefix + 16 + 4 +
+      std::max(block_size, FileBlockStore::kMetadataCapacity);
+  out = ScanResult{};
+  std::size_t offset = 0;
+  std::uint64_t last_sequence = 0;
+  while (offset + kFrameHeader <= tail.size()) {
+    BufferReader frame(std::span<const std::byte>(tail).subspan(offset));
+    const std::uint32_t length = frame.get_u32().value();
+    const std::uint32_t crc = frame.get_u32().value();
+    if (length == 0 || length > max_body ||
+        offset + kFrameHeader + length > tail.size()) {
+      break;
+    }
+    const auto body =
+        std::span<const std::byte>(tail).subspan(offset + kFrameHeader, length);
+    if (crc32c(body) != crc) break;
+    auto record = decode_body(body, block_size);
+    if (!record || record->sequence <= last_sequence) break;
+    last_sequence = record->sequence;
+    out.records.push_back(std::move(*record));
+    offset += kFrameHeader + length;
+  }
+  out.next_sequence = last_sequence + 1;
+  out.valid_end = kHeaderSize + offset;
+  journal->end_ = out.valid_end;
+
+  // Whatever follows the committed prefix is either untouched zeroed
+  // preallocation (a clean end of log) or the garbage a crash mid-append
+  // left. Only the latter counts as a torn tail, and it is neutralized by
+  // overwriting with zeros — restoring the end-of-log terminator without
+  // surrendering the preallocated region a truncate would discard.
+  const auto rest = std::span<const std::byte>(tail).subspan(offset);
+  out.torn_tail = std::any_of(rest.begin(), rest.end(), [](std::byte b) {
+    return b != std::byte{0};
+  });
+  if (out.torn_tail) {
+    RELDEV_WARN("wal") << path << ": zeroing torn tail ("
+                       << (file_size - out.valid_end) << " byte(s) past "
+                       << out.records.size() << " committed record(s))";
+    if (auto status =
+            write_zeros(fd, out.valid_end, file_size - out.valid_end);
+        !status.is_ok()) {
+      return status;
+    }
+    if (auto status = detail::sync_fd(fd); !status.is_ok()) return status;
+  }
+  return journal;
+}
+
+Status WalJournal::append(std::span<const std::byte> batch) {
+  if (auto status = detail::write_at(fd_, end_, batch.data(), batch.size());
+      !status.is_ok()) {
+    return status;
+  }
+  end_ += batch.size();
+  return Status::ok();
+}
+
+Status WalJournal::sync() { return detail::sync_fd(fd_); }
+
+Status WalJournal::reset() {
+  // Zero only the used region: everything past end_ is already zero (the
+  // preallocation invariant), and the file keeps its high-water size so
+  // future appends remain in-place overwrites with cheap fsyncs.
+  if (end_ > kHeaderSize) {
+    if (auto status = write_zeros(fd_, kHeaderSize, end_ - kHeaderSize);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  end_ = kHeaderSize;
+  return detail::sync_fd(fd_);
+}
+
+Status WalJournal::raw_append(std::span<const std::byte> bytes) {
+  return detail::write_at(fd_, end_, bytes.data(), bytes.size());
+}
+
+}  // namespace reldev::storage

@@ -1,6 +1,7 @@
 #include "reldev/util/crc32.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace reldev {
 
@@ -23,16 +24,53 @@ constexpr std::array<std::uint32_t, 256> make_table() {
 
 constexpr auto kTable = make_table();
 
-}  // namespace
-
-std::uint32_t crc32c(std::span<const std::byte> data,
-                     std::uint32_t seed) noexcept {
-  std::uint32_t crc = ~seed;
+std::uint32_t crc32c_sw(std::span<const std::byte> data,
+                        std::uint32_t crc) noexcept {
   for (const std::byte b : data) {
     crc = (crc >> 8) ^
           kTable[(crc ^ static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(b))) & 0xffu];
   }
-  return ~crc;
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RELDEV_CRC32C_HW 1
+// The SSE4.2 crc32 instruction computes exactly this reflected-Castagnoli
+// CRC, 8 bytes per issue instead of 1 byte per table lookup — the block
+// payload checksums on the storage write path are where this matters.
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    std::span<const std::byte> data, std::uint32_t crc) noexcept {
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, std::to_integer<std::uint8_t>(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+const bool kHaveHwCrc = __builtin_cpu_supports("sse4.2") != 0;
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed) noexcept {
+  const std::uint32_t crc = ~seed;
+#ifdef RELDEV_CRC32C_HW
+  if (kHaveHwCrc) return ~crc32c_hw(data, crc);
+#endif
+  return ~crc32c_sw(data, crc);
 }
 
 std::uint32_t crc32c(const void* data, std::size_t size,

@@ -30,9 +30,11 @@ class CorruptHealTest : public ::testing::TestWithParam<SchemeKind> {
             std::to_string(
                 ::testing::UnitTest::GetInstance()->random_seed()));
     std::filesystem::create_directories(dir_);
+    PersistentOptions persist;
+    persist.directory = dir_.string();
     group_.emplace(GetParam(),
                    GroupConfig::majority(kSites, kBlocks, kBlockSize),
-                   PersistentOptions{dir_.string()});
+                   persist);
   }
   ~CorruptHealTest() override {
     group_.reset();
