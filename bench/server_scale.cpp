@@ -1,0 +1,432 @@
+// SCALE: concurrent-connection scaling of the two server execution modes.
+// A non-blocking load generator (its own EventLoop shards, so 4k client
+// connections don't need 4k threads) drives closed-loop StateInquiry
+// round trips over C concurrent connections against a reactor server and
+// the thread-per-connection baseline, reporting ops/sec and p50/p99
+// latency per rung. This is the tentpole claim of the reactor rewrite:
+// throughput must hold as C grows past the point where a thread per
+// socket stops being a sane resource model.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reldev/net/tcp/event_loop.hpp"
+#include "reldev/net/tcp/tcp_client.hpp"
+#include "reldev/net/tcp/tcp_server.hpp"
+#include "reldev/util/flags.hpp"
+#include "reldev/util/serial.hpp"
+#include "reldev/util/table.hpp"
+
+using namespace reldev;
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Replies StateInfo immediately — the server-side cost under test is
+/// framing + dispatch, not handler work.
+class InquiryHandler : public net::MessageHandler {
+ public:
+  net::Message handle(const net::Message&) override {
+    return net::Message{0, net::StateInfo{net::SiteState::kAvailable, 1, {}}};
+  }
+  void handle_oneway(const net::Message&) override {}
+};
+
+/// The serialized request frame every connection replays.
+std::vector<std::byte> build_request_frame() {
+  const std::vector<std::byte> payload =
+      net::Message{0, net::StateInquiry{}}.encode();
+  const auto prefix = net::tcp::encode_frame_prefix(payload.size());
+  BufferWriter writer(net::tcp::kFramePrefixSize + payload.size() +
+                      net::tcp::kFrameTrailerSize);
+  writer.put_raw(prefix);
+  writer.put_raw(payload);
+  writer.put_u32(net::tcp::frame_crc(prefix, payload));
+  return {writer.bytes().begin(), writer.bytes().end()};
+}
+
+struct Summary {
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Closed-loop load generator: C connections spread over a few event-loop
+/// shards, each running write-request → read-reply → repeat. Latencies are
+/// recorded only while `recording_` is set, so warmup rounds (connection
+/// establishment, server-side buffer pools filling) stay out of the
+/// percentiles.
+class LoadGen {
+ public:
+  LoadGen(std::uint16_t port, std::size_t connections, std::size_t shard_count)
+      : port_(port), connections_(connections), frame_(build_request_frame()) {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->loop = net::tcp::EventLoop::create().value();
+      shards_.push_back(std::move(shard));
+    }
+  }
+
+  [[nodiscard]] Status connect_all() {
+    for (std::size_t i = 0; i < connections_; ++i) {
+      auto socket = net::tcp::Socket::connect("127.0.0.1", port_, 5000ms);
+      if (!socket.is_ok()) return socket.status();
+      if (auto status = socket.value().set_nonblocking(true); !status.is_ok()) {
+        return status;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->socket = std::move(socket.value());
+      shards_[i % shards_.size()]->conns.push_back(std::move(conn));
+    }
+    return Status::ok();
+  }
+
+  void start() {
+    for (auto& shard : shards_) {
+      shard->thread = std::thread([this, raw = shard.get()] {
+        // Arm every connection from the loop thread, then run.
+        raw->loop->post([this, raw] {
+          for (auto& conn : raw->conns) start_op(*raw, *conn);
+        });
+        raw->loop->run();
+      });
+    }
+  }
+
+  void set_recording(bool on) { recording_.store(on); }
+
+  /// Stop issuing new requests, close every connection, join the loops, and
+  /// aggregate the samples taken over `measured_seconds`.
+  [[nodiscard]] Summary finish(double measured_seconds) {
+    stop_.store(true);
+    for (auto& shard : shards_) {
+      shard->loop->post([this, raw = shard.get()] {
+        for (auto& conn : raw->conns) close_conn(*raw, *conn);
+        raw->loop->stop();
+      });
+    }
+    for (auto& shard : shards_) shard->thread.join();
+
+    Summary summary;
+    std::vector<double> latencies;
+    for (auto& shard : shards_) {
+      summary.errors += shard->errors;
+      for (auto& conn : shard->conns) {
+        latencies.insert(latencies.end(), conn->latencies.begin(),
+                         conn->latencies.end());
+      }
+    }
+    summary.ops = latencies.size();
+    summary.ops_per_sec =
+        measured_seconds > 0 ? static_cast<double>(summary.ops) / measured_seconds : 0;
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      const auto at = [&](double q) {
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(latencies.size() - 1));
+        return latencies[idx];
+      };
+      summary.p50_us = at(0.50);
+      summary.p99_us = at(0.99);
+    }
+    return summary;
+  }
+
+ private:
+  struct Conn {
+    net::tcp::Socket socket;
+    std::size_t write_off = 0;
+    std::vector<std::byte> got;           // reply bytes accumulated so far
+    std::array<std::byte, 4096> scratch;  // readv landing zone
+    Clock::time_point op_start;
+    std::vector<double> latencies;  // µs, recorded while recording_ is set
+    bool closed = false;
+  };
+  struct Shard {
+    std::unique_ptr<net::tcp::EventLoop> loop;
+    std::thread thread;
+    std::vector<std::unique_ptr<Conn>> conns;  // loop-thread-only after start
+    std::uint64_t errors = 0;
+  };
+
+  void start_op(Shard& shard, Conn& conn) {
+    if (conn.closed) return;
+    if (stop_.load(std::memory_order_relaxed)) {
+      close_conn(shard, conn);
+      return;
+    }
+    conn.op_start = Clock::now();
+    conn.write_off = 0;
+    conn.got.clear();
+    arm_write(shard, conn);
+  }
+
+  void arm_write(Shard& shard, Conn& conn) {
+    const iovec iov{
+        const_cast<std::byte*>(frame_.data()) + conn.write_off,
+        frame_.size() - conn.write_off,
+    };
+    shard.loop->async_writev(conn.socket.fd(), std::span<const iovec>(&iov, 1),
+                             [this, &shard, &conn](Result<std::size_t> n) {
+                               if (!n.is_ok()) {
+                                 fail(shard, conn);
+                                 return;
+                               }
+                               conn.write_off += n.value();
+                               if (conn.write_off < frame_.size()) {
+                                 arm_write(shard, conn);
+                               } else {
+                                 arm_read(shard, conn);
+                               }
+                             });
+  }
+
+  void arm_read(Shard& shard, Conn& conn) {
+    const iovec iov{conn.scratch.data(), conn.scratch.size()};
+    shard.loop->async_readv(conn.socket.fd(), std::span<const iovec>(&iov, 1),
+                            [this, &shard, &conn](Result<std::size_t> n) {
+                              if (!n.is_ok() || n.value() == 0) {
+                                fail(shard, conn);
+                                return;
+                              }
+                              conn.got.insert(conn.got.end(),
+                                              conn.scratch.begin(),
+                                              conn.scratch.begin() +
+                                                  static_cast<std::ptrdiff_t>(
+                                                      n.value()));
+                              on_bytes(shard, conn);
+                            });
+  }
+
+  void on_bytes(Shard& shard, Conn& conn) {
+    if (conn.got.size() < net::tcp::kFramePrefixSize) {
+      arm_read(shard, conn);
+      return;
+    }
+    const auto length = net::tcp::parse_frame_prefix(
+        std::span<const std::byte>(conn.got.data(),
+                                   net::tcp::kFramePrefixSize));
+    if (!length.is_ok()) {
+      fail(shard, conn);
+      return;
+    }
+    const std::size_t total = net::tcp::kFramePrefixSize + length.value() +
+                              net::tcp::kFrameTrailerSize;
+    if (conn.got.size() < total) {
+      arm_read(shard, conn);
+      return;
+    }
+    if (recording_.load(std::memory_order_relaxed)) {
+      conn.latencies.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() -
+                                                    conn.op_start)
+              .count());
+    }
+    start_op(shard, conn);
+  }
+
+  void fail(Shard& shard, Conn& conn) {
+    if (!conn.closed && !stop_.load(std::memory_order_relaxed)) {
+      ++shard.errors;
+    }
+    close_conn(shard, conn);
+  }
+
+  void close_conn(Shard& shard, Conn& conn) {
+    if (conn.closed) return;
+    conn.closed = true;
+    shard.loop->cancel(conn.socket.fd());
+    conn.socket.close();
+  }
+
+  const std::uint16_t port_;
+  const std::size_t connections_;
+  const std::vector<std::byte> frame_;
+  std::atomic<bool> recording_{false};
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// A named server configuration under test.
+struct ModeConfig {
+  const char* name;
+  net::tcp::ServerOptions options;
+};
+
+/// The configurations every rung measures. The gated reactor config runs
+/// handlers inline on the loop shards — the right setting for this
+/// bench's CPU-only handler, and the configuration the scaling claim is
+/// about — on the portable epoll backend. reactor-uring prefers io_uring
+/// (falling back to epoll where the kernel lacks it); measured here it
+/// trades some peak throughput for a much flatter p99, worth a row of its
+/// own. reactor-pool shows what the default worker-pool hop costs; the
+/// thread-per-connection baseline is what the reactor replaced.
+const std::array<ModeConfig, 4> kModes{{
+    {"reactor",
+     {.mode = net::tcp::ServerOptions::Mode::kReactor,
+      .inline_handlers = true}},
+    {"reactor-uring",
+     {.mode = net::tcp::ServerOptions::Mode::kReactor,
+      .inline_handlers = true,
+      .backend = net::tcp::EventLoop::Backend::kIoUring}},
+    {"reactor-pool", {.mode = net::tcp::ServerOptions::Mode::kReactor}},
+    {"thread-per-conn",
+     {.mode = net::tcp::ServerOptions::Mode::kThreadPerConnection}},
+}};
+
+/// One rung: start a server in `mode`, drive `clients` connections for the
+/// configured interval, return the aggregated summary.
+Result<Summary> run_rung(const ModeConfig& mode, std::size_t clients,
+                         std::chrono::milliseconds warmup,
+                         std::chrono::milliseconds duration) {
+  InquiryHandler handler;
+  auto server = net::tcp::TcpServer::start(0, &handler, mode.options);
+  if (!server.is_ok()) return server.status();
+
+  // Two generator shards: enough to keep the loopback busy without the
+  // generator itself becoming a thread-scaling experiment.
+  LoadGen gen(server.value()->port(), clients, 2);
+  if (auto status = gen.connect_all(); !status.is_ok()) return status;
+  gen.start();
+  std::this_thread::sleep_for(warmup);
+  gen.set_recording(true);
+  std::this_thread::sleep_for(duration);
+  gen.set_recording(false);
+  Summary summary = gen.finish(
+      std::chrono::duration<double>(duration).count());
+  server.value()->stop();
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.add_int("duration-ms", 2000, "measured interval per rung");
+  flags.add_int("warmup-ms", 400, "unrecorded warmup per rung");
+  flags.add_int("clients", 0, "run only this rung (0 = the standard ladder)");
+  flags.add_bool("smoke", false, "small ladder and short intervals (CI)");
+  flags.add_bool("csv", false, "emit CSV");
+  flags.add_string("json", "", "write a machine-readable summary to this path");
+  if (auto status = flags.parse(argc, argv); !status.is_ok()) {
+    std::cerr << status.to_string() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("server_scale");
+    return 0;
+  }
+  const bool smoke = flags.get_bool("smoke");
+  const auto duration =
+      std::chrono::milliseconds(smoke ? 600 : flags.get_int("duration-ms"));
+  const auto warmup =
+      std::chrono::milliseconds(smoke ? 200 : flags.get_int("warmup-ms"));
+  std::vector<std::size_t> ladder{16, 256, 1000, 4000};
+  if (smoke) ladder = {16, 256};
+  if (const auto only = flags.get_int("clients"); only > 0) {
+    ladder = {static_cast<std::size_t>(only)};
+  }
+
+  TextTable table({"clients", "mode", "ops/sec", "p50 (us)", "p99 (us)",
+                   "ops", "errors"});
+  table.set_title(
+      "SCALE: closed-loop StateInquiry round trips at C concurrent "
+      "connections — reactor shards vs a thread per socket");
+
+  struct Row {
+    std::size_t clients;
+    const char* mode;
+    Summary summary;
+  };
+  std::vector<Row> rows;
+  for (const std::size_t clients : ladder) {
+    for (const ModeConfig& mode : kModes) {
+      auto summary = run_rung(mode, clients, warmup, duration);
+      if (!summary.is_ok()) {
+        std::cerr << "rung " << clients << "/" << mode.name
+                  << " failed: " << summary.status().to_string() << '\n';
+        return 1;
+      }
+      rows.push_back(Row{clients, mode.name, summary.value()});
+      const Summary& s = summary.value();
+      table.add_row({std::to_string(clients), mode.name,
+                     TextTable::fmt(s.ops_per_sec, 0),
+                     TextTable::fmt(s.p50_us, 0), TextTable::fmt(s.p99_us, 0),
+                     std::to_string(s.ops), std::to_string(s.errors)});
+    }
+  }
+
+  if (const std::string path = flags.get_string("json"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << '\n';
+      return 1;
+    }
+    out << "{\n  \"bench\": \"server_scale\",\n  \"duration_ms\": "
+        << duration.count() << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out << "    {\"clients\": " << row.clients << ", \"mode\": \""
+          << row.mode << "\", \"ops_per_sec\": "
+          << row.summary.ops_per_sec << ", \"p50_us\": " << row.summary.p50_us
+          << ", \"p99_us\": " << row.summary.p99_us
+          << ", \"ops\": " << row.summary.ops
+          << ", \"errors\": " << row.summary.errors << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // Acceptance gates. The 16-client rung tolerates scheduler noise (single
+  // shared box). The scaling gate runs at the top rung measured: where the
+  // thread-per-connection collapse lands depends on cores — on a 1-core
+  // host the crossover sits between 1k and 4k clients (at 1k the kernel
+  // still schedules a thousand mostly-blocked threads respectably; at 4k
+  // it no longer does), so intermediate rungs are reported, not gated.
+  const auto find = [&](std::size_t clients,
+                        const char* mode) -> const Summary* {
+    for (const Row& row : rows) {
+      if (row.clients == clients && std::strcmp(row.mode, mode) == 0) {
+        return &row.summary;
+      }
+    }
+    return nullptr;
+  };
+  bool ok = true;
+  if (const Summary* reactor = find(16, "reactor")) {
+    const Summary* baseline = find(16, "thread-per-conn");
+    const bool pass =
+        baseline != nullptr &&
+        reactor->ops_per_sec >= 0.75 * baseline->ops_per_sec;
+    ok = ok && pass;
+    std::cout << (pass ? "PASS" : "FAIL")
+              << ": reactor holds the 16-client baseline (>= 0.75x)\n";
+  }
+  const std::size_t top = ladder.back();
+  if (top >= 1000) {
+    const Summary* reactor = find(top, "reactor");
+    const Summary* baseline = find(top, "thread-per-conn");
+    const bool pass = reactor != nullptr && baseline != nullptr &&
+                      reactor->ops_per_sec >= 2.0 * baseline->ops_per_sec;
+    ok = ok && pass;
+    std::cout << (pass ? "PASS" : "FAIL") << ": reactor >= 2x "
+              << "thread-per-connection at " << top << " clients\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -39,6 +39,11 @@ class Socket {
   void set_recv_timeout(std::chrono::milliseconds timeout) noexcept;
   void set_send_timeout(std::chrono::milliseconds timeout) noexcept;
 
+  /// Switch O_NONBLOCK on or off. Event-loop-owned sockets run non-blocking
+  /// (all waiting happens in the loop, never in a syscall); the blocking
+  /// read/write helpers below must not be used while non-blocking is set.
+  [[nodiscard]] Status set_nonblocking(bool enabled);
+
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
@@ -82,6 +87,11 @@ class Acceptor {
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Switch O_NONBLOCK on the listening descriptor (reactor accept path:
+  /// the loop accepts on readiness instead of blocking in accept()).
+  [[nodiscard]] Status set_nonblocking(bool enabled);
 
   /// Wake a thread blocked in accept() without invalidating the
   /// descriptor. Safe to call concurrently with accept(); close() is not —

@@ -30,12 +30,26 @@ namespace reldev::net::tcp {
 /// hiccup rather than an indefinite hang.
 inline constexpr std::chrono::milliseconds kDefaultCallTimeout{5000};
 
+/// Bounds on the per-endpoint idle-connection pool.
+struct PoolOptions {
+  /// Idle sockets kept per endpoint; releases beyond the cap close the
+  /// socket. Enough for the fan-out concurrency a small replica group
+  /// generates.
+  std::size_t max_idle = 8;
+  /// Idle sockets older than this are evicted instead of reused — a
+  /// connection parked across a server restart or NAT timeout fails its
+  /// first write anyway, so don't let them pile up. Zero disables age
+  /// eviction.
+  std::chrono::milliseconds max_idle_age{30000};
+};
+
 /// One logical connection to a server, backed by a pool of sockets so
 /// concurrent calls proceed in parallel.
 class TcpChannel {
  public:
   TcpChannel(std::string host, std::uint16_t port,
-             std::chrono::milliseconds timeout = kDefaultCallTimeout);
+             std::chrono::milliseconds timeout = kDefaultCallTimeout,
+             const PoolOptions& pool = PoolOptions{});
 
   /// Send `request`, wait for the reply, bounded by the channel timeout.
   /// Reconnects and retries ONLY while the request was provably not
@@ -55,6 +69,22 @@ class TcpChannel {
   [[nodiscard]] std::chrono::milliseconds timeout() const
       RELDEV_EXCLUDES(mutex_);
 
+  /// Replace the pool bounds. Applies to future acquire/release decisions;
+  /// surplus idle sockets are trimmed immediately.
+  void set_pool_options(const PoolOptions& pool) RELDEV_EXCLUDES(mutex_);
+
+  /// Calls served by a pooled socket vs. a fresh connect. A stale pooled
+  /// socket that fails and forces a reconnect counts as both a hit (it was
+  /// tried) and a miss (the connect that replaced it).
+  [[nodiscard]] std::uint64_t pool_hits() const noexcept {
+    return pool_hits_.load();
+  }
+  [[nodiscard]] std::uint64_t pool_misses() const noexcept {
+    return pool_misses_.load();
+  }
+  /// Idle sockets currently parked.
+  [[nodiscard]] std::size_t idle_connections() const RELDEV_EXCLUDES(mutex_);
+
  private:
   /// Pop an idle pooled socket, or connect a fresh one within `remaining`.
   /// `pooled` reports which happened (pooled sockets may be stale). The
@@ -63,11 +93,23 @@ class TcpChannel {
       RELDEV_EXCLUDES(mutex_);
   void release(Socket socket) RELDEV_EXCLUDES(mutex_);
 
+  /// An idle pooled socket and when it was parked (for age eviction).
+  struct IdleSocket {
+    Socket socket;
+    std::chrono::steady_clock::time_point since;
+  };
+
+  /// Drop idle entries older than the age bound or beyond the size cap.
+  void evict_locked() RELDEV_REQUIRES(mutex_);
+
   std::string host_;
   std::uint16_t port_;
   mutable Mutex mutex_;
   std::chrono::milliseconds timeout_ RELDEV_GUARDED_BY(mutex_);
-  std::vector<Socket> idle_ RELDEV_GUARDED_BY(mutex_);
+  PoolOptions pool_ RELDEV_GUARDED_BY(mutex_);
+  std::vector<IdleSocket> idle_ RELDEV_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> pool_hits_{0};
+  std::atomic<std::uint64_t> pool_misses_{0};
 };
 
 /// Transport over per-site TCP channels. Always unique addressing: real
@@ -89,6 +131,13 @@ class TcpPeerTransport final : public Transport {
   /// Per-call deadline applied to every channel (existing and future).
   void set_call_timeout(std::chrono::milliseconds timeout)
       RELDEV_EXCLUDES(mutex_);
+
+  /// Pool bounds applied to every channel (existing and future).
+  void set_pool_options(const PoolOptions& pool) RELDEV_EXCLUDES(mutex_);
+
+  /// Pool hit/miss totals aggregated across all per-site channels.
+  [[nodiscard]] std::uint64_t pool_hits() const RELDEV_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t pool_misses() const RELDEV_EXCLUDES(mutex_);
 
   /// The meter must outlive this transport: straggler replies are counted
   /// from worker threads until the destructor has drained them. Atomic —
@@ -114,11 +163,12 @@ class TcpPeerTransport final : public Transport {
   std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>> channels_for(
       SiteId from, const SiteSet& to) RELDEV_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  mutable Mutex mutex_;
   std::map<SiteId, std::shared_ptr<TcpChannel>> channels_
       RELDEV_GUARDED_BY(mutex_);
   std::chrono::milliseconds call_timeout_ RELDEV_GUARDED_BY(mutex_){
       kDefaultCallTimeout};
+  PoolOptions pool_options_ RELDEV_GUARDED_BY(mutex_);
   std::atomic<TrafficMeter*> meter_{nullptr};
 
   // Outstanding fan-out tasks; the destructor blocks until zero so no task

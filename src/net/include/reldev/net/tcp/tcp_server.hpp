@@ -1,21 +1,68 @@
 // A TCP message server: accepts connections, reads framed Messages, passes
-// them to a MessageHandler, writes the framed reply. Thread-per-connection;
-// suitable for the small replica groups this system targets. This is the
-// process boundary of the paper's Figure 1/2 — the "user-state server".
+// them to a MessageHandler, writes the framed reply. This is the process
+// boundary of the paper's Figure 1/2 — the "user-state server".
+//
+// Two execution modes share one interface:
+//   * kReactor (default): N event-loop shards (epoll, or io_uring where
+//     available) drive non-blocking frame state machines; connections are
+//     assigned to shards round-robin and handlers run on a small worker
+//     pool. Connection count no longer implies thread count.
+//   * kThreadPerConnection: the original blocking design, one thread per
+//     accepted socket. Kept as the comparison baseline for
+//     bench/server_scale and for debugging (a stuck handler is trivially
+//     visible in a thread dump).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <thread>
-#include <vector>
 
+#include "reldev/net/tcp/event_loop.hpp"
 #include "reldev/net/tcp/framing.hpp"
 #include "reldev/net/transport.hpp"
-#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::net::tcp {
+
+struct ServerOptions {
+  enum class Mode : std::uint8_t { kReactor = 0, kThreadPerConnection = 1 };
+
+  Mode mode = Mode::kReactor;
+  /// Event-loop shards (reactor mode). 0 = hardware_concurrency.
+  std::size_t loop_shards = 0;
+  /// Handler worker threads (reactor mode). 0 = max(8, hardware_concurrency):
+  /// handlers may block (storage I/O, fan-out to peers), so the floor is
+  /// set by acceptable blocking-handler concurrency, not by core count.
+  std::size_t handler_threads = 0;
+  /// Run handlers directly on the owning loop shard instead of the worker
+  /// pool (reactor mode). Only for handlers that never block — a blocking
+  /// handler stalls every connection on its shard. Skips two cross-thread
+  /// hops per request, which is the right trade for cheap CPU-only
+  /// handlers; the default pool is the right one for handlers that do
+  /// storage I/O or fan out to peers.
+  bool inline_handlers = false;
+  /// Preferred loop backend; kIoUring silently falls back to epoll when the
+  /// kernel or build lacks it.
+  EventLoop::Backend backend = EventLoop::Backend::kEpoll;
+  /// Close connections idle at a frame boundary for this long (reactor
+  /// mode). Zero disables the idle reaper.
+  std::chrono::milliseconds idle_timeout{0};
+};
+
+/// Frame counters shared by both server modes. All monotonic except
+/// active_connections.
+struct ServerCounters {
+  /// Frames whose CRC trailer (or magic) failed verification: the request
+  /// was rejected before decoding and the connection torn down.
+  std::atomic<std::uint64_t> corrupted_frames{0};
+  /// Frames rejected for framing-protocol violations (oversized declared
+  /// length). Like corrupt frames, these cost the sender its connection.
+  std::atomic<std::uint64_t> rejected_frames{0};
+  /// Well-formed frames served (decoded and dispatched to the handler).
+  std::atomic<std::uint64_t> served_frames{0};
+  /// Currently-open connections.
+  std::atomic<std::size_t> active_connections{0};
+};
 
 class TcpServer {
  public:
@@ -23,61 +70,48 @@ class TcpServer {
   /// request to `handler`. The handler must be thread-safe or internally
   /// serialized; it must outlive the server.
   static Result<std::unique_ptr<TcpServer>> start(std::uint16_t port,
-                                                  MessageHandler* handler);
+                                                  MessageHandler* handler,
+                                                  const ServerOptions& options);
+  static Result<std::unique_ptr<TcpServer>> start(std::uint16_t port,
+                                                  MessageHandler* handler) {
+    return start(port, handler, ServerOptions{});
+  }
 
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  [[nodiscard]] std::uint16_t port() const noexcept { return acceptor_.port(); }
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] ServerOptions::Mode mode() const noexcept;
+  /// The loop backend actually in use (reactor mode; kEpoll in
+  /// thread-per-connection mode).
+  [[nodiscard]] EventLoop::Backend backend() const noexcept;
 
-  /// Frames whose CRC trailer (or magic) failed verification: the request
-  /// was rejected before decoding and the connection torn down. Exposed so
-  /// operators and the chaos tests can see injected corruption being
-  /// caught rather than silently decoded.
   [[nodiscard]] std::uint64_t corrupted_frames() const noexcept {
-    return corrupted_frames_.load();
+    return counters_.corrupted_frames.load();
   }
-
-  /// Frames rejected for framing-protocol violations (oversized declared
-  /// length). Like corrupt frames, these cost the sender its connection.
   [[nodiscard]] std::uint64_t rejected_frames() const noexcept {
-    return rejected_frames_.load();
+    return counters_.rejected_frames.load();
   }
-
-  /// Well-formed frames served (decoded and dispatched to the handler).
   [[nodiscard]] std::uint64_t served_frames() const noexcept {
-    return served_frames_.load();
+    return counters_.served_frames.load();
+  }
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return counters_.active_connections.load();
   }
 
-  /// Stop accepting, close all connections, join all threads.
-  void stop() RELDEV_EXCLUDES(mutex_);
+  /// Stop accepting, close every connection — including ones mid-request —
+  /// and join all threads. Prompt: does not wait for idle peers to go away.
+  void stop();
+
+  /// Both server modes, for tests parameterized over execution model.
+  class Impl;
 
  private:
-  TcpServer(Acceptor acceptor, MessageHandler* handler);
-  void accept_loop() RELDEV_EXCLUDES(mutex_);
-  void serve_connection(const std::shared_ptr<Socket>& socket);
-  /// Join workers whose connections have closed. A worker cannot join
-  /// itself, so it parks its id in `finished_` and the accept thread (or
-  /// stop()) joins it — keeping the worker map bounded by the number of
-  /// *live* connections instead of growing for the server's lifetime.
-  void reap_finished() RELDEV_EXCLUDES(mutex_);
+  TcpServer() = default;
 
-  Acceptor acceptor_;
-  MessageHandler* handler_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> corrupted_frames_{0};
-  std::atomic<std::uint64_t> rejected_frames_{0};
-  std::atomic<std::uint64_t> served_frames_{0};
-  std::thread accept_thread_;
-  Mutex mutex_;
-  std::uint64_t next_worker_id_ RELDEV_GUARDED_BY(mutex_) = 0;
-  std::map<std::uint64_t, std::thread> workers_ RELDEV_GUARDED_BY(mutex_);
-  std::vector<std::uint64_t> finished_ RELDEV_GUARDED_BY(mutex_);
-  // Live connection sockets, shut down by stop() so workers blocked in
-  // recv() wake up and exit.
-  std::map<std::uint64_t, std::shared_ptr<Socket>> connections_
-      RELDEV_GUARDED_BY(mutex_);
+  ServerCounters counters_;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace reldev::net::tcp

@@ -1,0 +1,111 @@
+// Private pieces shared by the EventLoop backends (epoll, io_uring): the
+// pending-operation record and the lazy-cancellation timer heap. Not
+// installed — include only from src/net/tcp/*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "reldev/net/tcp/event_loop.hpp"
+
+namespace reldev::net::tcp::detail {
+
+/// One armed I/O operation. Owned by the loop until its completion handler
+/// has been invoked (or the op was cancelled).
+struct PendingOp {
+  enum class Kind : std::uint8_t { kAccept, kRead, kWrite };
+
+  Kind kind = Kind::kRead;
+  int fd = -1;
+  // The iovec array is copied at arm time (the caller's span may die), but
+  // the buffers it points into must outlive the operation.
+  std::array<iovec, EventLoop::kMaxIov> iov{};
+  unsigned iov_count = 0;
+  EventLoop::IoHandler io_handler;
+  EventLoop::AcceptHandler accept_handler;
+  // io_uring only: submitted-to-kernel ops cannot be dropped synchronously;
+  // a cancelled op's CQE is awaited and discarded.
+  bool cancelled = false;
+  std::uint64_t user_data = 0;
+};
+
+/// Min-heap of one-shot timers with lazy cancellation (cancelled ids stay
+/// in the heap and are skipped when they surface). Loop-thread-only.
+class TimerHeap {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  EventLoop::TimerId add(std::chrono::milliseconds delay,
+                         EventLoop::Task task) {
+    const EventLoop::TimerId id = next_id_++;
+    heap_.push_back(Entry{Clock::now() + delay, id, std::move(task)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return id;
+  }
+
+  void cancel(EventLoop::TimerId id) { cancelled_.insert(id); }
+
+  /// Milliseconds until the nearest live timer (>= 0), or nullopt when no
+  /// timers are armed.
+  [[nodiscard]] std::optional<int> next_timeout_ms() {
+    drop_cancelled_top();
+    if (heap_.empty()) return std::nullopt;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        heap_.front().deadline - Clock::now());
+    return static_cast<int>(std::max<std::int64_t>(remaining.count(), 0));
+  }
+
+  /// Pop every timer due now, in deadline order.
+  [[nodiscard]] std::vector<EventLoop::Task> take_due() {
+    std::vector<EventLoop::Task> due;
+    const auto now = Clock::now();
+    for (;;) {
+      drop_cancelled_top();
+      if (heap_.empty() || heap_.front().deadline > now) break;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      due.push_back(std::move(heap_.back().task));
+      heap_.pop_back();
+    }
+    return due;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    Clock::time_point deadline;
+    EventLoop::TimerId id;
+    EventLoop::Task task;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.deadline > b.deadline;
+    }
+  };
+
+  void drop_cancelled_top() {
+    while (!heap_.empty() && cancelled_.erase(heap_.front().id) > 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventLoop::TimerId> cancelled_;
+  EventLoop::TimerId next_id_ = 1;
+};
+
+/// io_uring factory + probe, implemented in io_uring_loop.cpp. Returns
+/// nullptr / false when the backend is compiled out (RELDEV_IO_URING=OFF)
+/// or the kernel lacks the required features.
+[[nodiscard]] std::unique_ptr<EventLoop> make_io_uring_loop();
+[[nodiscard]] bool probe_io_uring();
+
+}  // namespace reldev::net::tcp::detail

@@ -1,0 +1,514 @@
+// io_uring backend for EventLoop, written against the raw kernel ABI
+// (io_uring_setup / io_uring_enter / mmap'ed rings) — no liburing
+// dependency. Compiled in when RELDEV_IO_URING=ON and the kernel headers
+// are new enough; selected at runtime only when the running kernel
+// advertises IORING_FEAT_FAST_POLL (readiness handled in-kernel, no
+// EAGAIN bouncing) and IORING_FEAT_EXT_ARG (timed waits without a timeout
+// SQE). Anything less falls back to epoll.
+//
+// Submission is batched: operations armed during a callback round are
+// staged in a queue and flushed as one block of SQEs with a single
+// io_uring_enter per loop iteration — under load, one syscall carries an
+// entire shard's worth of reads, writes and accepts.
+#include "event_loop_internal.hpp"
+
+#if defined(RELDEV_IO_URING) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/syscall.h>
+#if defined(IORING_ENTER_EXT_ARG) && defined(IORING_FEAT_FAST_POLL) && \
+    defined(__NR_io_uring_setup)
+#define RELDEV_IO_URING_USABLE 1
+#endif
+#endif
+
+#if defined(RELDEV_IO_URING_USABLE)
+
+#include <linux/time_types.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "reldev/util/logging.hpp"
+#include "reldev/util/thread_annotations.hpp"
+
+namespace reldev::net::tcp::detail {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+constexpr std::uint32_t kRequiredFeatures =
+    IORING_FEAT_FAST_POLL | IORING_FEAT_EXT_ARG;
+
+/// The mmap'ed ring views. Pointer arithmetic mirrors liburing's
+/// io_uring_queue_mmap; offsets come from io_uring_params.
+struct Ring {
+  int fd = -1;
+  // Submission side.
+  unsigned* sq_head = nullptr;  // kernel-written consumer index
+  unsigned* sq_tail = nullptr;  // our producer index
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* sq_array = nullptr;
+  io_uring_sqe* sqes = nullptr;
+  // Completion side.
+  unsigned* cq_head = nullptr;  // our consumer index
+  unsigned* cq_tail = nullptr;  // kernel-written producer index
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+  // Mappings, for teardown.
+  void* sq_ring_ptr = MAP_FAILED;
+  std::size_t sq_ring_bytes = 0;
+  void* cq_ring_ptr = MAP_FAILED;  // == sq_ring_ptr under FEAT_SINGLE_MMAP
+  std::size_t cq_ring_bytes = 0;
+  void* sqe_ptr = MAP_FAILED;
+  std::size_t sqe_bytes = 0;
+};
+
+void unmap_ring(Ring& ring) {
+  if (ring.sqe_ptr != MAP_FAILED) ::munmap(ring.sqe_ptr, ring.sqe_bytes);
+  if (ring.cq_ring_ptr != MAP_FAILED && ring.cq_ring_ptr != ring.sq_ring_ptr) {
+    ::munmap(ring.cq_ring_ptr, ring.cq_ring_bytes);
+  }
+  if (ring.sq_ring_ptr != MAP_FAILED) {
+    ::munmap(ring.sq_ring_ptr, ring.sq_ring_bytes);
+  }
+  if (ring.fd >= 0) ::close(ring.fd);
+  ring = Ring{};
+}
+
+bool map_ring(unsigned entries, Ring& ring) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  ring.fd = sys_io_uring_setup(entries, &params);
+  if (ring.fd < 0) return false;
+  if ((params.features & kRequiredFeatures) != kRequiredFeatures) {
+    unmap_ring(ring);
+    return false;
+  }
+  ring.sq_ring_bytes =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  ring.cq_ring_bytes =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    ring.sq_ring_bytes = std::max(ring.sq_ring_bytes, ring.cq_ring_bytes);
+    ring.cq_ring_bytes = ring.sq_ring_bytes;
+  }
+  ring.sq_ring_ptr =
+      ::mmap(nullptr, ring.sq_ring_bytes, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring.fd, IORING_OFF_SQ_RING);
+  if (ring.sq_ring_ptr == MAP_FAILED) {
+    unmap_ring(ring);
+    return false;
+  }
+  ring.cq_ring_ptr =
+      single_mmap ? ring.sq_ring_ptr
+                  : ::mmap(nullptr, ring.cq_ring_bytes,
+                           PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                           ring.fd, IORING_OFF_CQ_RING);
+  if (ring.cq_ring_ptr == MAP_FAILED) {
+    unmap_ring(ring);
+    return false;
+  }
+  ring.sqe_bytes = params.sq_entries * sizeof(io_uring_sqe);
+  ring.sqe_ptr = ::mmap(nullptr, ring.sqe_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring.fd, IORING_OFF_SQES);
+  if (ring.sqe_ptr == MAP_FAILED) {
+    unmap_ring(ring);
+    return false;
+  }
+  auto* sq_base = static_cast<std::byte*>(ring.sq_ring_ptr);
+  ring.sq_head = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  ring.sq_tail = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  ring.sq_mask =
+      *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  ring.sq_entries = params.sq_entries;
+  ring.sq_array = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+  ring.sqes = static_cast<io_uring_sqe*>(ring.sqe_ptr);
+  auto* cq_base = static_cast<std::byte*>(ring.cq_ring_ptr);
+  ring.cq_head = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  ring.cq_tail = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  ring.cq_mask =
+      *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  ring.cqes = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+  return true;
+}
+
+// Reserved user_data values. Real operations get ids from a monotonic
+// counter starting at 1, so stale CQEs can never be confused with a
+// recycled operation (the id space is never reused).
+constexpr std::uint64_t kWakeData = 0;
+constexpr std::uint64_t kDiscardData = ~std::uint64_t{0};
+
+class UringLoop final : public EventLoop {
+ public:
+  static std::unique_ptr<EventLoop> make() {
+    Ring ring;
+    if (!map_ring(/*entries=*/256, ring)) return nullptr;
+    const int event_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (event_fd < 0) {
+      unmap_ring(ring);
+      return nullptr;
+    }
+    return std::unique_ptr<EventLoop>(new UringLoop(ring, event_fd));
+  }
+
+  ~UringLoop() override {
+    ::close(event_fd_);
+    unmap_ring(ring_);
+  }
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kIoUring;
+  }
+
+  void run() override {
+    arm_wake();
+    while (!stopping_.load(std::memory_order_acquire)) {
+      drain_posted();
+      for (auto& task : timers_.take_due()) task();
+      if (stopping_.load(std::memory_order_acquire)) break;
+
+      const unsigned staged = stage_submissions();
+      // If the SQ ring could not hold everything, don't block: reap, free
+      // ring space, and come back for the remainder.
+      const unsigned min_complete = submit_queue_.empty() ? 1 : 0;
+      unsigned flags = IORING_ENTER_GETEVENTS;
+      io_uring_getevents_arg arg;
+      std::memset(&arg, 0, sizeof(arg));
+      __kernel_timespec ts{};
+      const void* argp = nullptr;
+      std::size_t argsz = 0;
+      const auto timeout = timers_.next_timeout_ms();
+      if (timeout.has_value() && min_complete > 0) {
+        ts.tv_sec = *timeout / 1000;
+        ts.tv_nsec = static_cast<long long>(*timeout % 1000) * 1000000;
+        arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+        argp = &arg;
+        argsz = sizeof(arg);
+        flags |= IORING_ENTER_EXT_ARG;
+      }
+      const int rc = sys_io_uring_enter(ring_.fd, staged, min_complete, flags,
+                                        argp, argsz);
+      if (rc < 0 && errno != EINTR && errno != ETIME && errno != EBUSY) {
+        RELDEV_WARN("event-loop")
+            << "io_uring_enter: " << std::strerror(errno);
+        break;
+      }
+      reap_completions();
+    }
+  }
+
+  void stop() override {
+    stopping_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  void post(Task task) override {
+    {
+      const MutexLock lock(mutex_);
+      if (stopping_.load(std::memory_order_acquire)) return;  // dropped
+      posted_.push_back(std::move(task));
+    }
+    wake();
+  }
+
+  void async_accept(int listen_fd, AcceptHandler on_accept) override {
+    auto op = std::make_unique<PendingOp>();
+    op->kind = PendingOp::Kind::kAccept;
+    op->fd = listen_fd;
+    op->accept_handler = std::move(on_accept);
+    arm(std::move(op));
+  }
+
+  void async_readv(int fd, std::span<const iovec> iov,
+                   IoHandler on_done) override {
+    arm(make_io_op(PendingOp::Kind::kRead, fd, iov, std::move(on_done)));
+  }
+
+  void async_writev(int fd, std::span<const iovec> iov,
+                    IoHandler on_done) override {
+    arm(make_io_op(PendingOp::Kind::kWrite, fd, iov, std::move(on_done)));
+  }
+
+  void cancel(int fd) override {
+    auto it = fd_index_.find(fd);
+    if (it == fd_index_.end()) return;
+    for (const std::uint64_t id : {it->second.read_id, it->second.write_id}) {
+      if (id == 0) continue;
+      auto op = ops_.find(id);
+      if (op == ops_.end()) continue;
+      // The kernel may already own this SQE; mark the op so its CQE is
+      // discarded whenever it lands, and ask the kernel to hurry it along.
+      op->second->cancelled = true;
+      submit_queue_.push_back(Submission{Submission::Type::kCancel, id});
+    }
+    fd_index_.erase(it);
+  }
+
+  TimerId add_timer(std::chrono::milliseconds delay, Task task) override {
+    return timers_.add(delay, std::move(task));
+  }
+
+  void cancel_timer(TimerId id) override { timers_.cancel(id); }
+
+ private:
+  struct Submission {
+    enum class Type : std::uint8_t { kOp, kCancel, kWake };
+    Type type;
+    std::uint64_t user_data;  // op id, or cancel target
+  };
+  struct FdOps {
+    std::uint64_t read_id = 0;
+    std::uint64_t write_id = 0;
+  };
+
+  UringLoop(const Ring& ring, int event_fd)
+      : ring_(ring), event_fd_(event_fd) {
+    wake_iov_.iov_base = &wake_buf_;
+    wake_iov_.iov_len = sizeof(wake_buf_);
+  }
+
+  static std::unique_ptr<PendingOp> make_io_op(PendingOp::Kind kind, int fd,
+                                               std::span<const iovec> iov,
+                                               IoHandler on_done) {
+    RELDEV_EXPECTS(iov.size() <= kMaxIov && !iov.empty());
+    auto op = std::make_unique<PendingOp>();
+    op->kind = kind;
+    op->fd = fd;
+    op->iov_count = static_cast<unsigned>(iov.size());
+    std::copy(iov.begin(), iov.end(), op->iov.begin());
+    op->io_handler = std::move(on_done);
+    return op;
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    (void)::write(event_fd_, &one, sizeof(one));
+  }
+
+  void drain_posted() {
+    std::vector<Task> tasks;
+    {
+      const MutexLock lock(mutex_);
+      tasks.swap(posted_);
+    }
+    for (auto& task : tasks) task();
+  }
+
+  void arm(std::unique_ptr<PendingOp> op) {
+    const std::uint64_t id = next_id_++;
+    op->user_data = id;
+    auto& index = fd_index_[op->fd];
+    auto& slot =
+        op->kind == PendingOp::Kind::kWrite ? index.write_id : index.read_id;
+    RELDEV_EXPECTS(slot == 0);  // one op per class per fd
+    slot = id;
+    ops_.emplace(id, std::move(op));
+    submit_queue_.push_back(Submission{Submission::Type::kOp, id});
+  }
+
+  void arm_wake() {
+    submit_queue_.push_back(Submission{Submission::Type::kWake, kWakeData});
+  }
+
+  io_uring_sqe* try_get_sqe() {
+    const unsigned head = __atomic_load_n(ring_.sq_head, __ATOMIC_ACQUIRE);
+    if (sq_local_tail_ - head >= ring_.sq_entries) return nullptr;  // full
+    const unsigned slot = sq_local_tail_ & ring_.sq_mask;
+    io_uring_sqe* sqe = &ring_.sqes[slot];
+    std::memset(sqe, 0, sizeof(*sqe));
+    ring_.sq_array[slot] = slot;
+    ++sq_local_tail_;
+    return sqe;
+  }
+
+  /// Move staged submissions into SQEs and publish the tail. Returns the
+  /// number of SQEs this iteration hands to io_uring_enter.
+  unsigned stage_submissions() {
+    while (!submit_queue_.empty()) {
+      const Submission sub = submit_queue_.front();
+      if (sub.type == Submission::Type::kOp) {
+        auto it = ops_.find(sub.user_data);
+        if (it == ops_.end() || it->second->cancelled) {
+          // Cancelled before it ever reached the kernel: complete the
+          // cancellation locally, no CQE will come.
+          if (it != ops_.end()) ops_.erase(it);
+          submit_queue_.pop_front();
+          continue;
+        }
+        io_uring_sqe* sqe = try_get_sqe();
+        if (sqe == nullptr) break;
+        fill_op_sqe(*sqe, *it->second);
+      } else {
+        io_uring_sqe* sqe = try_get_sqe();
+        if (sqe == nullptr) break;
+        if (sub.type == Submission::Type::kWake) {
+          sqe->opcode = IORING_OP_READV;
+          sqe->fd = event_fd_;
+          sqe->addr = reinterpret_cast<std::uint64_t>(&wake_iov_);
+          sqe->len = 1;
+          sqe->user_data = kWakeData;
+        } else {
+          sqe->opcode = IORING_OP_ASYNC_CANCEL;
+          sqe->fd = -1;
+          sqe->addr = sub.user_data;  // target op
+          sqe->user_data = kDiscardData;
+        }
+      }
+      submit_queue_.pop_front();
+    }
+    __atomic_store_n(ring_.sq_tail, sq_local_tail_, __ATOMIC_RELEASE);
+    const unsigned head = __atomic_load_n(ring_.sq_head, __ATOMIC_ACQUIRE);
+    return sq_local_tail_ - head;
+  }
+
+  static void fill_op_sqe(io_uring_sqe& sqe, const PendingOp& op) {
+    sqe.fd = op.fd;
+    sqe.user_data = op.user_data;
+    switch (op.kind) {
+      case PendingOp::Kind::kAccept:
+        sqe.opcode = IORING_OP_ACCEPT;
+        sqe.accept_flags = SOCK_NONBLOCK;
+        break;
+      case PendingOp::Kind::kRead:
+      case PendingOp::Kind::kWrite:
+        sqe.opcode = op.kind == PendingOp::Kind::kRead ? IORING_OP_READV
+                                                       : IORING_OP_WRITEV;
+        sqe.addr = reinterpret_cast<std::uint64_t>(op.iov.data());
+        sqe.len = op.iov_count;
+        break;
+    }
+  }
+
+  void reap_completions() {
+    unsigned head = *ring_.cq_head;  // only this thread advances it
+    for (;;) {
+      const unsigned tail =
+          __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
+      if (head == tail) break;
+      const io_uring_cqe cqe = ring_.cqes[head & ring_.cq_mask];
+      ++head;
+      // Publish per-CQE so handlers that arm new I/O never see a full CQ.
+      __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
+      handle_cqe(cqe);
+    }
+  }
+
+  void handle_cqe(const io_uring_cqe& cqe) {
+    if (cqe.user_data == kDiscardData) return;  // ASYNC_CANCEL's own result
+    if (cqe.user_data == kWakeData) {
+      wake_buf_ = 0;
+      arm_wake();  // posted tasks drain at the top of the loop
+      return;
+    }
+    auto it = ops_.find(cqe.user_data);
+    if (it == ops_.end()) return;  // stale (should not happen: ids are unique)
+    std::unique_ptr<PendingOp> op = std::move(it->second);
+    ops_.erase(it);
+    if (op->cancelled) return;  // handler must never fire
+    if (cqe.res == -EINTR || cqe.res == -EAGAIN ||
+        (op->kind == PendingOp::Kind::kAccept && cqe.res == -ECONNABORTED)) {
+      resubmit(std::move(op));
+      return;
+    }
+    clear_fd_index(*op);
+    if (op->kind == PendingOp::Kind::kAccept) {
+      if (cqe.res >= 0) {
+        op->accept_handler(cqe.res);
+      } else {
+        op->accept_handler(errors::io_error(std::string("io_uring accept: ") +
+                                            std::strerror(-cqe.res)));
+      }
+      return;
+    }
+    if (cqe.res >= 0) {
+      op->io_handler(static_cast<std::size_t>(cqe.res));
+    } else {
+      op->io_handler(errors::io_error(
+          std::string(op->kind == PendingOp::Kind::kRead ? "io_uring readv: "
+                                                         : "io_uring writev: ") +
+          std::strerror(-cqe.res)));
+    }
+  }
+
+  void resubmit(std::unique_ptr<PendingOp> op) {
+    const std::uint64_t id = op->user_data;
+    ops_.emplace(id, std::move(op));
+    submit_queue_.push_back(Submission{Submission::Type::kOp, id});
+  }
+
+  void clear_fd_index(const PendingOp& op) {
+    auto it = fd_index_.find(op.fd);
+    if (it == fd_index_.end()) return;
+    if (it->second.read_id == op.user_data) it->second.read_id = 0;
+    if (it->second.write_id == op.user_data) it->second.write_id = 0;
+    if (it->second.read_id == 0 && it->second.write_id == 0) {
+      fd_index_.erase(it);
+    }
+  }
+
+  Ring ring_;
+  const int event_fd_;
+  std::atomic<bool> stopping_{false};
+  Mutex mutex_;
+  std::vector<Task> posted_ RELDEV_GUARDED_BY(mutex_);
+  // Everything below is loop-thread-only.
+  std::unordered_map<std::uint64_t, std::unique_ptr<PendingOp>> ops_;
+  std::unordered_map<int, FdOps> fd_index_;
+  std::deque<Submission> submit_queue_;
+  unsigned sq_local_tail_ = 0;  // producer tail, published on flush
+  std::uint64_t next_id_ = 1;
+  std::uint64_t wake_buf_ = 0;
+  iovec wake_iov_{};
+  TimerHeap timers_;
+};
+
+}  // namespace
+
+std::unique_ptr<EventLoop> make_io_uring_loop() {
+  if (!probe_io_uring()) return nullptr;
+  return UringLoop::make();
+}
+
+bool probe_io_uring() {
+  static const bool available = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = sys_io_uring_setup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return (params.features & kRequiredFeatures) == kRequiredFeatures;
+  }();
+  return available;
+}
+
+}  // namespace reldev::net::tcp::detail
+
+#else  // !RELDEV_IO_URING_USABLE
+
+namespace reldev::net::tcp::detail {
+
+std::unique_ptr<EventLoop> make_io_uring_loop() { return nullptr; }
+bool probe_io_uring() { return false; }
+
+}  // namespace reldev::net::tcp::detail
+
+#endif

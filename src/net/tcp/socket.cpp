@@ -113,6 +113,28 @@ timeval to_timeval(std::chrono::milliseconds timeout) {
 }
 }  // namespace
 
+namespace {
+Status fd_set_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_status("fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) < 0) {
+    return errno_status("fcntl(F_SETFL)");
+  }
+  return Status::ok();
+}
+}  // namespace
+
+Status Socket::set_nonblocking(bool enabled) {
+  RELDEV_EXPECTS(valid());
+  return fd_set_nonblocking(fd_, enabled);
+}
+
+Status Acceptor::set_nonblocking(bool enabled) {
+  RELDEV_EXPECTS(valid());
+  return fd_set_nonblocking(fd_, enabled);
+}
+
 void Socket::set_recv_timeout(std::chrono::milliseconds timeout) noexcept {
   if (fd_ < 0) return;
   const timeval tv = to_timeval(timeout);

@@ -9,10 +9,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Idle sockets kept per endpoint. Enough for the fan-out concurrency a
-/// small replica group generates; extras are closed on release.
-constexpr std::size_t kMaxIdlePerEndpoint = 8;
-
 std::chrono::milliseconds remaining_until(Clock::time_point deadline) {
   return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
                                                                Clock::now());
@@ -21,8 +17,9 @@ std::chrono::milliseconds remaining_until(Clock::time_point deadline) {
 }  // namespace
 
 TcpChannel::TcpChannel(std::string host, std::uint16_t port,
-                       std::chrono::milliseconds timeout)
-    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+                       std::chrono::milliseconds timeout,
+                       const PoolOptions& pool)
+    : host_(std::move(host)), port_(port), timeout_(timeout), pool_(pool) {}
 
 void TcpChannel::set_timeout(std::chrono::milliseconds timeout) {
   const MutexLock lock(mutex_);
@@ -39,25 +36,57 @@ void TcpChannel::disconnect() {
   idle_.clear();
 }
 
+void TcpChannel::set_pool_options(const PoolOptions& pool) {
+  const MutexLock lock(mutex_);
+  pool_ = pool;
+  evict_locked();
+}
+
+std::size_t TcpChannel::idle_connections() const {
+  const MutexLock lock(mutex_);
+  return idle_.size();
+}
+
+void TcpChannel::evict_locked() {
+  // Age first: entries are LIFO, so the stalest live at the front.
+  if (pool_.max_idle_age.count() > 0) {
+    const auto cutoff = Clock::now() - pool_.max_idle_age;
+    std::size_t expired = 0;
+    while (expired < idle_.size() && idle_[expired].since < cutoff) ++expired;
+    idle_.erase(idle_.begin(),
+                idle_.begin() + static_cast<std::ptrdiff_t>(expired));
+  }
+  if (idle_.size() > pool_.max_idle) {
+    idle_.erase(idle_.begin(),
+                idle_.begin() +
+                    static_cast<std::ptrdiff_t>(idle_.size() - pool_.max_idle));
+  }
+}
+
 Result<Socket> TcpChannel::acquire(bool& pooled,
                                    std::chrono::milliseconds remaining) {
   {
     const MutexLock lock(mutex_);
+    evict_locked();
     if (!idle_.empty()) {
-      Socket socket = std::move(idle_.back());
+      Socket socket = std::move(idle_.back().socket);
       idle_.pop_back();
       pooled = true;
+      pool_hits_.fetch_add(1);
       return socket;
     }
   }
   pooled = false;
+  pool_misses_.fetch_add(1);
   return Socket::connect(host_, port_, remaining);
 }
 
 void TcpChannel::release(Socket socket) {
   if (!socket.valid()) return;
   const MutexLock lock(mutex_);
-  if (idle_.size() < kMaxIdlePerEndpoint) idle_.push_back(std::move(socket));
+  if (idle_.size() < pool_.max_idle) {
+    idle_.push_back(IdleSocket{std::move(socket), Clock::now()});
+  }
 }
 
 Result<Message> TcpChannel::call(const Message& request) {
@@ -118,7 +147,8 @@ TcpPeerTransport::~TcpPeerTransport() {
 void TcpPeerTransport::set_endpoint(SiteId site, const std::string& host,
                                     std::uint16_t port) {
   const MutexLock lock(mutex_);
-  channels_[site] = std::make_shared<TcpChannel>(host, port, call_timeout_);
+  channels_[site] =
+      std::make_shared<TcpChannel>(host, port, call_timeout_, pool_options_);
 }
 
 void TcpPeerTransport::remove_endpoint(SiteId site) {
@@ -130,6 +160,28 @@ void TcpPeerTransport::set_call_timeout(std::chrono::milliseconds timeout) {
   const MutexLock lock(mutex_);
   call_timeout_ = timeout;
   for (auto& [site, channel] : channels_) channel->set_timeout(timeout);
+}
+
+void TcpPeerTransport::set_pool_options(const PoolOptions& pool) {
+  const MutexLock lock(mutex_);
+  pool_options_ = pool;
+  for (auto& [site, channel] : channels_) channel->set_pool_options(pool);
+}
+
+std::uint64_t TcpPeerTransport::pool_hits() const {
+  const MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [site, channel] : channels_) total += channel->pool_hits();
+  return total;
+}
+
+std::uint64_t TcpPeerTransport::pool_misses() const {
+  const MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [site, channel] : channels_) {
+    total += channel->pool_misses();
+  }
+  return total;
 }
 
 std::shared_ptr<TcpChannel> TcpPeerTransport::channel(SiteId site) {

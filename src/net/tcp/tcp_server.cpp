@@ -1,123 +1,641 @@
 #include "reldev/net/tcp/tcp_server.hpp"
 
-#include <utility>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <deque>
+#include <future>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "reldev/util/buffer_arena.hpp"
 #include "reldev/util/logging.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 namespace reldev::net::tcp {
 
-Result<std::unique_ptr<TcpServer>> TcpServer::start(std::uint16_t port,
-                                                    MessageHandler* handler) {
+class TcpServer::Impl {
+ public:
+  virtual ~Impl() = default;
+  [[nodiscard]] virtual std::uint16_t port() const noexcept = 0;
+  [[nodiscard]] virtual ServerOptions::Mode mode() const noexcept = 0;
+  [[nodiscard]] virtual EventLoop::Backend backend() const noexcept = 0;
+  virtual void stop() = 0;
+};
+
+namespace {
+
+/// Classify a failed read_frame / frame validation into the server's
+/// counters. Returns true when the failure deserves a warning (corruption
+/// or protocol violation) rather than being normal connection churn.
+bool count_bad_frame(const Status& status, ServerCounters& counters) {
+  if (status.code() == ErrorCode::kCorruption) {
+    counters.corrupted_frames.fetch_add(1);
+    RELDEV_WARN("tcp-server") << "corrupt frame rejected: "
+                              << status.to_string();
+    return true;
+  }
+  if (status.code() == ErrorCode::kProtocol) {
+    counters.rejected_frames.fetch_add(1);
+    RELDEV_WARN("tcp-server") << "frame rejected: " << status.to_string();
+    return true;
+  }
+  if (status.code() != ErrorCode::kUnavailable) {
+    RELDEV_DEBUG("tcp-server") << "connection error: " << status.to_string();
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Thread-per-connection baseline (the original server).
+// --------------------------------------------------------------------------
+
+class ThreadedImpl final : public TcpServer::Impl {
+ public:
+  ThreadedImpl(Acceptor acceptor, MessageHandler* handler,
+               ServerCounters* counters)
+      : acceptor_(std::move(acceptor)), handler_(handler),
+        counters_(counters) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~ThreadedImpl() override { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const noexcept override {
+    return port_;
+  }
+  [[nodiscard]] ServerOptions::Mode mode() const noexcept override {
+    return ServerOptions::Mode::kThreadPerConnection;
+  }
+  [[nodiscard]] EventLoop::Backend backend() const noexcept override {
+    return EventLoop::Backend::kEpoll;
+  }
+
+  void stop() override RELDEV_EXCLUDES(mutex_) {
+    if (stopping_.exchange(true)) return;
+    // shutdown() wakes the accept loop without racing its fd reads; the
+    // descriptor is only closed once the thread has been joined.
+    acceptor_.shutdown();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    acceptor_.close();
+    std::map<std::uint64_t, std::thread> workers;
+    {
+      const MutexLock lock(mutex_);
+      // Wake every worker blocked in recv() on a live connection.
+      for (const auto& [id, connection] : connections_) {
+        connection->shutdown();
+      }
+      workers.swap(workers_);
+      finished_.clear();
+    }
+    for (auto& [id, worker] : workers) {
+      if (worker.joinable()) worker.join();
+    }
+    const MutexLock lock(mutex_);
+    connections_.clear();
+  }
+
+ private:
+  /// Join workers whose connections have closed. A worker cannot join
+  /// itself, so it parks its id in `finished_` and the accept thread (or
+  /// stop()) joins it — keeping the worker map bounded by the number of
+  /// *live* connections instead of growing for the server's lifetime.
+  void reap_finished() RELDEV_EXCLUDES(mutex_) {
+    std::vector<std::thread> done;
+    {
+      const MutexLock lock(mutex_);
+      done.reserve(finished_.size());
+      for (const std::uint64_t id : finished_) {
+        auto it = workers_.find(id);
+        if (it == workers_.end()) continue;  // stop() already took it
+        done.push_back(std::move(it->second));
+        workers_.erase(it);
+      }
+      finished_.clear();
+    }
+    for (auto& worker : done) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  void accept_loop() RELDEV_EXCLUDES(mutex_) {
+    while (!stopping_.load()) {
+      auto socket = acceptor_.accept();
+      reap_finished();
+      if (!socket) {
+        if (stopping_.load()) break;
+        RELDEV_WARN("tcp-server")
+            << "accept failed: " << socket.status().to_string();
+        break;
+      }
+      auto connection = std::make_shared<Socket>(std::move(socket).value());
+      const MutexLock lock(mutex_);
+      if (stopping_.load()) break;
+      const std::uint64_t id = next_worker_id_++;
+      connections_.emplace(id, connection);
+      counters_->active_connections.fetch_add(1);
+      workers_.emplace(id, std::thread([this, id, connection] {
+                         serve_connection(*connection);
+                         counters_->active_connections.fetch_sub(1);
+                         const MutexLock done_lock(mutex_);
+                         connections_.erase(id);
+                         finished_.push_back(id);
+                       }));
+    }
+  }
+
+  void serve_connection(Socket& socket) {
+    while (!stopping_.load()) {
+      auto frame = read_frame(socket);
+      if (!frame) {
+        count_bad_frame(frame.status(), *counters_);
+        return;  // peer is gone or stream is corrupt; drop the connection
+      }
+      counters_->served_frames.fetch_add(1);
+      auto request = Message::decode(frame.value());
+      Message reply = request ? handler_->handle(request.value())
+                              : make_error(0, request.status());
+      const auto encoded = reply.encode();
+      if (auto status = write_frame(socket, encoded); !status.is_ok()) {
+        RELDEV_DEBUG("tcp-server") << "reply failed: " << status.to_string();
+        return;
+      }
+    }
+  }
+
+  Acceptor acceptor_;
+  const std::uint16_t port_ = acceptor_.port();
+  MessageHandler* handler_;
+  ServerCounters* counters_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  Mutex mutex_;
+  std::uint64_t next_worker_id_ RELDEV_GUARDED_BY(mutex_) = 0;
+  std::map<std::uint64_t, std::thread> workers_ RELDEV_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> finished_ RELDEV_GUARDED_BY(mutex_);
+  // Live connection sockets, shut down by stop() so workers blocked in
+  // recv() wake up and exit.
+  std::map<std::uint64_t, std::shared_ptr<Socket>> connections_
+      RELDEV_GUARDED_BY(mutex_);
+};
+
+// --------------------------------------------------------------------------
+// Reactor mode: sharded event loops + a handler worker pool.
+// --------------------------------------------------------------------------
+
+/// Fixed pool executing MessageHandler calls so a slow handler stalls one
+/// worker, not an event loop. stop() drains queued jobs before joining.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t threads) {
+    for (std::size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+
+  ~WorkerPool() { stop(); }
+
+  void submit(std::function<void()> job) RELDEV_EXCLUDES(mutex_) {
+    {
+      const MutexLock lock(mutex_);
+      if (stopping_) return;  // dropped; the server is shutting down
+      queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  void stop() RELDEV_EXCLUDES(mutex_) {
+    {
+      const MutexLock lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+ private:
+  void worker() RELDEV_EXCLUDES(mutex_) {
+    for (;;) {
+      std::function<void()> job;
+      {
+        const MutexLock lock(mutex_);
+        while (queue_.empty() && !stopping_) cv_.wait(mutex_);
+        if (queue_.empty()) return;  // stopping and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RELDEV_GUARDED_BY(mutex_);
+  bool stopping_ RELDEV_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> threads_;
+};
+
+class ReactorImpl final : public TcpServer::Impl {
+ public:
+  ReactorImpl(Acceptor acceptor, MessageHandler* handler,
+              ServerCounters* counters, const ServerOptions& options,
+              std::vector<std::unique_ptr<EventLoop>> loops)
+      : acceptor_(std::move(acceptor)), handler_(handler),
+        counters_(counters), options_(options),
+        backend_(loops.front()->backend()),
+        pool_(options.inline_handlers
+                  ? 0
+                  : (options.handler_threads != 0
+                         ? options.handler_threads
+                         : std::max<std::size_t>(
+                               8, std::thread::hardware_concurrency()))) {
+    shards_.reserve(loops.size());
+    for (auto& loop : loops) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->loop = std::move(loop);
+    }
+    for (auto& shard : shards_) {
+      shard->thread = std::thread([&shard] { shard->loop->run(); });
+    }
+    run_on_shard(0, [this] { arm_accept(); });
+  }
+
+  ~ReactorImpl() override { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const noexcept override {
+    return port_;
+  }
+  [[nodiscard]] ServerOptions::Mode mode() const noexcept override {
+    return ServerOptions::Mode::kReactor;
+  }
+  [[nodiscard]] EventLoop::Backend backend() const noexcept override {
+    return backend_;
+  }
+
+  void stop() override {
+    if (stopping_.exchange(true)) return;
+    // 1. Stop accepting: drop the pending accept op, close the listener.
+    run_on_shard(0, [this] { shards_[0]->loop->cancel(acceptor_.fd()); });
+    acceptor_.close();
+    // 2. Close every connection — including ones mid-request — on its own
+    //    shard. In-flight handler results find conn->closed and are dropped.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      run_on_shard(i, [this, i] {
+        auto conns = std::move(shards_[i]->conns);
+        for (auto& [fd, conn] : conns) conn->close();
+      });
+    }
+    // 3. Drain the handler pool. Completions posted to the still-running
+    //    loops see closed connections and do nothing.
+    pool_.stop();
+    // 4. Now the loops can go.
+    for (auto& shard : shards_) {
+      shard->loop->stop();
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+
+ private:
+  struct Conn;
+
+  /// One event loop plus its thread and the connections it owns. `conns`
+  /// is touched only from the shard's loop thread (registration happens in
+  /// posted tasks), so it needs no lock.
+  struct Shard {
+    std::unique_ptr<EventLoop> loop;
+    std::thread thread;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  };
+
+  /// Per-connection frame state machine. Owned by exactly one shard and
+  /// mutated only on that shard's loop thread; the worker pool touches a
+  /// Conn only to post completions back to its loop. Strict cycle per
+  /// connection — read frame, dispatch, write reply, read again — so
+  /// replies keep request order without sequence numbers.
+  struct Conn : std::enable_shared_from_this<Conn> {
+    ReactorImpl* server = nullptr;
+    Shard* shard = nullptr;
+    int fd = -1;
+    bool closed = false;
+    // Read state: the fixed prefix lands in `prefix`; payload + CRC
+    // trailer land in one arena buffer that travels to the worker, so
+    // payload bytes are written exactly once between recv() and decode.
+    std::array<std::byte, kFramePrefixSize> prefix{};
+    bool reading_body = false;
+    std::uint32_t body_len = 0;
+    util::ArenaBuffer body;
+    std::size_t read_off = 0;
+    // Write state: prefix / payload / trailer go out as one gather write,
+    // never concatenated into a single buffer.
+    std::array<std::byte, kFramePrefixSize> write_prefix{};
+    std::vector<std::byte> write_payload;
+    std::array<std::byte, kFrameTrailerSize> write_trailer{};
+    std::size_t write_off = 0;
+    // Bumped on every completed read/write; the idle reaper closes the
+    // connection when a full idle_timeout passes without a bump.
+    std::uint64_t activity = 0;
+
+    void close() {
+      if (closed) return;
+      closed = true;
+      shard->loop->cancel(fd);
+      ::close(fd);
+      server->counters_->active_connections.fetch_sub(1);
+      shard->conns.erase(fd);  // may already be gone during stop()
+    }
+
+    void arm_read() {
+      auto self = shared_from_this();
+      iovec iov{};
+      if (!reading_body) {
+        iov = {prefix.data() + read_off, kFramePrefixSize - read_off};
+      } else {
+        iov = {body.data() + read_off,
+               body_len + kFrameTrailerSize - read_off};
+      }
+      shard->loop->async_readv(
+          fd, std::span<const iovec>(&iov, 1),
+          [self](Result<std::size_t> n) { self->on_read(std::move(n)); });
+    }
+
+    void on_read(Result<std::size_t> n) {
+      if (!n.is_ok()) {
+        RELDEV_DEBUG("tcp-server")
+            << "connection error: " << n.status().to_string();
+        close();
+        return;
+      }
+      if (n.value() == 0) {  // EOF
+        if (reading_body || read_off != 0) {
+          RELDEV_DEBUG("tcp-server") << "connection closed mid-frame";
+        }
+        close();
+        return;
+      }
+      read_off += n.value();
+      ++activity;
+      if (!reading_body) {
+        if (read_off < kFramePrefixSize) {
+          arm_read();
+          return;
+        }
+        const auto length = parse_frame_prefix(prefix);
+        if (!length) {
+          count_bad_frame(length.status(), *server->counters_);
+          close();
+          return;
+        }
+        body_len = length.value();
+        body = util::BufferArena::shared().acquire(body_len + kFrameTrailerSize);
+        reading_body = true;
+        read_off = 0;
+        arm_read();
+        return;
+      }
+      if (read_off < body_len + kFrameTrailerSize) {
+        arm_read();
+        return;
+      }
+      finish_frame();
+    }
+
+    void finish_frame() {
+      const std::span<const std::byte> payload(body.data(), body_len);
+      const std::uint32_t crc = decode_frame_trailer(std::span<const std::byte>(
+          body.data() + body_len, kFrameTrailerSize));
+      if (frame_crc(prefix, payload) != crc) {
+        count_bad_frame(errors::corruption("frame CRC mismatch"),
+                        *server->counters_);
+        close();
+        return;
+      }
+      server->counters_->served_frames.fetch_add(1);
+      const std::uint32_t length = body_len;
+      reading_body = false;
+      read_off = 0;
+      if (server->options_.inline_handlers) {
+        // Non-blocking handlers run right here on the loop shard: no pool
+        // hop, no cross-thread wakeup per request.
+        const util::ArenaBuffer request = std::move(body);
+        start_write(run_handler(server->handler_, request, length));
+        return;
+      }
+      // Hand the payload — still in the arena buffer, zero copies since
+      // recv — to the worker pool; the reply comes back via the loop.
+      auto self = shared_from_this();
+      // std::function requires copyable targets; the move-only arena
+      // buffer rides in a shared_ptr.
+      auto frame = std::make_shared<util::ArenaBuffer>(std::move(body));
+      server->pool_.submit([self, frame, length] {
+        std::vector<std::byte> encoded =
+            run_handler(self->server->handler_, *frame, length);
+        EventLoop* loop = self->shard->loop.get();
+        loop->post([self, encoded = std::move(encoded)]() mutable {
+          if (self->closed) return;  // connection died while we worked
+          self->start_write(std::move(encoded));
+        });
+      });
+    }
+
+    /// Decode, dispatch, encode: the per-request work that runs on a pool
+    /// worker (default) or inline on the loop shard (inline_handlers).
+    static std::vector<std::byte> run_handler(MessageHandler* handler,
+                                              const util::ArenaBuffer& frame,
+                                              std::uint32_t length) {
+      const std::span<const std::byte> request_bytes(frame.data(), length);
+      auto request = Message::decode(request_bytes);
+      Message reply = request ? handler->handle(request.value())
+                              : make_error(0, request.status());
+      return reply.encode();
+    }
+
+    void start_write(std::vector<std::byte> payload) {
+      if (payload.size() > kMaxFramePayload) {
+        RELDEV_WARN("tcp-server") << "reply too large; dropping connection";
+        close();
+        return;
+      }
+      write_prefix = encode_frame_prefix(payload.size());
+      write_payload = std::move(payload);
+      const std::uint32_t crc = frame_crc(write_prefix, write_payload);
+      BufferWriter trailer(kFrameTrailerSize);
+      trailer.put_u32(crc);
+      std::copy(trailer.bytes().begin(), trailer.bytes().end(),
+                write_trailer.begin());
+      write_off = 0;
+      arm_write();
+    }
+
+    void arm_write() {
+      // Gather the un-sent suffix of prefix|payload|trailer into at most
+      // three iovecs; the payload is never copied into a frame buffer.
+      std::array<iovec, 3> iov{};
+      std::size_t count = 0;
+      std::size_t skip = write_off;
+      const auto add = [&](const std::byte* data, std::size_t size) {
+        if (size <= skip) {
+          skip -= size;
+          return;
+        }
+        iov[count++] = {const_cast<std::byte*>(data + skip), size - skip};
+        skip = 0;
+      };
+      add(write_prefix.data(), write_prefix.size());
+      add(write_payload.data(), write_payload.size());
+      add(write_trailer.data(), write_trailer.size());
+      auto self = shared_from_this();
+      shard->loop->async_writev(
+          fd, std::span<const iovec>(iov.data(), count),
+          [self](Result<std::size_t> n) { self->on_write(std::move(n)); });
+    }
+
+    void on_write(Result<std::size_t> n) {
+      if (!n.is_ok()) {
+        RELDEV_DEBUG("tcp-server")
+            << "reply failed: " << n.status().to_string();
+        close();
+        return;
+      }
+      write_off += n.value();
+      ++activity;
+      const std::size_t total = write_prefix.size() + write_payload.size() +
+                                write_trailer.size();
+      if (write_off < total) {
+        arm_write();
+        return;
+      }
+      write_payload.clear();
+      write_payload.shrink_to_fit();
+      arm_read();  // next request
+    }
+
+    void arm_idle_timer() {
+      auto self = shared_from_this();
+      const std::uint64_t seen = activity;
+      shard->loop->add_timer(self->server->options_.idle_timeout,
+                             [self, seen] {
+                               if (self->closed) return;
+                               if (self->activity == seen) {
+                                 self->close();
+                                 return;
+                               }
+                               self->arm_idle_timer();
+                             });
+    }
+  };
+
+  /// Run `task` on shard `index`'s loop thread and wait for it.
+  void run_on_shard(std::size_t index, EventLoop::Task task) {
+    std::promise<void> done;
+    auto fut = done.get_future();
+    shards_[index]->loop->post([&task, &done] {
+      task();
+      done.set_value();
+    });
+    fut.wait();
+  }
+
+  void arm_accept() {
+    shards_[0]->loop->async_accept(
+        acceptor_.fd(), [this](Result<int> accepted) {
+          if (!accepted.is_ok()) {
+            if (!stopping_.load()) {
+              RELDEV_WARN("tcp-server")
+                  << "accept failed: " << accepted.status().to_string();
+            }
+            return;  // accept chain ends; stop() owns teardown
+          }
+          adopt(accepted.value());
+          arm_accept();
+        });
+  }
+
+  /// Assign a freshly-accepted fd to a shard round-robin and start its
+  /// frame state machine there.
+  void adopt(int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::size_t index =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    counters_->active_connections.fetch_add(1);
+    Shard* shard = shards_[index].get();
+    shard->loop->post([this, shard, fd] {
+      auto conn = std::make_shared<Conn>();
+      conn->server = this;
+      conn->shard = shard;
+      conn->fd = fd;
+      shard->conns.emplace(fd, conn);
+      if (options_.idle_timeout.count() > 0) conn->arm_idle_timer();
+      conn->arm_read();
+    });
+  }
+
+  Acceptor acceptor_;
+  const std::uint16_t port_ = acceptor_.port();
+  MessageHandler* handler_;
+  ServerCounters* counters_;
+  const ServerOptions options_;
+  const EventLoop::Backend backend_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> next_shard_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  WorkerPool pool_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TcpServer>> TcpServer::start(
+    std::uint16_t port, MessageHandler* handler,
+    const ServerOptions& options) {
   RELDEV_EXPECTS(handler != nullptr);
   auto acceptor = Acceptor::listen(port);
   if (!acceptor) return acceptor.status();
-  return std::unique_ptr<TcpServer>(
-      new TcpServer(std::move(acceptor).value(), handler));
+  auto server = std::unique_ptr<TcpServer>(new TcpServer());
+  if (options.mode == ServerOptions::Mode::kThreadPerConnection) {
+    server->impl_ = std::make_unique<ThreadedImpl>(
+        std::move(acceptor).value(), handler, &server->counters_);
+    return server;
+  }
+  if (auto status = acceptor.value().set_nonblocking(true); !status.is_ok()) {
+    return status;
+  }
+  const std::size_t shard_count =
+      options.loop_shards != 0
+          ? options.loop_shards
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  loops.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto loop = EventLoop::create(options.backend);
+    if (!loop) return loop.status();
+    loops.push_back(std::move(loop).value());
+  }
+  server->impl_ = std::make_unique<ReactorImpl>(std::move(acceptor).value(),
+                                                handler, &server->counters_,
+                                                options, std::move(loops));
+  return server;
 }
 
-TcpServer::TcpServer(Acceptor acceptor, MessageHandler* handler)
-    : acceptor_(std::move(acceptor)), handler_(handler) {
-  accept_thread_ = std::thread([this] { accept_loop(); });
+TcpServer::~TcpServer() {
+  if (impl_ != nullptr) impl_->stop();
 }
 
-TcpServer::~TcpServer() { stop(); }
+std::uint16_t TcpServer::port() const noexcept { return impl_->port(); }
 
-void TcpServer::stop() {
-  if (stopping_.exchange(true)) return;
-  // shutdown() wakes the accept loop without racing its fd reads; the
-  // descriptor is only closed once the thread has been joined.
-  acceptor_.shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  acceptor_.close();
-  std::map<std::uint64_t, std::thread> workers;
-  {
-    const MutexLock lock(mutex_);
-    // Wake every worker blocked in recv() on a live connection.
-    for (const auto& [id, connection] : connections_) connection->shutdown();
-    workers.swap(workers_);
-    finished_.clear();
-  }
-  for (auto& [id, worker] : workers) {
-    if (worker.joinable()) worker.join();
-  }
-  const MutexLock lock(mutex_);
-  connections_.clear();
+ServerOptions::Mode TcpServer::mode() const noexcept { return impl_->mode(); }
+
+EventLoop::Backend TcpServer::backend() const noexcept {
+  return impl_->backend();
 }
 
-void TcpServer::reap_finished() {
-  std::vector<std::thread> done;
-  {
-    const MutexLock lock(mutex_);
-    done.reserve(finished_.size());
-    for (const std::uint64_t id : finished_) {
-      auto it = workers_.find(id);
-      if (it == workers_.end()) continue;  // stop() already took it
-      done.push_back(std::move(it->second));
-      workers_.erase(it);
-    }
-    finished_.clear();
-  }
-  for (auto& worker : done) {
-    if (worker.joinable()) worker.join();
-  }
-}
-
-void TcpServer::accept_loop() {
-  while (!stopping_.load()) {
-    auto socket = acceptor_.accept();
-    reap_finished();
-    if (!socket) {
-      if (stopping_.load()) break;
-      RELDEV_WARN("tcp-server") << "accept failed: "
-                                << socket.status().to_string();
-      break;
-    }
-    auto connection = std::make_shared<Socket>(std::move(socket).value());
-    const MutexLock lock(mutex_);
-    if (stopping_.load()) break;
-    const std::uint64_t id = next_worker_id_++;
-    connections_.emplace(id, connection);
-    workers_.emplace(id, std::thread([this, id, connection] {
-                       serve_connection(connection);
-                       const MutexLock done_lock(mutex_);
-                       connections_.erase(id);
-                       finished_.push_back(id);
-                     }));
-  }
-}
-
-void TcpServer::serve_connection(const std::shared_ptr<Socket>& socket_ptr) {
-  Socket& socket = *socket_ptr;
-  while (!stopping_.load()) {
-    auto frame = read_frame(socket);
-    if (!frame) {
-      // A frame that fails its CRC trailer is rejected before any decode
-      // runs; the stream position is untrustworthy afterwards, so the
-      // connection is torn down. Counted so injected corruption is visible.
-      if (frame.status().code() == ErrorCode::kCorruption) {
-        corrupted_frames_.fetch_add(1);
-        RELDEV_WARN("tcp-server")
-            << "corrupt frame rejected: " << frame.status().to_string();
-      } else if (frame.status().code() == ErrorCode::kProtocol) {
-        rejected_frames_.fetch_add(1);
-        RELDEV_WARN("tcp-server")
-            << "frame rejected: " << frame.status().to_string();
-      } else if (frame.status().code() != ErrorCode::kUnavailable) {
-        RELDEV_DEBUG("tcp-server")
-            << "connection error: " << frame.status().to_string();
-      }
-      return;  // peer is gone or stream is corrupt; drop the connection
-    }
-    served_frames_.fetch_add(1);
-    auto request = Message::decode(frame.value());
-    Message reply = request ? handler_->handle(request.value())
-                            : make_error(0, request.status());
-    const auto encoded = reply.encode();
-    if (auto status = write_frame(socket, encoded); !status.is_ok()) {
-      RELDEV_DEBUG("tcp-server") << "reply failed: " << status.to_string();
-      return;
-    }
-  }
-}
+void TcpServer::stop() { impl_->stop(); }
 
 }  // namespace reldev::net::tcp

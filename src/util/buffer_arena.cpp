@@ -1,0 +1,102 @@
+#include "reldev/util/buffer_arena.hpp"
+
+#include <utility>
+
+namespace reldev::util {
+
+std::size_t BufferArena::class_index(std::size_t size) noexcept {
+  std::size_t capacity = kMinClass;
+  std::size_t index = 0;
+  while (capacity < size && index < kClassCount) {
+    capacity <<= 1;
+    ++index;
+  }
+  return capacity >= size ? index : kClassCount;
+}
+
+ArenaBuffer::~ArenaBuffer() { release(); }
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    arena_ = other.arena_;
+    storage_ = std::move(other.storage_);
+    size_ = other.size_;
+    other.arena_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void ArenaBuffer::release() {
+  if (arena_ != nullptr && !storage_.empty()) {
+    arena_->give_back(std::move(storage_));
+  }
+  storage_.clear();
+  arena_ = nullptr;
+  size_ = 0;
+}
+
+BufferArena::BufferArena(std::size_t max_pooled_bytes)
+    : max_pooled_bytes_(max_pooled_bytes) {}
+
+BufferArena& BufferArena::shared() {
+  static auto* arena = new BufferArena();  // leaked: outlives every user
+  return *arena;
+}
+
+std::size_t BufferArena::class_capacity(std::size_t size) noexcept {
+  const std::size_t index = class_index(size);
+  return index >= kClassCount ? size : (kMinClass << index);
+}
+
+ArenaBuffer BufferArena::acquire(std::size_t size) {
+  const std::size_t index = class_index(size);
+  if (index >= kClassCount) {
+    {
+      const MutexLock lock(mutex_);
+      ++unpooled_;
+    }
+    // Oversized: plain allocation, freed on release (arena_ stays null in
+    // the pooling sense — give_back drops storage above the max class).
+    return {this, std::vector<std::byte>(size), size};
+  }
+  {
+    const MutexLock lock(mutex_);
+    auto& free_list = free_lists_[index];
+    if (!free_list.empty()) {
+      std::vector<std::byte> storage = std::move(free_list.back());
+      free_list.pop_back();
+      pooled_bytes_ -= storage.size();
+      ++hits_;
+      return {this, std::move(storage), size};
+    }
+    ++misses_;
+  }
+  return {this, std::vector<std::byte>(kMinClass << index), size};
+}
+
+void BufferArena::give_back(std::vector<std::byte> storage) {
+  const std::size_t capacity = storage.size();
+  const std::size_t index = class_index(capacity);
+  // Only exact class-sized storage goes back on a list; anything else
+  // (oversized one-offs) is freed by letting `storage` die here.
+  if (index >= kClassCount || (kMinClass << index) != capacity) return;
+  const MutexLock lock(mutex_);
+  if (pooled_bytes_ + capacity > max_pooled_bytes_) return;
+  pooled_bytes_ += capacity;
+  free_lists_[index].push_back(std::move(storage));
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  const MutexLock lock(mutex_);
+  return {hits_, misses_, unpooled_, pooled_bytes_};
+}
+
+void BufferArena::trim() {
+  const MutexLock lock(mutex_);
+  for (auto& free_list : free_lists_) free_list.clear();
+  pooled_bytes_ = 0;
+}
+
+}  // namespace reldev::util

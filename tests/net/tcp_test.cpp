@@ -36,27 +36,54 @@ TEST(TcpSocketTest, BadAddressRejected) {
   EXPECT_EQ(socket.status().code(), reldev::ErrorCode::kInvalidArgument);
 }
 
-TEST(TcpServerTest, EphemeralPortAssigned) {
+/// The three server execution configurations every server-facing test must
+/// hold under: reactor over epoll, reactor over io_uring (skipped where the
+/// kernel lacks it), and the thread-per-connection baseline.
+struct ServerConfig {
+  const char* name;
+  ServerOptions options;
+};
+
+class TcpServerModeTest : public ::testing::TestWithParam<ServerConfig> {
+ protected:
+  void SetUp() override {
+    const ServerOptions& options = GetParam().options;
+    if (options.mode == ServerOptions::Mode::kReactor &&
+        options.backend == EventLoop::Backend::kIoUring &&
+        !EventLoop::io_uring_available()) {
+      GTEST_SKIP() << "io_uring not available on this kernel/build";
+    }
+  }
+
+  [[nodiscard]] static Result<std::unique_ptr<TcpServer>> start_server(
+      MessageHandler* handler) {
+    return TcpServer::start(0, handler, GetParam().options);
+  }
+};
+
+TEST_P(TcpServerModeTest, EphemeralPortAssigned) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler);
+  auto server = start_server(&handler);
   ASSERT_TRUE(server.is_ok());
   EXPECT_GT(server.value()->port(), 0);
+  EXPECT_EQ(server.value()->mode(), GetParam().options.mode);
 }
 
-TEST(TcpServerTest, RoundTripCall) {
+TEST_P(TcpServerModeTest, RoundTripCall) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler).value();
+  auto server = start_server(&handler).value();
   TcpChannel channel("127.0.0.1", server->port());
   auto reply = channel.call(Message{9, StateInquiry{}});
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   ASSERT_TRUE(reply.value().holds<StateInfo>());
   EXPECT_EQ(reply.value().as<StateInfo>().version_total, 7u);
   EXPECT_EQ(handler.calls.load(), 1);
+  EXPECT_EQ(server->served_frames(), 1u);
 }
 
-TEST(TcpServerTest, ManySequentialCallsOnOneConnection) {
+TEST_P(TcpServerModeTest, ManySequentialCallsOnOneConnection) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler).value();
+  auto server = start_server(&handler).value();
   TcpChannel channel("127.0.0.1", server->port());
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
@@ -64,9 +91,9 @@ TEST(TcpServerTest, ManySequentialCallsOnOneConnection) {
   EXPECT_EQ(handler.calls.load(), 50);
 }
 
-TEST(TcpServerTest, LargePayloadSurvives) {
+TEST_P(TcpServerModeTest, LargePayloadSurvives) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler).value();
+  auto server = start_server(&handler).value();
   TcpChannel channel("127.0.0.1", server->port());
   BlockData big(256 * 1024);
   for (std::size_t i = 0; i < big.size(); ++i) {
@@ -77,9 +104,9 @@ TEST(TcpServerTest, LargePayloadSurvives) {
   EXPECT_TRUE(reply.value().holds<ClientWriteReply>());
 }
 
-TEST(TcpServerTest, MultipleClients) {
+TEST_P(TcpServerModeTest, MultipleClients) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler).value();
+  auto server = start_server(&handler).value();
   TcpChannel a("127.0.0.1", server->port());
   TcpChannel b("127.0.0.1", server->port());
   EXPECT_TRUE(a.call(Message{1, StateInquiry{}}).is_ok());
@@ -88,9 +115,9 @@ TEST(TcpServerTest, MultipleClients) {
   EXPECT_EQ(handler.calls.load(), 3);
 }
 
-TEST(TcpServerTest, ChannelReconnectsAfterDisconnect) {
+TEST_P(TcpServerModeTest, ChannelReconnectsAfterDisconnect) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler).value();
+  auto server = start_server(&handler).value();
   TcpChannel channel("127.0.0.1", server->port());
   ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
   channel.disconnect();
@@ -98,9 +125,9 @@ TEST(TcpServerTest, ChannelReconnectsAfterDisconnect) {
   EXPECT_EQ(handler.calls.load(), 2);
 }
 
-TEST(TcpServerTest, CallAfterServerStopFails) {
+TEST_P(TcpServerModeTest, CallAfterServerStopFails) {
   EchoHandler handler;
-  auto server = TcpServer::start(0, &handler).value();
+  auto server = start_server(&handler).value();
   const std::uint16_t port = server->port();
   TcpChannel channel("127.0.0.1", port);
   ASSERT_TRUE(channel.call(Message{1, StateInquiry{}}).is_ok());
@@ -108,6 +135,22 @@ TEST(TcpServerTest, CallAfterServerStopFails) {
   auto reply = channel.call(Message{1, StateInquiry{}});
   EXPECT_FALSE(reply.is_ok());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, TcpServerModeTest,
+    ::testing::Values(
+        ServerConfig{"ReactorEpoll",
+                     ServerOptions{.mode = ServerOptions::Mode::kReactor,
+                                   .backend = EventLoop::Backend::kEpoll}},
+        ServerConfig{"ReactorIoUring",
+                     ServerOptions{.mode = ServerOptions::Mode::kReactor,
+                                   .backend = EventLoop::Backend::kIoUring}},
+        ServerConfig{
+            "ThreadPerConnection",
+            ServerOptions{.mode = ServerOptions::Mode::kThreadPerConnection}}),
+    [](const ::testing::TestParamInfo<ServerConfig>& param) {
+      return param.param.name;
+    });
 
 TEST(TcpPeerTransportTest, RoutesPerSite) {
   EchoHandler h1;

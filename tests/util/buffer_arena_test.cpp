@@ -1,0 +1,106 @@
+#include "reldev/util/buffer_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace reldev::util {
+namespace {
+
+TEST(BufferArenaTest, ClassCapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BufferArena::class_capacity(0), 512u);
+  EXPECT_EQ(BufferArena::class_capacity(1), 512u);
+  EXPECT_EQ(BufferArena::class_capacity(512), 512u);
+  EXPECT_EQ(BufferArena::class_capacity(513), 1024u);
+  EXPECT_EQ(BufferArena::class_capacity(4096), 4096u);
+  EXPECT_EQ(BufferArena::class_capacity(4097), 8192u);
+  EXPECT_EQ(BufferArena::class_capacity(1u << 20), 1u << 20);
+}
+
+TEST(BufferArenaTest, OversizedRequestsAreUnpooled) {
+  // Above the largest class the capacity is the request itself.
+  EXPECT_EQ(BufferArena::class_capacity((1u << 20) + 1), (1u << 20) + 1);
+  BufferArena arena;
+  {
+    auto big = arena.acquire((1u << 20) + 1);
+    EXPECT_EQ(big.size(), (1u << 20) + 1);
+  }
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.unpooled, 1u);
+  EXPECT_EQ(stats.pooled_bytes, 0u);  // freed, not parked
+}
+
+TEST(BufferArenaTest, ReleaseThenAcquireIsAHit) {
+  BufferArena arena;
+  { auto buffer = arena.acquire(4000); }
+  auto stats = arena.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.pooled_bytes, 4096u);
+
+  auto again = arena.acquire(3000);  // same 4096 class
+  stats = arena.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.pooled_bytes, 0u);
+  EXPECT_EQ(again.size(), 3000u);
+}
+
+TEST(BufferArenaTest, BufferContentsSurvivePoolRoundTrip) {
+  BufferArena arena;
+  auto buffer = arena.acquire(64);
+  std::memset(buffer.data(), 0xAB, buffer.size());
+  EXPECT_EQ(buffer.bytes().size(), 64u);
+  EXPECT_EQ(buffer.data()[63], std::byte{0xAB});
+  buffer.truncate(10);
+  EXPECT_EQ(buffer.size(), 10u);
+  buffer.truncate(100);  // never grows
+  EXPECT_EQ(buffer.size(), 10u);
+}
+
+TEST(BufferArenaTest, MoveTransfersOwnership) {
+  BufferArena arena;
+  auto a = arena.acquire(100);
+  std::byte* const data = a.data();
+  ArenaBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from is empty by contract
+  b.release();
+  EXPECT_EQ(arena.stats().pooled_bytes, 512u);
+}
+
+TEST(BufferArenaTest, RetentionCapDropsExcessBuffers) {
+  BufferArena arena(1024);  // room for two 512 B buffers
+  {
+    auto a = arena.acquire(512);
+    auto b = arena.acquire(512);
+    auto c = arena.acquire(512);
+  }
+  EXPECT_EQ(arena.stats().pooled_bytes, 1024u);
+  arena.trim();
+  EXPECT_EQ(arena.stats().pooled_bytes, 0u);
+}
+
+TEST(BufferArenaTest, ConcurrentAcquireReleaseIsCoherent) {
+  BufferArena arena;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arena, t] {
+      for (int i = 0; i < kIters; ++i) {
+        auto buffer = arena.acquire(static_cast<std::size_t>(64 * (t + 1)));
+        buffer.data()[0] = static_cast<std::byte>(i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace reldev::util
