@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
   flags.add_int("delay-ms", 20, "injected per-peer handling delay");
   flags.add_int("straggler-ms", 200, "delay of the one slow peer");
   flags.add_int("rounds", 5, "measured rounds per configuration (best kept)");
+  flags.add_bool("smoke", false, "short delays and few rounds (CI smoke run)");
   flags.add_bool("csv", false, "emit CSV");
   flags.add_string("json", "", "write a machine-readable summary to this path");
   if (auto status = flags.parse(argc, argv); !status.is_ok()) {
@@ -105,10 +106,18 @@ int main(int argc, char** argv) {
     std::cout << flags.usage("fanout_latency");
     return 0;
   }
-  const auto delay = std::chrono::milliseconds(flags.get_int("delay-ms"));
-  const auto straggler_delay =
-      std::chrono::milliseconds(flags.get_int("straggler-ms"));
-  const auto rounds = flags.get_int("rounds");
+  // The acceptance thresholds are relative (speedup, beat-the-straggler),
+  // so the smoke run can shrink the injected delays without weakening them.
+  const bool smoke = flags.get_bool("smoke");
+  const auto delay = std::chrono::milliseconds(
+      smoke ? std::min<std::int64_t>(flags.get_int("delay-ms"), 10)
+            : flags.get_int("delay-ms"));
+  const auto straggler_delay = std::chrono::milliseconds(
+      smoke ? std::min<std::int64_t>(flags.get_int("straggler-ms"), 100)
+            : flags.get_int("straggler-ms"));
+  const auto rounds =
+      smoke ? std::min<std::int64_t>(flags.get_int("rounds"), 2)
+            : flags.get_int("rounds");
   const net::Message request{0, net::StateInquiry{}};
 
   TextTable table({"sites", "delay (ms)", "sequential (ms)", "parallel (ms)",

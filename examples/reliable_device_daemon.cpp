@@ -12,12 +12,14 @@
 // persists blocks, versions, and the was-available set across restarts;
 // after a restart the daemon runs the scheme's recovery protocol against
 // its peers before serving.
+#include <algorithm>
 #include <csignal>
 #include <iostream>
 #include <memory>
 
 #include "reldev/core/available_copy_replica.hpp"
 #include "reldev/core/naive_replica.hpp"
+#include "reldev/core/scrub_daemon.hpp"
 #include "reldev/core/voting_replica.hpp"
 #include "reldev/net/fanout.hpp"
 #include "reldev/net/tcp/tcp_client.hpp"
@@ -91,6 +93,11 @@ int main(int argc, char** argv) {
                    "(io_uring falls back to epoll when unavailable)");
   flags.add_int("fanout-threads", 0,
                 "shared fan-out pool size (0 = max(8, hardware threads))");
+  flags.add_int("scrub-interval", 0,
+                "anti-entropy scrub cycle interval in ms (0 = scrubbing off)");
+  flags.add_int("scrub-throttle", 0,
+                "scrub byte budget (scan reads + healed payloads) in "
+                "bytes/s; 0 = unthrottled");
   flags.add_bool("verbose", false, "debug logging");
   if (auto status = flags.parse(argc, argv); !status.is_ok()) {
     std::cerr << status.to_string() << '\n' << flags.usage(argv[0]);
@@ -231,6 +238,27 @@ int main(int argc, char** argv) {
               << net::site_state_name(replica->state()) << '\n';
   }
 
+  // Background anti-entropy: walk the device in batches, exchange digests
+  // with the peers, heal stale/rotted blocks — throttled so it never
+  // competes with foreground traffic. Started only after recovery, so the
+  // scrubber never runs over a state the scheme has not vouched for.
+  std::unique_ptr<core::ScrubDaemon> scrubber;
+  if (const auto interval = flags.get_int("scrub-interval"); interval > 0) {
+    core::ScrubOptions scrub_options;
+    scrub_options.cycle_interval = std::chrono::milliseconds(interval);
+    scrub_options.bytes_per_sec = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(flags.get_int("scrub-throttle"), 0));
+    scrub_options.jitter_seed = site + 1;  // desynchronize the fleet
+    scrubber = std::make_unique<core::ScrubDaemon>(*replica, scrub_options);
+    scrubber->start();
+    std::cout << "scrub daemon: every " << interval << " ms"
+              << (scrub_options.bytes_per_sec != 0
+                      ? ", " + std::to_string(scrub_options.bytes_per_sec) +
+                            " B/s budget"
+                      : ", unthrottled")
+              << '\n';
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (g_stop == 0) {
@@ -238,6 +266,11 @@ int main(int argc, char** argv) {
     nanosleep(&delay, nullptr);
   }
   std::cout << "shutting down site " << site << '\n';
+  if (scrubber) {
+    scrubber->stop();
+    std::cout << "scrub: " << core::format_scrub_stats(scrubber->stats())
+              << '\n';
+  }
   server.value()->stop();
   return 0;
 }

@@ -29,7 +29,16 @@ void AvailableCopyReplica::load_metadata() {
 }
 
 void AvailableCopyReplica::persist_metadata() {
+  // Read-modify-write: the metadata blob is shared with the scrubber's
+  // cursor, which must survive every was-available update.
   storage::SiteMetadata meta;
+  if (auto existing = store_.get_metadata();
+      existing && !existing.value().empty()) {
+    if (auto decoded = storage::SiteMetadata::decode(existing.value());
+        decoded) {
+      meta.scrub_cursor = decoded.value().scrub_cursor;
+    }
+  }
   meta.site = self_;
   meta.clean_shutdown = false;
   meta.was_available = was_available_;

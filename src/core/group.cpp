@@ -33,6 +33,7 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
         config_.block_count, config_.block_size));
     replicas_.push_back(make_replica(site));
     transport_.bind(site, replicas_.back().get());
+    scrubbers_.push_back(make_scrubber(site));
   }
 }
 
@@ -70,6 +71,7 @@ ReplicaGroup::ReplicaGroup(SchemeKind scheme, GroupConfig config,
     }
     replicas_.push_back(make_replica(site));
     transport_.bind(site, replicas_.back().get());
+    scrubbers_.push_back(make_scrubber(site));
   }
 }
 
@@ -89,6 +91,74 @@ std::unique_ptr<ReplicaBase> ReplicaGroup::make_replica(SiteId site) {
   }
   RELDEV_ASSERT(false);
   return nullptr;
+}
+
+std::unique_ptr<ScrubDaemon> ReplicaGroup::make_scrubber(SiteId site) {
+  return std::make_unique<ScrubDaemon>(*replicas_[site], scrub_options_);
+}
+
+ScrubDaemon& ReplicaGroup::scrubber(SiteId site) {
+  RELDEV_EXPECTS(site < scrubbers_.size());
+  return *scrubbers_[site];
+}
+
+void ReplicaGroup::set_scrub_options(const ScrubOptions& options) {
+  scrub_options_ = options;
+  for (auto& scrubber : scrubbers_) scrubber->set_options(options);
+}
+
+Result<ScrubReport> ReplicaGroup::scrub_site(SiteId site) {
+  return scrubber(site).run_cycle();
+}
+
+ScrubStats ReplicaGroup::scrub_stats(SiteId site) {
+  return scrubber(site).stats();
+}
+
+ScrubStats ReplicaGroup::total_scrub_stats() {
+  ScrubStats total;
+  for (auto& scrubber : scrubbers_) {
+    const ScrubStats stats = scrubber->stats();
+    total.blocks_scanned += stats.blocks_scanned;
+    total.digests_exchanged += stats.digests_exchanged;
+    total.stale_healed += stats.stale_healed;
+    total.corrupt_healed += stats.corrupt_healed;
+    total.cycles_completed += stats.cycles_completed;
+    total.throttle_stalls += stats.throttle_stalls;
+    total.peer_unreachable_skips += stats.peer_unreachable_skips;
+    total.ambiguous_mismatches += stats.ambiguous_mismatches;
+    total.heal_failures += stats.heal_failures;
+  }
+  return total;
+}
+
+Result<std::size_t> ReplicaGroup::scrub_until_converged(
+    std::size_t max_rounds) {
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    const ScrubStats before = total_scrub_stats();
+    std::size_t healed = 0;
+    bool any_scrubbed = false;
+    for (SiteId site = 0; site < replicas_.size(); ++site) {
+      if (replicas_[site]->state() != SiteState::kAvailable) continue;
+      auto report = scrubbers_[site]->run_cycle();
+      if (!report) continue;  // lost availability mid-cycle; next round
+      any_scrubbed = true;
+      healed += report.value().stale_healed + report.value().corrupt_healed;
+    }
+    // Converged means a fully healthy round: nothing healed, no peer
+    // skipped under backoff, no exchange left ambiguous, no heal failed.
+    // A round that heals nothing because half the exchanges degraded
+    // (post-storm backoff, a dead peer) is NOT convergence — keep cycling
+    // so backoffs drain and every split gets a full quorum of digests.
+    const ScrubStats after = total_scrub_stats();
+    const bool degraded =
+        after.peer_unreachable_skips != before.peer_unreachable_skips ||
+        after.ambiguous_mismatches != before.ambiguous_mismatches ||
+        after.heal_failures != before.heal_failures;
+    if (any_scrubbed && healed == 0 && !degraded) return round;
+  }
+  return errors::conflict("scrub did not converge within " +
+                          std::to_string(max_rounds) + " round(s)");
 }
 
 ReplicaBase& ReplicaGroup::replica(SiteId site) {
@@ -153,6 +223,9 @@ Status ReplicaGroup::restart_site(SiteId site) {
     replicas_[site] = make_replica(site);
     replicas_[site]->crash();
     transport_.bind(site, replicas_[site].get());
+    // A fresh scrub daemon over the reopened store resumes from the
+    // persisted cursor — mid-cycle progress survives the kill.
+    scrubbers_[site] = make_scrubber(site);
     return recover_site(site);
   }
   auto reopened = storage::FileBlockStore::open(store_path(site));
@@ -169,6 +242,7 @@ Status ReplicaGroup::restart_site(SiteId site) {
   replicas_[site] = make_replica(site);
   replicas_[site]->crash();
   transport_.bind(site, replicas_[site].get());
+  scrubbers_[site] = make_scrubber(site);
   return recover_site(site);
 }
 

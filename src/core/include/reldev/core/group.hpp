@@ -11,6 +11,7 @@
 
 #include "reldev/core/available_copy_replica.hpp"
 #include "reldev/core/naive_replica.hpp"
+#include "reldev/core/scrub_daemon.hpp"
 #include "reldev/core/voting_replica.hpp"
 #include "reldev/net/fault_transport.hpp"
 #include "reldev/net/inproc_transport.hpp"
@@ -127,10 +128,41 @@ class ReplicaGroup {
   /// Sites currently reachable (up), regardless of protocol state.
   [[nodiscard]] std::vector<bool> up() const;
 
+  // --- anti-entropy scrubbing ----------------------------------------------
+  // One ScrubDaemon per site, rebuilt alongside the replica on restart so
+  // the persisted cursor carries across a kill/restart. The group drives
+  // them synchronously (the in-process replicas are single-threaded).
+
+  /// A site's scrub daemon (drive it with step()/run_cycle()).
+  [[nodiscard]] ScrubDaemon& scrubber(SiteId site);
+
+  /// Apply options to every site's daemon (and future rebuilds).
+  void set_scrub_options(const ScrubOptions& options);
+
+  /// One full scrub cycle at `site`.
+  [[nodiscard]] Result<ScrubReport> scrub_site(SiteId site);
+
+  /// A site's counters, and the sum over all sites.
+  [[nodiscard]] ScrubStats scrub_stats(SiteId site);
+  [[nodiscard]] ScrubStats total_scrub_stats();
+
+  /// Convergence driver: run full cycles on every available site until a
+  /// fully healthy round — nothing healed, no peer skipped under backoff,
+  /// no ambiguous digest split, no heal failure — up to `max_rounds`
+  /// rounds. Degraded no-op rounds (post-storm backoff still draining, a
+  /// peer still down) keep cycling rather than counting as convergence.
+  /// Returns the number of rounds used; kConflict if the group failed to
+  /// converge within the bound.
+  [[nodiscard]] Result<std::size_t> scrub_until_converged(
+      std::size_t max_rounds);
+
  private:
   /// Build the scheme's replica over stores_[site]; used at construction
   /// and again when restart_site rebuilds a killed site's server process.
   [[nodiscard]] std::unique_ptr<ReplicaBase> make_replica(SiteId site);
+
+  /// Build the scrub daemon for replicas_[site] (after make_replica).
+  [[nodiscard]] std::unique_ptr<ScrubDaemon> make_scrubber(SiteId site);
 
   SchemeKind scheme_;
   GroupConfig config_;
@@ -146,6 +178,8 @@ class ReplicaGroup {
   std::string directory_;
   std::vector<std::unique_ptr<storage::BlockStore>> stores_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
+  ScrubOptions scrub_options_;
+  std::vector<std::unique_ptr<ScrubDaemon>> scrubbers_;
 };
 
 }  // namespace reldev::core

@@ -26,6 +26,9 @@ class ReplicaBase : public net::MessageHandler {
   [[nodiscard]] SiteState state() const noexcept { return state_; }
   [[nodiscard]] const GroupConfig& config() const noexcept { return config_; }
   [[nodiscard]] storage::BlockStore& store() noexcept { return store_; }
+  /// The peer transport (the scrub daemon drives its digest exchange and
+  /// heal fetches over the same links the foreground protocol uses).
+  [[nodiscard]] net::Transport& transport() noexcept { return transport_; }
 
   /// Name of the scheme this replica runs ("voting", ...), for logs.
   [[nodiscard]] virtual const char* scheme_name() const noexcept = 0;
@@ -61,6 +64,23 @@ class ReplicaBase : public net::MessageHandler {
   /// again later (e.g. the closure has not fully recovered). The caller
   /// must have made the site reachable again before calling.
   [[nodiscard]] virtual Status recover() = 0;
+
+  // --- anti-entropy scrub support ------------------------------------------
+  // Heal entry points the background scrubber uses once a digest exchange
+  // has identified a block as stale or corrupt. Both are safe against
+  // concurrent foreground progress: a local copy that advanced past what
+  // the scrubber observed is never demoted or overwritten.
+
+  /// Refresh stale local copies of `blocks` from `source` with one batch
+  /// fetch, applying only updates strictly newer than the local version.
+  /// Returns the blocks actually replaced.
+  [[nodiscard]] virtual Result<std::vector<BlockId>> scrub_heal_stale(
+      const std::vector<BlockId>& blocks, SiteId source);
+
+  /// Heal one latently corrupt local block off the read/write path. The
+  /// base demotes and runs the repair round (the available-copy family's
+  /// machinery); voting overrides to heal through its vote round.
+  [[nodiscard]] virtual Status scrub_heal_corrupt(BlockId block);
 
   // --- MessageHandler ------------------------------------------------------
 

@@ -61,6 +61,15 @@
 //   dup-rate <from> <to> <p>      P(message delivered twice)
 //   corrupt-rate <from> <to> <p>  P(frame garbled; CRC-rejected as such)
 //   block-link <from> <to>        one-way partition of the directed link
+//
+// Anti-entropy scrub commands (synchronous; the group drives each site's
+// ScrubDaemon directly):
+//   scrub-interval <ms>       cycle pacing for every site's daemon
+//   scrub-throttle <bytes> <ops>  token-bucket budgets (0 = unlimited);
+//                             debt is accounted, not slept off
+//   scrub-site <site>         one full scrub cycle at the site; must succeed
+//   scrub-wait <k>            scrub every available site until a whole round
+//                             heals nothing, within k rounds; must converge
 #pragma once
 
 #include <string>

@@ -47,6 +47,10 @@ class VotingReplica final : public ReplicaBase {
   [[nodiscard]] Status recover() override;
   void crash() override;
 
+  /// Scrub heal through the vote round: demote, then a plain read
+  /// refreshes the block from the best voter.
+  [[nodiscard]] Status scrub_heal_corrupt(BlockId block) override;
+
  protected:
   net::Message handle_peer(const net::Message& request) override;
   void handle_peer_oneway(const net::Message& message) override;

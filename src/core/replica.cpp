@@ -1,5 +1,6 @@
 #include "reldev/core/replica.hpp"
 
+#include "reldev/storage/scrubber.hpp"
 #include "reldev/util/logging.hpp"
 
 namespace reldev::core {
@@ -104,6 +105,56 @@ net::Message ReplicaBase::handle(const net::Message& request) {
                         net::DeviceInfoReply{config_.block_count,
                                              config_.block_size}};
   }
+  // Scheme-independent anti-entropy serving: digests and payload fetches
+  // work the same for every engine, so a scrubbing peer can compare against
+  // any scheme. A comatose site still answers — its data is exactly what
+  // the requester wants to compare against, and the version guard on the
+  // requesting side discards anything stale.
+  if (request.holds<net::DigestRequest>()) {
+    const auto& digest = request.as<net::DigestRequest>();
+    if (auto status = check_range(digest.first, digest.count);
+        !status.is_ok()) {
+      return net::make_error(self_, status);
+    }
+    auto scan = storage::scan_digests(store_, digest.first, digest.count);
+    if (!scan) return net::make_error(self_, scan.status());
+    return net::Message{self_,
+                        net::DigestReply{digest.first,
+                                         std::move(scan.value().versions),
+                                         std::move(scan.value().digests)}};
+  }
+  if (request.holds<net::BlockFetchRequest>()) {
+    const BlockId block = request.as<net::BlockFetchRequest>().block;
+    auto stored = store_.read(block);
+    if (!stored) {
+      // A torn record must not be shipped; demote it so our next vote or
+      // digest offers version 0 and the fetcher goes elsewhere.
+      if (stored.status().code() == ErrorCode::kCorruption) {
+        (void)store_.demote(block);
+      }
+      return net::make_error(self_, stored.status());
+    }
+    return net::Message{self_,
+                        net::BlockFetchReply{stored.value().version,
+                                             std::move(stored).value().data}};
+  }
+  if (request.holds<net::BatchFetchRequest>()) {
+    net::BatchFetchReply reply;
+    const auto& fetch = request.as<net::BatchFetchRequest>();
+    reply.updates.reserve(fetch.blocks.size());
+    for (const BlockId block : fetch.blocks) {
+      auto stored = store_.read(block);
+      if (!stored) {
+        if (stored.status().code() == ErrorCode::kCorruption) {
+          (void)store_.demote(block);
+        }
+        return net::make_error(self_, stored.status());
+      }
+      reply.updates.push_back(net::BlockUpdate{
+          block, stored.value().version, std::move(stored).value().data});
+    }
+    return net::Message{self_, std::move(reply)};
+  }
   return handle_peer(request);
 }
 
@@ -174,6 +225,35 @@ Status ReplicaBase::heal_corrupt_block(BlockId block) {
         " corrupt locally and no peer reachable to heal it");
   }
   return Status::ok();
+}
+
+Result<std::vector<BlockId>> ReplicaBase::scrub_heal_stale(
+    const std::vector<BlockId>& blocks, SiteId source) {
+  auto reply = transport_.call(
+      self_, source, net::Message{self_, net::BatchFetchRequest{blocks}});
+  if (!reply) return reply.status();
+  if (!reply.value().holds<net::BatchFetchReply>()) {
+    return errors::protocol("unexpected reply to scrub batch fetch");
+  }
+  std::vector<BlockId> healed;
+  for (const auto& update : reply.value().as<net::BatchFetchReply>().updates) {
+    auto current = store_.version_of(update.block);
+    if (!current) return current.status();
+    if (update.version <= current.value()) continue;  // local copy is newer
+    if (auto status = store_.write(update.block, update.data, update.version);
+        !status.is_ok()) {
+      return status;
+    }
+    healed.push_back(update.block);
+  }
+  RELDEV_TRACE("replica") << "site " << self_ << " scrub-healed "
+                          << healed.size() << " stale block(s) from site "
+                          << source;
+  return healed;
+}
+
+Status ReplicaBase::scrub_heal_corrupt(BlockId block) {
+  return heal_corrupt_block(block);
 }
 
 }  // namespace reldev::core

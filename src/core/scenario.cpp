@@ -78,6 +78,8 @@ const std::vector<std::pair<std::string, std::size_t>> kArity{
     {"corrupt-rate", 3}, {"block-link", 2},
     {"sync-site", 1},   {"arm-crash", 3}, {"crash-site", 1},
     {"restart-site", 1}, {"checkpoint-site", 1},
+    {"scrub-interval", 1}, {"scrub-throttle", 2}, {"scrub-site", 1},
+    {"scrub-wait", 1},
 };
 
 /// Commands that only make sense over file-backed stores.
@@ -225,6 +227,8 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
   ReplicaGroup& group = *built;
   group.faults().reseed(scenario.fault_seed);
   ScenarioOutcome outcome;
+  // Scrub knobs accumulate across scrub-interval / scrub-throttle steps.
+  ScrubOptions scrub_options;
 
   const auto site_of = [&](std::size_t line,
                            const std::string& text) -> Result<SiteId> {
@@ -493,6 +497,46 @@ Result<ScenarioOutcome> run_scenario(const Scenario& scenario) {
                                             " failed: " + status.to_string());
       }
       note(step, status.to_string());
+    } else if (step.command == "scrub-interval") {
+      auto ms = parse_number(line, step.args[0], "interval");
+      if (!ms) return ms.status();
+      scrub_options.cycle_interval = std::chrono::milliseconds(ms.value());
+      group.set_scrub_options(scrub_options);
+      note(step, "cycle interval " + step.args[0] + "ms");
+    } else if (step.command == "scrub-throttle") {
+      auto bytes = parse_number(line, step.args[0], "byte budget");
+      if (!bytes) return bytes.status();
+      auto ops = parse_number(line, step.args[1], "op budget");
+      if (!ops) return ops.status();
+      scrub_options.bytes_per_sec = bytes.value();
+      scrub_options.ops_per_sec = ops.value();
+      group.set_scrub_options(scrub_options);
+      note(step, step.args[0] + " bytes/s, " + step.args[1] + " ops/s");
+    } else if (step.command == "scrub-site") {
+      auto site = site_of(line, step.args[0]);
+      if (!site) return site.status();
+      auto report = group.scrub_site(site.value());
+      if (!report) {
+        return expectation_failed(line, "scrub of site " + step.args[0] +
+                                            " failed: " +
+                                            report.status().to_string());
+      }
+      note(step, "scanned " + std::to_string(report.value().scanned) +
+                     ", healed " +
+                     std::to_string(report.value().stale_healed +
+                                    report.value().corrupt_healed));
+    } else if (step.command == "scrub-wait") {
+      auto rounds = parse_number(line, step.args[0], "round bound");
+      if (!rounds) return rounds.status();
+      if (rounds.value() == 0) {
+        return syntax_error(line, "scrub-wait needs at least one round");
+      }
+      auto used = group.scrub_until_converged(rounds.value());
+      if (!used) {
+        return expectation_failed(line, used.status().to_string());
+      }
+      note(step, "converged in " + std::to_string(used.value()) +
+                     " round(s)");
     } else if (step.command == "expect-state") {
       auto site = site_of(line, step.args[0]);
       if (!site) return site.status();

@@ -329,6 +329,16 @@ Status VotingReplica::write_range(BlockId first,
   return Status::ok();
 }
 
+Status VotingReplica::scrub_heal_corrupt(BlockId block) {
+  // Voting has no repair round; heal through the vote protocol instead:
+  // demote the damaged copy so our own vote offers version 0, then a
+  // normal read refreshes it from the best voter.
+  if (auto status = store_.demote(block); !status.is_ok()) return status;
+  auto healed = read(block);
+  if (!healed) return healed.status();
+  return Status::ok();
+}
+
 Status VotingReplica::recover() {
   // Block-level voting needs no recovery work at repair time (§3.1): any
   // stale block is detected by its version number at the next access and
@@ -347,21 +357,8 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
     return net::Message{
         self_, net::VoteReply{version.value(), config_.weight_of(self_)}};
   }
-  if (request.holds<net::BlockFetchRequest>()) {
-    const BlockId block = request.as<net::BlockFetchRequest>().block;
-    auto stored = store_.read(block);
-    if (!stored) {
-      // A torn record must not be shipped; demote it so our next vote
-      // offers version 0 and the fetcher goes elsewhere.
-      if (stored.status().code() == ErrorCode::kCorruption) {
-        (void)store_.demote(block);
-      }
-      return net::make_error(self_, stored.status());
-    }
-    return net::Message{self_,
-                        net::BlockFetchReply{stored.value().version,
-                                             std::move(stored).value().data}};
-  }
+  // BlockFetchRequest and BatchFetchRequest are served scheme-independently
+  // by ReplicaBase::handle (the scrubber fetches from any engine).
   if (request.holds<net::RangeVoteRequest>()) {
     const auto& vote = request.as<net::RangeVoteRequest>();
     if (auto status = check_range(vote.first, vote.count); !status.is_ok()) {
@@ -374,23 +371,6 @@ net::Message VotingReplica::handle_peer(const net::Message& request) {
       auto version = store_.version_of(vote.first + i);
       if (!version) return net::make_error(self_, version.status());
       reply.versions.push_back(version.value());
-    }
-    return net::Message{self_, std::move(reply)};
-  }
-  if (request.holds<net::BatchFetchRequest>()) {
-    net::BatchFetchReply reply;
-    const auto& fetch = request.as<net::BatchFetchRequest>();
-    reply.updates.reserve(fetch.blocks.size());
-    for (const BlockId block : fetch.blocks) {
-      auto stored = store_.read(block);
-      if (!stored) {
-        if (stored.status().code() == ErrorCode::kCorruption) {
-          (void)store_.demote(block);
-        }
-        return net::make_error(self_, stored.status());
-      }
-      reply.updates.push_back(net::BlockUpdate{
-          block, stored.value().version, std::move(stored).value().data});
     }
     return net::Message{self_, std::move(reply)};
   }

@@ -207,6 +207,28 @@ struct BatchWriteRequest {
   SiteSet was_available;
 };
 
+// --- anti-entropy digest exchange (background scrubber) --------------------
+// A scrub batch compares replicas by cheap CRC-32C digests instead of
+// shipping payloads: one DigestRequest covers a whole run of blocks (the
+// batched style of the vectored ops above), and only blocks whose digests
+// disagree cost a payload transfer via the existing fetch/repair machinery.
+
+/// Ask a peer for the (version, digest) of every block in
+/// [first, first + count).
+struct DigestRequest {
+  BlockId first;
+  std::uint32_t count;
+};
+
+/// Parallel vectors over the requested range. A locally unreadable
+/// (latently corrupt) block is reported as version 0 with a zero-block
+/// digest — the responder demotes it rather than vouching for damage.
+struct DigestReply {
+  BlockId first;
+  std::vector<VersionNumber> versions;
+  std::vector<std::uint32_t> digests;
+};
+
 using Payload =
     std::variant<VoteRequest, VoteReply, BlockFetchRequest, BlockFetchReply,
                  BlockUpdate, WriteAllRequest, WriteAllAck, StateInquiry,
@@ -216,7 +238,8 @@ using Payload =
                  DeviceInfoReply, ErrorReply, MultiBlockReadRequest,
                  MultiBlockReadReply, MultiBlockWriteRequest, MultiBlockWriteAck,
                  RangeVoteRequest, RangeVoteReply, BatchFetchRequest,
-                 BatchFetchReply, BatchWriteRequest>;
+                 BatchFetchReply, BatchWriteRequest, DigestRequest,
+                 DigestReply>;
 
 /// A routed message: who sent it plus its payload.
 struct Message {

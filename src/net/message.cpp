@@ -40,6 +40,8 @@ enum class Tag : std::uint8_t {
   kBatchFetchRequest,
   kBatchFetchReply,
   kBatchWriteRequest,
+  kDigestRequest,
+  kDigestReply,
 };
 
 void put_site_set(BufferWriter& w, const SiteSet& set) {
@@ -219,6 +221,18 @@ struct Encoder {
     w.put_u32(static_cast<std::uint32_t>(m.updates.size()));
     for (const auto& update : m.updates) put_block_update(w, update);
     put_site_set(w, m.was_available);
+  }
+  void operator()(const DigestRequest& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kDigestRequest));
+    w.put_u64(m.first);
+    w.put_u32(m.count);
+  }
+  void operator()(const DigestReply& m) const {
+    w.put_u8(static_cast<std::uint8_t>(Tag::kDigestReply));
+    w.put_u64(m.first);
+    w.put_u64_vector(m.versions);
+    w.put_u32(static_cast<std::uint32_t>(m.digests.size()));
+    for (const auto digest : m.digests) w.put_u32(digest);
   }
 };
 
@@ -441,6 +455,34 @@ Result<Payload> decode_payload(Tag tag, BufferReader& r) {
       m.was_available = std::move(set).value();
       return Payload{std::move(m)};
     }
+    case Tag::kDigestRequest: {
+      auto first = r.get_u64();
+      if (!first) return first.status();
+      auto count = r.get_u32();
+      if (!count) return count.status();
+      return Payload{DigestRequest{first.value(), count.value()}};
+    }
+    case Tag::kDigestReply: {
+      DigestReply m;
+      auto first = r.get_u64();
+      if (!first) return first.status();
+      m.first = first.value();
+      auto versions = r.get_u64_vector();
+      if (!versions) return versions.status();
+      m.versions = std::move(versions).value();
+      auto count = r.get_u32();
+      if (!count) return count.status();
+      if (count.value() != m.versions.size()) {
+        return errors::protocol("digest reply vectors are not parallel");
+      }
+      m.digests.reserve(std::min<std::uint32_t>(count.value(), 4096));
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto digest = r.get_u32();
+        if (!digest) return digest.status();
+        m.digests.push_back(digest.value());
+      }
+      return Payload{std::move(m)};
+    }
   }
   return errors::protocol("unknown message tag");
 }
@@ -532,6 +574,10 @@ const char* Message::name() const noexcept {
     const char* operator()(const BatchWriteRequest&) const {
       return "batch-write-request";
     }
+    const char* operator()(const DigestRequest&) const {
+      return "digest-request";
+    }
+    const char* operator()(const DigestReply&) const { return "digest-reply"; }
   };
   return std::visit(Namer{}, payload);
 }
@@ -549,7 +595,7 @@ Result<Message> Message::decode(std::span<const std::byte> raw) {
   if (!from) return from.status();
   auto tag = reader.get_u8();
   if (!tag) return tag.status();
-  if (tag.value() > static_cast<std::uint8_t>(Tag::kBatchWriteRequest)) {
+  if (tag.value() > static_cast<std::uint8_t>(Tag::kDigestReply)) {
     return errors::protocol("unknown message tag " +
                             std::to_string(tag.value()));
   }

@@ -1,0 +1,52 @@
+// Storage-level primitives of the anti-entropy scrubber: CRC-32C block
+// digests, bounded digest scans over a store, and the crash-safe scrub
+// cursor persisted in the site-metadata blob. The coordination layer that
+// exchanges digests with peers and drives heals lives in src/core
+// (scrub_daemon); this file knows only about one local store.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reldev/storage/block.hpp"
+#include "reldev/storage/block_store.hpp"
+#include "reldev/util/result.hpp"
+
+namespace reldev::storage {
+
+/// The digest replicas compare during a scrub exchange. CRC-32C of the
+/// payload bytes only — the version number travels beside it, so digests
+/// are compared exclusively between same-version copies.
+[[nodiscard]] std::uint32_t scrub_digest(std::span<const std::byte> payload);
+
+/// One bounded local scan: (version, digest) for each block of a run.
+struct DigestScan {
+  BlockId first = 0;
+  std::vector<VersionNumber> versions;
+  std::vector<std::uint32_t> digests;
+  /// Blocks whose payload could not be read (latent corruption, torn
+  /// record): demoted in place during the scan and reported here so the
+  /// caller can schedule a repair.
+  std::vector<BlockId> demoted;
+};
+
+/// Scan blocks [first, first + count) of `store`. A block that fails to
+/// read is demoted — version 0, zeroed payload — and reported as version 0
+/// with the zero-block digest, the same stance the serving side of the
+/// digest protocol takes: never vouch for damaged bytes. `count` is
+/// clamped to the device end; kInvalidArgument if `first` is off the end.
+[[nodiscard]] Result<DigestScan> scan_digests(BlockStore& store, BlockId first,
+                                              std::size_t count);
+
+/// The persisted scrub cursor, or 0 when no cursor has ever been saved
+/// (fresh store, pre-scrubber metadata blob, undecodable blob).
+[[nodiscard]] std::uint64_t load_scrub_cursor(const BlockStore& store);
+
+/// Persist the cursor by read-modify-write of the site-metadata blob:
+/// the availability fields (site id, clean-shutdown flag, was-available
+/// set) pass through untouched. A missing or undecodable blob is replaced
+/// by a fresh one carrying only the cursor.
+[[nodiscard]] Status save_scrub_cursor(BlockStore& store, std::uint64_t cursor);
+
+}  // namespace reldev::storage

@@ -28,6 +28,11 @@ struct SiteMetadata {
   bool clean_shutdown = false;
   /// W_s — absent under the naive scheme.
   std::optional<SiteSet> was_available;
+  /// Next block the anti-entropy scrubber will scan — absent until a
+  /// scrubber has run. Appended to the encoding after the original fields,
+  /// so blobs written before the scrubber existed still decode (the field
+  /// simply stays absent and a fresh cycle starts at block 0).
+  std::optional<std::uint64_t> scrub_cursor;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   static Result<SiteMetadata> decode(std::span<const std::byte> blob);

@@ -17,6 +17,10 @@ std::vector<std::byte> SiteMetadata::encode() const {
                                        was_available->end());
     writer.put_u64_vector(members);
   }
+  if (scrub_cursor.has_value()) {
+    writer.put_bool(true);
+    writer.put_u64(*scrub_cursor);
+  }
   return std::move(writer).take();
 }
 
@@ -44,6 +48,15 @@ Result<SiteMetadata> SiteMetadata::decode(std::span<const std::byte> blob) {
       set.insert(static_cast<SiteId>(member));
     }
     meta.was_available = std::move(set);
+  }
+  if (!reader.exhausted()) {
+    auto has_cursor = reader.get_bool();
+    if (!has_cursor) return has_cursor.status();
+    if (has_cursor.value()) {
+      auto cursor = reader.get_u64();
+      if (!cursor) return cursor.status();
+      meta.scrub_cursor = cursor.value();
+    }
   }
   return meta;
 }

@@ -20,13 +20,14 @@ class ReplicaEdgeTest : public ::testing::TestWithParam<SchemeKind> {
 };
 
 TEST_P(ReplicaEdgeTest, UnexpectedPeerRequestGetsErrorReply) {
-  // A BlockFetchRequest is only meaningful under voting; for the other
-  // schemes it must yield a protocol error, never a crash. For voting, use
-  // a WasAvailableUpdate instead.
+  // A VoteRequest is only meaningful under voting, and a WasAvailableUpdate
+  // only under available-copy; the wrong one must yield a protocol error,
+  // never a crash. (Fetch requests are deliberately absent here: the scrub
+  // path serves them scheme-independently.)
   net::Message request =
       GetParam() == SchemeKind::kVoting
           ? net::Message{1, net::WasAvailableUpdate{{}, false}}
-          : net::Message{1, net::BlockFetchRequest{0}};
+          : net::Message{1, net::VoteRequest{net::AccessKind::kRead, 0}};
   const auto reply = group_.replica(0).handle(request);
   ASSERT_TRUE(reply.holds<net::ErrorReply>());
   EXPECT_EQ(reply.as<net::ErrorReply>().error_code,

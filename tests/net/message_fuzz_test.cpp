@@ -38,6 +38,9 @@ std::vector<Message> sample_messages() {
       {17, BatchFetchReply{{BlockUpdate{0, 1, data}, BlockUpdate{5, 2, data}}}});
   samples.push_back(
       {18, BatchWriteRequest{{BlockUpdate{1, 3, data}}, SiteSet{0, 2}}});
+  samples.push_back({19, DigestRequest{8, 32}});
+  samples.push_back(
+      {20, DigestReply{8, {1, 0, 9}, {0xabad1dea, 0x0, 0x5eedc0de}}});
   return samples;
 }
 

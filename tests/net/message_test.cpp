@@ -214,6 +214,35 @@ TEST(MessageTest, BatchWriteRequestRoundTrip) {
   EXPECT_EQ(m.was_available, (SiteSet{0, 2, 3}));
 }
 
+TEST(MessageTest, DigestMessagesRoundTrip) {
+  const auto req = round_trip(1, DigestRequest{16, 64});
+  EXPECT_EQ(req.first, 16u);
+  EXPECT_EQ(req.count, 64u);
+
+  DigestReply reply;
+  reply.first = 16;
+  reply.versions = {3, 0, 12};
+  reply.digests = {0xdeadbeef, 0x0, 0xffffffff};
+  const auto rep = round_trip(2, reply);
+  EXPECT_EQ(rep.first, 16u);
+  EXPECT_EQ(rep.versions, (std::vector<VersionNumber>{3, 0, 12}));
+  EXPECT_EQ(rep.digests,
+            (std::vector<std::uint32_t>{0xdeadbeef, 0x0, 0xffffffff}));
+}
+
+TEST(MessageTest, DigestReplyWithUnparallelVectorsIsRejected) {
+  // The two vectors must stay parallel; a reply where they diverge in
+  // length must be refused as a protocol error, not decoded lopsided.
+  DigestReply lopsided;
+  lopsided.first = 0;
+  lopsided.versions = {1, 2};
+  lopsided.digests = {0x1};
+  const auto encoded = Message{0, lopsided}.encode();
+  auto decoded = Message::decode(encoded);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), reldev::ErrorCode::kProtocol);
+}
+
 TEST(MessageTest, BatchMessageNames) {
   EXPECT_STREQ((Message{0, MultiBlockReadRequest{0, 1}}).name(),
                "multi-block-read-request");

@@ -1,0 +1,167 @@
+// Storage-level scrub primitives: digest scans, demotion of unreadable
+// blocks, and the crash-safe cursor in the site-metadata blob (including
+// its backward compatibility with pre-scrubber blobs).
+#include "reldev/storage/scrubber.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reldev/storage/mem_block_store.hpp"
+#include "reldev/storage/site_metadata.hpp"
+
+namespace reldev::storage {
+namespace {
+
+BlockData payload(std::size_t size, std::uint8_t seed) {
+  return BlockData(size, static_cast<std::byte>(seed));
+}
+
+/// A store whose reads fail for chosen blocks — the shape of latent media
+/// corruption under a checksummed persistent store. Demoting a poisoned
+/// block clears the poison, as rewriting a damaged record would.
+class PoisonableStore final : public BlockStore {
+ public:
+  PoisonableStore(std::size_t block_count, std::size_t block_size)
+      : inner_(block_count, block_size) {}
+
+  void poison(BlockId block) { poisoned_.insert(block); }
+
+  [[nodiscard]] std::size_t block_count() const noexcept override {
+    return inner_.block_count();
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return inner_.block_size();
+  }
+  [[nodiscard]] Result<VersionedBlock> read(BlockId block) const override {
+    if (poisoned_.contains(block)) {
+      return errors::corruption("poisoned block");
+    }
+    return inner_.read(block);
+  }
+  [[nodiscard]] Status write(BlockId block, std::span<const std::byte> data,
+                             VersionNumber version) override {
+    return inner_.write(block, data, version);
+  }
+  [[nodiscard]] Status demote(BlockId block) override {
+    poisoned_.erase(block);
+    return inner_.demote(block);
+  }
+  [[nodiscard]] Result<VersionNumber> version_of(BlockId block) const override {
+    return inner_.version_of(block);
+  }
+  [[nodiscard]] VersionVector version_vector() const override {
+    return inner_.version_vector();
+  }
+  [[nodiscard]] Status put_metadata(std::span<const std::byte> blob) override {
+    return inner_.put_metadata(blob);
+  }
+  [[nodiscard]] Result<std::vector<std::byte>> get_metadata() const override {
+    return inner_.get_metadata();
+  }
+
+ private:
+  MemBlockStore inner_;
+  std::set<BlockId> poisoned_;
+};
+
+TEST(ScrubDigestTest, SameBytesSameDigestDifferentBytesDiffer) {
+  const BlockData a = payload(64, 1);
+  const BlockData b = payload(64, 1);
+  const BlockData c = payload(64, 2);
+  EXPECT_EQ(scrub_digest(a), scrub_digest(b));
+  EXPECT_NE(scrub_digest(a), scrub_digest(c));
+}
+
+TEST(DigestScanTest, ReportsVersionAndDigestPerBlock) {
+  MemBlockStore store(4, 64);
+  ASSERT_TRUE(store.write(1, payload(64, 7), 3).is_ok());
+  auto scan = scan_digests(store, 0, 4);
+  ASSERT_TRUE(scan.is_ok());
+  EXPECT_EQ(scan.value().first, 0u);
+  ASSERT_EQ(scan.value().versions.size(), 4u);
+  ASSERT_EQ(scan.value().digests.size(), 4u);
+  EXPECT_EQ(scan.value().versions[1], 3u);
+  EXPECT_EQ(scan.value().versions[0], 0u);
+  EXPECT_EQ(scan.value().digests[1], scrub_digest(payload(64, 7)));
+  EXPECT_TRUE(scan.value().demoted.empty());
+}
+
+TEST(DigestScanTest, CountClampsToDeviceEnd) {
+  MemBlockStore store(4, 64);
+  auto scan = scan_digests(store, 2, 100);
+  ASSERT_TRUE(scan.is_ok());
+  EXPECT_EQ(scan.value().first, 2u);
+  EXPECT_EQ(scan.value().versions.size(), 2u);
+}
+
+TEST(DigestScanTest, StartPastEndIsRejected) {
+  MemBlockStore store(4, 64);
+  auto scan = scan_digests(store, 5, 1);
+  EXPECT_EQ(scan.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(DigestScanTest, UnreadableBlockIsDemotedAndReported) {
+  PoisonableStore store(4, 64);
+  ASSERT_TRUE(store.write(2, payload(64, 9), 5).is_ok());
+  store.poison(2);
+  auto scan = scan_digests(store, 0, 4);
+  ASSERT_TRUE(scan.is_ok());
+  // Reported as a version-0 zero block — the scan never vouches for
+  // damaged bytes — and demoted in place.
+  EXPECT_EQ(scan.value().versions[2], 0u);
+  EXPECT_EQ(scan.value().digests[2], scrub_digest(payload(64, 0)));
+  ASSERT_EQ(scan.value().demoted.size(), 1u);
+  EXPECT_EQ(scan.value().demoted[0], 2u);
+  EXPECT_EQ(store.version_of(2).value(), 0u);
+  EXPECT_TRUE(store.read(2).is_ok());
+}
+
+TEST(ScrubCursorTest, MissingBlobLoadsAsZero) {
+  MemBlockStore store(4, 64);
+  EXPECT_EQ(load_scrub_cursor(store), 0u);
+}
+
+TEST(ScrubCursorTest, RoundTripsThroughMetadata) {
+  MemBlockStore store(4, 64);
+  ASSERT_TRUE(save_scrub_cursor(store, 3).is_ok());
+  EXPECT_EQ(load_scrub_cursor(store), 3u);
+  ASSERT_TRUE(save_scrub_cursor(store, 0).is_ok());
+  EXPECT_EQ(load_scrub_cursor(store), 0u);
+}
+
+TEST(ScrubCursorTest, PreservesAvailabilityFields) {
+  MemBlockStore store(4, 64);
+  SiteMetadata meta;
+  meta.site = 2;
+  meta.clean_shutdown = true;
+  meta.was_available = SiteSet{0, 1, 2};
+  ASSERT_TRUE(store.put_metadata(meta.encode()).is_ok());
+
+  ASSERT_TRUE(save_scrub_cursor(store, 7).is_ok());
+
+  auto reloaded = SiteMetadata::decode(store.get_metadata().value());
+  ASSERT_TRUE(reloaded.is_ok());
+  EXPECT_EQ(reloaded.value().site, 2u);
+  EXPECT_TRUE(reloaded.value().clean_shutdown);
+  EXPECT_EQ(reloaded.value().was_available, (SiteSet{0, 1, 2}));
+  EXPECT_EQ(reloaded.value().scrub_cursor, 7u);
+}
+
+TEST(ScrubCursorTest, PreScrubberBlobDecodesWithoutCursor) {
+  // A blob written before the cursor field existed: the encoder emits the
+  // trailing field only when present, so this is exactly such a blob.
+  SiteMetadata old;
+  old.site = 1;
+  old.was_available = SiteSet{0, 1};
+  const auto blob = old.encode();
+
+  auto decoded = SiteMetadata::decode(blob);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_FALSE(decoded.value().scrub_cursor.has_value());
+
+  MemBlockStore store(4, 64);
+  ASSERT_TRUE(store.put_metadata(blob).is_ok());
+  EXPECT_EQ(load_scrub_cursor(store), 0u);
+}
+
+}  // namespace
+}  // namespace reldev::storage

@@ -1,0 +1,88 @@
+// TokenBucket budget accounting under synthetic time. The bucket always
+// grants and reports debt as a delay — these tests pin down the refill
+// arithmetic the scrubber's throttling rests on.
+#include "reldev/util/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reldev {
+namespace {
+
+using Clock = TokenBucket::Clock;
+
+Clock::time_point at(std::uint64_t ms) {
+  return Clock::time_point{} + std::chrono::milliseconds(ms);
+}
+
+TEST(TokenBucketTest, DefaultConstructedIsUnlimited) {
+  TokenBucket bucket;
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_EQ(bucket.acquire(1'000'000'000, at(0)).count(), 0);
+  EXPECT_EQ(bucket.acquire(1'000'000'000, at(0)).count(), 0);
+}
+
+TEST(TokenBucketTest, ZeroRateIsUnlimited) {
+  TokenBucket bucket(0, 0);
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_EQ(bucket.acquire(12345, at(7)).count(), 0);
+}
+
+TEST(TokenBucketTest, BurstIsGrantedWithoutDelay) {
+  TokenBucket bucket(1000, 1000);  // 1000 tokens/s, burst 1000
+  EXPECT_FALSE(bucket.unlimited());
+  EXPECT_EQ(bucket.acquire(1000, at(0)).count(), 0);
+}
+
+TEST(TokenBucketTest, DebtIsProportionalToOverdraft) {
+  TokenBucket bucket(1000, 1000);
+  ASSERT_EQ(bucket.acquire(1000, at(0)).count(), 0);  // drain the burst
+  // 500 more tokens at rate 1000/s = 0.5 s of debt.
+  const auto delay = bucket.acquire(500, at(0));
+  EXPECT_EQ(std::chrono::duration_cast<std::chrono::milliseconds>(delay)
+                .count(),
+            500);
+}
+
+TEST(TokenBucketTest, ElapsedTimeRefills) {
+  TokenBucket bucket(1000, 1000);
+  ASSERT_EQ(bucket.acquire(1000, at(0)).count(), 0);
+  // One second later the bucket is full again.
+  EXPECT_EQ(bucket.acquire(1000, at(1000)).count(), 0);
+  // But only up to the burst: ten idle seconds do not bank ten seconds
+  // worth of tokens.
+  ASSERT_EQ(bucket.acquire(1000, at(12'000)).count(), 0);
+  EXPECT_GT(bucket.acquire(1000, at(12'000)).count(), 0);
+}
+
+TEST(TokenBucketTest, DebtDrainsOverTime) {
+  TokenBucket bucket(1000, 1000);
+  // Burst plus one extra second of tokens: granted, with 1 s of debt.
+  const auto first = bucket.acquire(2000, at(0));
+  EXPECT_EQ(std::chrono::duration_cast<std::chrono::milliseconds>(first)
+                .count(),
+            1000);
+  // Half the debt has drained after 500 ms: the next single token waits
+  // for the remaining half second plus its own millisecond.
+  const auto delay = bucket.acquire(1, at(500));
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(delay).count();
+  EXPECT_GE(ms, 500);
+  EXPECT_LE(ms, 502);
+}
+
+TEST(TokenBucketTest, ZeroBurstClampsToRate) {
+  TokenBucket bucket(100, 0);
+  EXPECT_EQ(bucket.acquire(100, at(0)).count(), 0);
+  EXPECT_GT(bucket.acquire(1, at(0)).count(), 0);
+}
+
+TEST(TokenBucketTest, AvailableReportsCurrentLevel) {
+  TokenBucket bucket(1000, 1000);
+  EXPECT_DOUBLE_EQ(bucket.available(at(0)), 1000.0);
+  (void)bucket.acquire(600, at(0));
+  EXPECT_DOUBLE_EQ(bucket.available(at(0)), 400.0);
+  EXPECT_NEAR(bucket.available(at(100)), 500.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace reldev
