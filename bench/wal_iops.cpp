@@ -15,7 +15,6 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "reldev/storage/journaled_block_store.hpp"
 #include "reldev/util/flags.hpp"
 #include "reldev/util/table.hpp"
+#include "reldev/util/thread_annotations.hpp"
 
 using namespace reldev;
 using Clock = std::chrono::steady_clock;
@@ -106,10 +106,10 @@ RowResult bench_file(const std::string& path, std::size_t writers,
     std::exit(1);
   }
   const auto payload = pattern(0x5A);
-  std::mutex serial;
+  Mutex serial("bench.wal-iops.serial");
   auto [seconds, latencies] =
       drive(writers, ops, [&](std::size_t w, std::size_t i) {
-        std::lock_guard<std::mutex> lock(serial);
+        const MutexLock lock(serial);
         const auto block = static_cast<storage::BlockId>(
             (w * 17 + i) % kBlocks);
         if (!store.value()->write(block, payload, i + 1).is_ok()) std::abort();

@@ -1,0 +1,36 @@
+// Fuzz harness for the wire-message parser (net/message.hpp). The decoder
+// consumes bytes straight off a TCP socket, so it must reject arbitrary
+// garbage gracefully: never crash, never read out of bounds, and — when it
+// does accept an input — produce a message whose re-encoding decodes back
+// to an equal-shaped message (the round-trip invariant the transports rely
+// on for identical in-process and TCP bits).
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "reldev/net/message.hpp"
+
+using reldev::Result;
+using reldev::net::Message;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::byte> raw(
+      reinterpret_cast<const std::byte*>(data), size);
+
+  Result<Message> decoded = Message::decode(raw);
+  if (!decoded.is_ok()) return 0;  // rejected cleanly — fine
+
+  // Round trip: what decoded must re-encode to something that decodes to
+  // the same payload alternative and sender.
+  const std::vector<std::byte> wire = decoded.value().encode();
+  Result<Message> again = Message::decode(wire);
+  if (!again.is_ok()) std::abort();
+  if (again.value().from != decoded.value().from) std::abort();
+  if (again.value().payload.index() != decoded.value().payload.index()) {
+    std::abort();
+  }
+  // And re-encoding must be a fixed point (canonical encoding).
+  if (again.value().encode() != wire) std::abort();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fuzz harness for the persistent SiteMetadata blob decoder. These blobs
+// are read back from the block store's metadata region after a crash, so
+// recovery must survive whatever a torn write left there: reject garbage
+// cleanly, and round-trip exactly what it accepts (including the optional
+// was-available set and the appended-later scrub cursor, whose absence in
+// old blobs is part of the format's compatibility contract).
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "reldev/storage/site_metadata.hpp"
+
+using reldev::Result;
+using reldev::storage::SiteMetadata;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::byte> blob(
+      reinterpret_cast<const std::byte*>(data), size);
+
+  Result<SiteMetadata> decoded = SiteMetadata::decode(blob);
+  if (!decoded.is_ok()) return 0;
+
+  // Round trip: accepted blobs must re-encode to a blob that decodes to an
+  // equal value, and the re-encoding must be canonical (a fixed point).
+  const std::vector<std::byte> wire = decoded.value().encode();
+  Result<SiteMetadata> again = SiteMetadata::decode(wire);
+  if (!again.is_ok()) std::abort();
+  if (!(again.value() == decoded.value())) std::abort();
+  if (again.value().encode() != wire) std::abort();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// File-driven driver for the fuzz harnesses on toolchains without
+// libFuzzer (the dev container ships GCC only). Each argument is a corpus
+// file or a directory of corpus files; every file is read whole and fed to
+// LLVMFuzzerTestOneInput exactly as libFuzzer would feed it. Exit 0 means
+// every input was processed without crashing — which is the entire
+// contract the harnesses assert.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Deterministic order so a crash reproduces identically.
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (int rc = run_file(file); rc != 0) return rc;
+        ++ran;
+      }
+    } else {
+      if (int rc = run_file(arg); rc != 0) return rc;
+      ++ran;
+    }
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "fuzz: no corpus files found\n");
+    return 2;
+  }
+  std::printf("fuzz: %zu inputs, no crashes\n", ran);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fuzz harness for write-ahead-journal recovery. wal_scan_frames() is the
+// pure core of WalJournal::open(): it parses the frame region a crashed
+// (or malicious, or bit-rotted) journal left behind and must terminate
+// with a well-formed committed prefix for *any* byte string. The harness
+// checks the invariants recovery depends on:
+//   * consumed never exceeds the input (no over-read);
+//   * sequences in the accepted prefix are exactly next_sequence - n .. - 1,
+//     strictly increasing (replay order is total);
+//   * a kBlockWrite record's payload is exactly one block;
+//   * a clean full scan (consumed == size, or only zeros after the prefix)
+//     reports no torn tail, and vice versa.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "reldev/storage/wal_journal.hpp"
+
+using reldev::storage::WalFrameScan;
+using reldev::storage::WalRecord;
+using reldev::storage::WalRecordType;
+using reldev::storage::wal_scan_frames;
+
+namespace {
+
+// Exercise more than one geometry: the first input byte picks the block
+// size the journal claims to be formatted for.
+constexpr std::size_t kBlockSizes[] = {64, 512, 4096};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::size_t block_size = kBlockSizes[0];
+  if (size > 0) {
+    block_size = kBlockSizes[data[0] % std::size(kBlockSizes)];
+    ++data;
+    --size;
+  }
+  const std::span<const std::byte> tail(
+      reinterpret_cast<const std::byte*>(data), size);
+
+  const WalFrameScan scan = wal_scan_frames(tail, block_size);
+
+  if (scan.consumed > size) std::abort();
+  if (scan.next_sequence < 1) std::abort();
+  if (scan.next_sequence - 1 < scan.records.size()) std::abort();
+
+  std::uint64_t prev_sequence = 0;
+  for (const WalRecord& record : scan.records) {
+    if (record.sequence <= prev_sequence) std::abort();
+    prev_sequence = record.sequence;
+    switch (record.type) {
+      case WalRecordType::kBlockWrite:
+        if (record.payload.size() != block_size) std::abort();
+        break;
+      case WalRecordType::kMetadataPut:
+      case WalRecordType::kDemote:
+        break;
+      default:
+        std::abort();  // the scan must never surface an unknown type
+    }
+  }
+  if (!scan.records.empty() &&
+      scan.records.back().sequence + 1 != scan.next_sequence) {
+    std::abort();
+  }
+
+  // torn_tail must mean exactly "a nonzero byte follows the prefix".
+  bool nonzero_after = false;
+  for (std::size_t i = scan.consumed; i < size; ++i) {
+    if (tail[i] != std::byte{0}) {
+      nonzero_after = true;
+      break;
+    }
+  }
+  if (scan.torn_tail != nonzero_after) std::abort();
+  return 0;
+}

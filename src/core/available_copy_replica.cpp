@@ -117,9 +117,10 @@ Status AvailableCopyReplica::write(BlockId block,
     // is current (the atomic-broadcast variant of §3.2).
     SiteSet recipients = ack_set;
     recipients.erase(self_);
-    (void)transport_.multicast(
-        self_, recipients,
-        net::Message{self_, net::WasAvailableUpdate{ack_set, true}});
+    transport_
+        .multicast(self_, recipients,
+                   net::Message{self_, net::WasAvailableUpdate{ack_set, true}})
+        .ignore_error();
   }
   return Status::ok();
 }
@@ -175,9 +176,10 @@ Status AvailableCopyReplica::write_range(BlockId first,
   if (policy_ == WasAvailablePolicy::kEagerBroadcast && changed) {
     SiteSet recipients = ack_set;
     recipients.erase(self_);
-    (void)transport_.multicast(
-        self_, recipients,
-        net::Message{self_, net::WasAvailableUpdate{ack_set, true}});
+    transport_
+        .multicast(self_, recipients,
+                   net::Message{self_, net::WasAvailableUpdate{ack_set, true}})
+        .ignore_error();
   }
   return Status::ok();
 }
@@ -213,10 +215,11 @@ Status AvailableCopyReplica::recover() {
     was_available_ = info.was_available;
     was_available_.insert(self_);
     persist_metadata();
-    (void)transport_.call(
-        self_, site,
-        net::Message{self_,
-                     net::WasAvailableUpdate{was_available_, false}});
+    transport_
+        .call(self_, site,
+              net::Message{self_,
+                           net::WasAvailableUpdate{was_available_, false}})
+        .ignore_error();
     set_state(SiteState::kAvailable);
     return Status::ok();
   }
@@ -253,10 +256,11 @@ Status AvailableCopyReplica::recover() {
     was_available_ = it->second;
     was_available_.insert(self_);
     persist_metadata();
-    (void)transport_.call(
-        self_, best,
-        net::Message{self_,
-                     net::WasAvailableUpdate{was_available_, false}});
+    transport_
+        .call(self_, best,
+              net::Message{self_,
+                           net::WasAvailableUpdate{was_available_, false}})
+        .ignore_error();
   }
   set_state(SiteState::kAvailable);
   RELDEV_DEBUG("available-copy")

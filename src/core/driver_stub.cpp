@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "reldev/util/lockdep.hpp"
+
 namespace reldev::core {
 
 bool is_retryable(ErrorCode code) noexcept {
@@ -108,6 +110,7 @@ Result<net::Message> DriverStub::call_any(const net::Message& request) {
       }
       const auto backoff = std::min<std::int64_t>(sleep_ms, budget.count());
       if (backoff > 0) {
+        lockdep::check_blocking("sleep(retry-backoff)");
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       }
     }

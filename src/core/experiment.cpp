@@ -33,7 +33,7 @@ class GroupDriver final : public sim::FailureListener {
 
   void on_site_repaired(std::size_t site, double /*now*/) override {
     ++repairs_;
-    (void)group_.recover_site(static_cast<SiteId>(site));
+    group_.recover_site(static_cast<SiteId>(site)).ignore_error();
     refresh();
     if (on_change_) on_change_();
   }
@@ -81,7 +81,7 @@ class GroupDriver final : public sim::FailureListener {
       return;
     }
     if (auto coordinator = pick_coordinator()) {
-      (void)group_.write(*coordinator, 0, payload_);
+      group_.write(*coordinator, 0, payload_).ignore_error();
     }
   }
 

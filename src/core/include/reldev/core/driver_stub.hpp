@@ -140,7 +140,7 @@ class DriverStub final : public BlockDevice {
   // Mutable retry bookkeeping, boxed so the stub stays movable (a Mutex is
   // not) — DriverStub travels through Result<DriverStub> in connect().
   struct RetryState {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"DriverStub.RetryState.mutex"};
     RetryPolicy policy RELDEV_GUARDED_BY(mutex);
     Rng jitter RELDEV_GUARDED_BY(mutex);
     FailureDetail failure RELDEV_GUARDED_BY(mutex);

@@ -144,7 +144,7 @@ class ScrubDaemon {
 
   ReplicaBase& replica_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"ScrubDaemon.mutex"};
   ScrubOptions options_ RELDEV_GUARDED_BY(mutex_);
   ScrubStats stats_ RELDEV_GUARDED_BY(mutex_);
   std::uint64_t cursor_ RELDEV_GUARDED_BY(mutex_);

@@ -187,7 +187,7 @@ void NaiveAvailableCopyReplica::handle_peer_oneway(
     auto current = store_.version_of(push.block);
     if (!current) return;
     if (push.version > current.value()) {
-      (void)store_.write(push.block, push.data, push.version);
+      store_.write(push.block, push.data, push.version).ignore_error();
     }
     return;
   }
@@ -197,7 +197,7 @@ void NaiveAvailableCopyReplica::handle_peer_oneway(
       auto current = store_.version_of(update.block);
       if (!current) continue;
       if (update.version > current.value()) {
-        (void)store_.write(update.block, update.data, update.version);
+        store_.write(update.block, update.data, update.version).ignore_error();
       }
     }
     return;

@@ -130,7 +130,7 @@ net::Message ReplicaBase::handle(const net::Message& request) {
       // A torn record must not be shipped; demote it so our next vote or
       // digest offers version 0 and the fetcher goes elsewhere.
       if (stored.status().code() == ErrorCode::kCorruption) {
-        (void)store_.demote(block);
+        store_.demote(block).ignore_error();
       }
       return net::make_error(self_, stored.status());
     }
@@ -146,7 +146,7 @@ net::Message ReplicaBase::handle(const net::Message& request) {
       auto stored = store_.read(block);
       if (!stored) {
         if (stored.status().code() == ErrorCode::kCorruption) {
-          (void)store_.demote(block);
+          store_.demote(block).ignore_error();
         }
         return net::make_error(self_, stored.status());
       }
@@ -176,7 +176,7 @@ net::RepairReply ReplicaBase::build_repair_reply(
       RELDEV_WARN("replica") << "site " << self_ << ": block " << block
                              << " unreadable while serving repair ("
                              << stored.status().to_string() << "); demoting";
-      (void)store_.demote(block);
+      store_.demote(block).ignore_error();
       demoted_any = true;
       continue;
     }

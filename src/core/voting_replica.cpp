@@ -406,7 +406,7 @@ void VotingReplica::handle_peer_oneway(const net::Message& message) {
       auto current = store_.version_of(update.block);
       if (!current) continue;
       if (update.version > current.value()) {
-        (void)store_.write(update.block, update.data, update.version);
+        store_.write(update.block, update.data, update.version).ignore_error();
       }
     }
     return;
@@ -416,7 +416,7 @@ void VotingReplica::handle_peer_oneway(const net::Message& message) {
     auto current = store_.version_of(update.block);
     if (!current) return;
     if (update.version > current.value()) {
-      (void)store_.write(update.block, update.data, update.version);
+      store_.write(update.block, update.data, update.version).ignore_error();
     }
     return;
   }

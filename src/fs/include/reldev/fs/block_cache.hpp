@@ -99,7 +99,7 @@ class BlockCache final : public core::BlockDevice {
 
   core::BlockDevice* device_;  // non-owning
   std::size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"BlockCache.mutex"};
   // LRU order: front = most recently used.
   std::list<storage::BlockId> order_ RELDEV_GUARDED_BY(mutex_);
   struct Entry {

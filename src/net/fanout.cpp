@@ -11,7 +11,7 @@ namespace {
 // Guards the process-wide pool slot. Namespace-scope (not function-local)
 // statics so the GUARDED_BY relation is expressible; both are only touched
 // after main() starts, so dynamic-initialization order is irrelevant.
-Mutex g_shared_pool_mutex;
+Mutex g_shared_pool_mutex{"FanOut.shared-pool"};
 std::unique_ptr<FanOut> g_shared_pool RELDEV_GUARDED_BY(g_shared_pool_mutex);
 
 }  // namespace

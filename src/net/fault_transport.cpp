@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "reldev/util/lockdep.hpp"
+
 namespace reldev::net {
 
 namespace {
@@ -114,7 +116,10 @@ FaultInjectingTransport::Fate FaultInjectingTransport::decide(SiteId from,
 }
 
 void FaultInjectingTransport::apply_delay(const Fate& fate) {
-  if (fate.delay.count() > 0) std::this_thread::sleep_for(fate.delay);
+  if (fate.delay.count() > 0) {
+    lockdep::check_blocking("sleep(fault-delay)");
+    std::this_thread::sleep_for(fate.delay);
+  }
 }
 
 Result<Message> FaultInjectingTransport::call(SiteId from, SiteId to,
@@ -131,7 +136,7 @@ Result<Message> FaultInjectingTransport::call(SiteId from, SiteId to,
     case FateKind::kDropReply: {
       apply_delay(fate);
       auto executed = inner_.call(from, to, request);
-      (void)executed;  // the peer ran it; the answer never came back
+      executed.ignore_error();  // the peer ran it; the answer never came back
       return errors::timeout("fault injection: reply on " +
                              link_name(to, from) + " lost in transit");
     }
@@ -143,7 +148,7 @@ Result<Message> FaultInjectingTransport::call(SiteId from, SiteId to,
     case FateKind::kCorruptReply: {
       apply_delay(fate);
       auto executed = inner_.call(from, to, request);
-      (void)executed;
+      executed.ignore_error();
       return errors::corruption("fault injection: reply frame on " +
                                 link_name(to, from) +
                                 " garbled (CRC trailer mismatch)");
@@ -151,7 +156,7 @@ Result<Message> FaultInjectingTransport::call(SiteId from, SiteId to,
     case FateKind::kDuplicate: {
       apply_delay(fate);
       auto first = inner_.call(from, to, request);
-      (void)first;  // the duplicate's answer is redundant on the wire
+      first.ignore_error();  // the duplicate's answer is redundant on the wire
       return inner_.call(from, to, request);
     }
     case FateKind::kDeliver:
@@ -176,7 +181,7 @@ Status FaultInjectingTransport::send(SiteId from, SiteId to,
       return Status::ok();
     case FateKind::kDuplicate: {
       apply_delay(fate);
-      (void)inner_.send(from, to, message);
+      inner_.send(from, to, message).ignore_error();
       return inner_.send(from, to, message);
     }
     case FateKind::kDeliver:
@@ -210,8 +215,8 @@ Status FaultInjectingTransport::multicast(SiteId from, const SiteSet& to,
     }
   }
   if (max_delay.count() > 0) std::this_thread::sleep_for(max_delay);
-  if (!survivors.empty()) (void)inner_.multicast(from, survivors, message);
-  for (const SiteId dest : duplicates) (void)inner_.send(from, dest, message);
+  if (!survivors.empty()) inner_.multicast(from, survivors, message).ignore_error();
+  for (const SiteId dest : duplicates) inner_.send(from, dest, message).ignore_error();
   return Status::ok();
 }
 
@@ -250,10 +255,10 @@ std::vector<GatherReply> FaultInjectingTransport::multicast_call(
   // Peers whose reply dies still execute the request — the write is applied
   // even though the coordinator will not count the acknowledgement.
   for (const SiteId dest : executed_but_lost) {
-    (void)inner_.call(from, dest, request);
+    inner_.call(from, dest, request).ignore_error();
   }
   for (const SiteId dest : duplicates) {
-    (void)inner_.call(from, dest, request);
+    inner_.call(from, dest, request).ignore_error();
   }
   if (survivors.empty()) return {};
   return inner_.multicast_call(from, survivors, request, early_stop);

@@ -56,7 +56,7 @@ class FanOut {
  private:
   void worker_loop() RELDEV_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{"FanOut.mutex"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ RELDEV_GUARDED_BY(mutex_);
   bool stopping_ RELDEV_GUARDED_BY(mutex_) = false;

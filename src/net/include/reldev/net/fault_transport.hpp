@@ -131,7 +131,7 @@ class FaultInjectingTransport final : public Transport {
   static void apply_delay(const Fate& fate);
 
   Transport& inner_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"FaultInjectingTransport.mutex"};
   Rng rng_ RELDEV_GUARDED_BY(mutex_);
   FaultRule default_rule_ RELDEV_GUARDED_BY(mutex_);
   std::map<std::pair<SiteId, SiteId>, FaultRule> link_rules_

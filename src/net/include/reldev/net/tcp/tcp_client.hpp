@@ -104,7 +104,7 @@ class TcpChannel {
 
   std::string host_;
   std::uint16_t port_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"TcpChannel.pool"};
   std::chrono::milliseconds timeout_ RELDEV_GUARDED_BY(mutex_);
   PoolOptions pool_ RELDEV_GUARDED_BY(mutex_);
   std::vector<IdleSocket> idle_ RELDEV_GUARDED_BY(mutex_);
@@ -163,7 +163,7 @@ class TcpPeerTransport final : public Transport {
   std::vector<std::pair<SiteId, std::shared_ptr<TcpChannel>>> channels_for(
       SiteId from, const SiteSet& to) RELDEV_EXCLUDES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"TcpPeerTransport.mutex"};
   std::map<SiteId, std::shared_ptr<TcpChannel>> channels_
       RELDEV_GUARDED_BY(mutex_);
   std::chrono::milliseconds call_timeout_ RELDEV_GUARDED_BY(mutex_){
@@ -173,7 +173,7 @@ class TcpPeerTransport final : public Transport {
 
   // Outstanding fan-out tasks; the destructor blocks until zero so no task
   // can touch a dead channel or meter.
-  Mutex outstanding_mutex_ RELDEV_ACQUIRED_AFTER(mutex_);
+  Mutex outstanding_mutex_ RELDEV_ACQUIRED_AFTER(mutex_){"TcpPeerTransport.outstanding"};
   CondVar outstanding_cv_;
   std::size_t outstanding_ RELDEV_GUARDED_BY(outstanding_mutex_) = 0;
 };

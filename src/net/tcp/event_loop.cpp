@@ -359,7 +359,7 @@ class EpollLoop final : public EventLoop {
   const int epoll_fd_;
   const int event_fd_;
   std::atomic<bool> stopping_{false};
-  Mutex mutex_;
+  Mutex mutex_{"EventLoop.posted"};
   std::vector<Task> posted_ RELDEV_GUARDED_BY(mutex_);
   // Everything below is loop-thread-only.
   FdMap fds_;

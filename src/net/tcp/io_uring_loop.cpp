@@ -468,7 +468,7 @@ class UringLoop final : public EventLoop {
   Ring ring_;
   const int event_fd_;
   std::atomic<bool> stopping_{false};
-  Mutex mutex_;
+  Mutex mutex_{"IoUringLoop.posted"};
   std::vector<Task> posted_ RELDEV_GUARDED_BY(mutex_);
   // Everything below is loop-thread-only.
   std::unordered_map<std::uint64_t, std::unique_ptr<PendingOp>> ops_;

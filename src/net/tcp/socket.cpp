@@ -12,6 +12,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "reldev/util/lockdep.hpp"
+
 namespace reldev::net::tcp {
 
 namespace {
@@ -48,6 +50,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 Result<Socket> Socket::connect(const std::string& host, std::uint16_t port,
                                std::optional<std::chrono::milliseconds> timeout) {
+  lockdep::check_blocking("connect");
   auto addr = make_address(host, port);
   if (!addr) return addr.status();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -149,6 +152,7 @@ void Socket::set_send_timeout(std::chrono::milliseconds timeout) noexcept {
 
 Status Socket::write_all(std::span<const std::byte> data) {
   RELDEV_EXPECTS(valid());
+  lockdep::check_blocking("send");
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
@@ -167,6 +171,7 @@ Status Socket::write_all(std::span<const std::byte> data) {
 
 Status Socket::read_exact(std::span<std::byte> data) {
   RELDEV_EXPECTS(valid());
+  lockdep::check_blocking("recv");
   std::size_t got = 0;
   while (got < data.size()) {
     const ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
@@ -242,6 +247,7 @@ Result<Acceptor> Acceptor::listen(std::uint16_t port) {
 
 Result<Socket> Acceptor::accept() {
   RELDEV_EXPECTS(valid());
+  lockdep::check_blocking("accept");
   int client;
   do {
     client = ::accept(fd_, nullptr, nullptr);

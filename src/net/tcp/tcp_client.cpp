@@ -224,7 +224,7 @@ Status TcpPeerTransport::send(SiteId from, SiteId to, const Message& message) {
   // TCP servers always reply; one-way semantics are "call and discard".
   // Unreachable peers are fine: fail-stop peers simply miss the message.
   auto reply = call(from, to, message);
-  (void)reply;
+  reply.ignore_error();
   return Status::ok();
 }
 
@@ -241,7 +241,7 @@ std::vector<GatherReply> TcpPeerTransport::multicast_call(
     SiteId from, const SiteSet& to, const Message& request,
     const EarlyStop& early_stop) {
   struct GatherState {
-    Mutex mutex;
+    Mutex mutex{"TcpPeerTransport.GatherState.mutex"};
     CondVar cv;
     std::vector<GatherReply> replies RELDEV_GUARDED_BY(mutex);
     std::size_t pending RELDEV_GUARDED_BY(mutex) = 0;

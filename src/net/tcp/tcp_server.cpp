@@ -174,7 +174,7 @@ class ThreadedImpl final : public TcpServer::Impl {
   ServerCounters* counters_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  Mutex mutex_;
+  Mutex mutex_{"TcpServer.ThreadedImpl.mutex"};
   std::uint64_t next_worker_id_ RELDEV_GUARDED_BY(mutex_) = 0;
   std::map<std::uint64_t, std::thread> workers_ RELDEV_GUARDED_BY(mutex_);
   std::vector<std::uint64_t> finished_ RELDEV_GUARDED_BY(mutex_);
@@ -236,7 +236,7 @@ class WorkerPool {
     }
   }
 
-  Mutex mutex_;
+  Mutex mutex_{"TcpServer.WorkerPool.mutex"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ RELDEV_GUARDED_BY(mutex_);
   bool stopping_ RELDEV_GUARDED_BY(mutex_) = false;

@@ -202,14 +202,14 @@ Status CrashPointBlockStore::write(BlockId block,
     torn.put_u64(version);
     torn.put_u32(crc32c(data));
     torn.put_raw(data.first(data.size() / 2));
-    (void)file_->raw_write_at(file_->block_record_offset(block),
-                              torn.bytes());
+    file_->raw_write_at(file_->block_record_offset(block), torn.bytes())
+        .ignore_error();
     return errors::io_error("crash injected mid block write");
   }
   if (fire(CrashPoint::kAfterBlockWrite, block_writes_seen_)) {
     // The mutation lands (journal mode: enters the commit batch) but the
     // writer dies before returning.
-    (void)store->write(block, data, version);
+    store->write(block, data, version).ignore_error();
     return errors::io_error("crash injected after block write");
   }
   return store->write(block, data, version);
@@ -246,9 +246,10 @@ Status CrashPointBlockStore::put_metadata(std::span<const std::byte> blob) {
     torn.put_u32(static_cast<std::uint32_t>(blob.size()));
     torn.put_u32(crc32c(blob));
     torn.put_raw(blob.first(blob.size() / 2));
-    (void)file_->raw_write_at(
+    file_->raw_write_at(
         FileBlockStore::metadata_slot_offset(static_cast<unsigned>(next % 2)),
-        torn.bytes());
+        torn.bytes())
+        .ignore_error();
     return errors::io_error("crash injected mid metadata write");
   }
   return store->put_metadata(blob);

@@ -13,15 +13,22 @@
 #include <cstring>
 #include <string>
 
+#include "reldev/util/lockdep.hpp"
 #include "reldev/util/result.hpp"
 
 namespace reldev::storage::detail {
 
 inline std::string errno_text() { return std::strerror(errno); }
 
+// Every helper here blocks on disk I/O, so each one is a lockdep
+// blocking-under-lock checkpoint: calling it with any reldev::Mutex held
+// violates the library's lock discipline (DESIGN.md §15) and is reported
+// in RELDEV_LOCKDEP builds.
+
 /// Full-coverage pwrite loop; explicit 64-bit offsets (off_t, not long).
 inline Status write_at(int fd, std::uint64_t offset, const void* data,
                        std::size_t size) {
+  lockdep::check_blocking("pwrite");
   const auto* bytes = static_cast<const char*>(data);
   std::size_t done = 0;
   while (done < size) {
@@ -41,6 +48,7 @@ inline Status write_at(int fd, std::uint64_t offset, const void* data,
 enum class ReadOutcome { kOk, kShort };
 inline Result<ReadOutcome> read_at(int fd, std::uint64_t offset, void* data,
                                    std::size_t size) {
+  lockdep::check_blocking("pread");
   auto* bytes = static_cast<char*>(data);
   std::size_t done = 0;
   while (done < size) {
@@ -58,6 +66,7 @@ inline Result<ReadOutcome> read_at(int fd, std::uint64_t offset, void* data,
 
 /// fsync(2) with EINTR retry.
 inline Status sync_fd(int fd) {
+  lockdep::check_blocking("fsync");
   while (::fsync(fd) != 0) {
     if (errno == EINTR) continue;
     return errors::io_error("fsync failed: " + errno_text());
@@ -72,6 +81,7 @@ inline Status sync_fd(int fd) {
 /// real I/O failure (EIO and friends) surfaces: silently losing the entry
 /// would break the create-then-rely durability contract.
 inline Status sync_parent_dir(const std::string& path) {
+  lockdep::check_blocking("fsync(dir)");
   const auto slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")

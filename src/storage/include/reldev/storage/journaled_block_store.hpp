@@ -221,7 +221,7 @@ class JournaledBlockStore final : public BlockStore {
   std::size_t replayed_records_ = 0;
   bool replay_truncated_tail_ = false;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"JournaledBlockStore.mutex"};
   mutable CondVar cv_;
 
   // Framed records waiting for the next commit batch, and the write-back

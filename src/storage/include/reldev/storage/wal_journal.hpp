@@ -49,6 +49,26 @@ void wal_encode_metadata_put(BufferWriter& batch, std::uint64_t sequence,
 void wal_encode_demote(BufferWriter& batch, std::uint64_t sequence,
                        BlockId block);
 
+/// What a pure in-memory scan of a journal's frame region found. The
+/// offsets are relative to the start of the scanned span (open() adds the
+/// header size to get file offsets).
+struct WalFrameScan {
+  std::vector<WalRecord> records;  // the valid committed prefix, in order
+  std::uint64_t next_sequence = 1; // first sequence a new record may use
+  std::size_t consumed = 0;        // bytes of valid frames from the start
+  bool torn_tail = false;          // non-zero garbage follows the prefix
+};
+
+/// Recovery-scan the frame region (everything after the file header) of a
+/// journal image: parse frames front to back, stopping at the first
+/// length/CRC/decode/sequence-monotonicity violation. Pure — no I/O, no
+/// allocation beyond the decoded records — so it is shared by
+/// WalJournal::open() and the wal_replay fuzz harness: whatever bytes a
+/// crashed append (or the fuzzer) leaves, the scan must terminate with a
+/// well-formed committed prefix and never crash.
+[[nodiscard]] WalFrameScan wal_scan_frames(std::span<const std::byte> tail,
+                                           std::size_t block_size);
+
 class WalJournal {
  public:
   /// Journal header size (magic, format, geometry, CRC).

@@ -324,8 +324,9 @@ Status JournaledBlockStore::commit_locked() {
     // The torn tail: the kernel got only the front half of the batch onto
     // disk before the crash. Recovery must replay the records before this
     // batch and truncate the fragment.
-    (void)journal_->raw_append(
-        std::span<const std::byte>(batch).first(batch.size() / 2));
+    journal_
+        ->raw_append(std::span<const std::byte>(batch).first(batch.size() / 2))
+        .ignore_error();
     status = errors::io_error("crash injected mid journal append");
   } else {
     for (std::size_t offset = 0; offset < batch.size() && status.is_ok();

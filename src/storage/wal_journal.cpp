@@ -174,6 +174,44 @@ void wal_encode_demote(BufferWriter& batch, std::uint64_t sequence,
   put_frame(batch, body);
 }
 
+WalFrameScan wal_scan_frames(std::span<const std::byte> tail,
+                             std::size_t block_size) {
+  // No frame body can legitimately exceed a full block write or a full
+  // metadata blob; anything larger is tail garbage, not a record.
+  const std::size_t max_body =
+      kBodyPrefix + 16 + 4 +
+      std::max(block_size, FileBlockStore::kMetadataCapacity);
+  WalFrameScan scan;
+  std::size_t offset = 0;
+  std::uint64_t last_sequence = 0;
+  while (offset + WalJournal::kFrameHeader <= tail.size()) {
+    BufferReader frame(tail.subspan(offset));
+    const std::uint32_t length = frame.get_u32().value();
+    const std::uint32_t crc = frame.get_u32().value();
+    if (length == 0 || length > max_body ||
+        offset + WalJournal::kFrameHeader + length > tail.size()) {
+      break;
+    }
+    const auto body = tail.subspan(offset + WalJournal::kFrameHeader, length);
+    if (crc32c(body) != crc) break;
+    auto record = decode_body(body, block_size);
+    if (!record || record->sequence <= last_sequence) break;
+    last_sequence = record->sequence;
+    scan.records.push_back(std::move(*record));
+    offset += WalJournal::kFrameHeader + length;
+  }
+  scan.next_sequence = last_sequence + 1;
+  scan.consumed = offset;
+  // Whatever follows the committed prefix is either untouched zeroed
+  // preallocation (a clean end of log) or the garbage a crash mid-append
+  // left; only the latter counts as a torn tail.
+  const auto rest = tail.subspan(offset);
+  scan.torn_tail = std::any_of(rest.begin(), rest.end(), [](std::byte b) {
+    return b != std::byte{0};
+  });
+  return scan;
+}
+
 WalJournal::WalJournal(std::string path, int fd, std::uint64_t end)
     : path_(std::move(path)), fd_(fd), end_(end) {}
 
@@ -252,44 +290,17 @@ Result<std::unique_ptr<WalJournal>> WalJournal::open(const std::string& path,
       return errors::io_error("journal shrank while scanning");
     }
   }
-  // No frame body can legitimately exceed a full block write or a full
-  // metadata blob; anything larger is tail garbage, not a record.
-  const std::size_t max_body =
-      kBodyPrefix + 16 + 4 +
-      std::max(block_size, FileBlockStore::kMetadataCapacity);
+  WalFrameScan scan = wal_scan_frames(tail, block_size);
   out = ScanResult{};
-  std::size_t offset = 0;
-  std::uint64_t last_sequence = 0;
-  while (offset + kFrameHeader <= tail.size()) {
-    BufferReader frame(std::span<const std::byte>(tail).subspan(offset));
-    const std::uint32_t length = frame.get_u32().value();
-    const std::uint32_t crc = frame.get_u32().value();
-    if (length == 0 || length > max_body ||
-        offset + kFrameHeader + length > tail.size()) {
-      break;
-    }
-    const auto body =
-        std::span<const std::byte>(tail).subspan(offset + kFrameHeader, length);
-    if (crc32c(body) != crc) break;
-    auto record = decode_body(body, block_size);
-    if (!record || record->sequence <= last_sequence) break;
-    last_sequence = record->sequence;
-    out.records.push_back(std::move(*record));
-    offset += kFrameHeader + length;
-  }
-  out.next_sequence = last_sequence + 1;
-  out.valid_end = kHeaderSize + offset;
+  out.records = std::move(scan.records);
+  out.next_sequence = scan.next_sequence;
+  out.valid_end = kHeaderSize + scan.consumed;
+  out.torn_tail = scan.torn_tail;
   journal->end_ = out.valid_end;
 
-  // Whatever follows the committed prefix is either untouched zeroed
-  // preallocation (a clean end of log) or the garbage a crash mid-append
-  // left. Only the latter counts as a torn tail, and it is neutralized by
-  // overwriting with zeros — restoring the end-of-log terminator without
-  // surrendering the preallocated region a truncate would discard.
-  const auto rest = std::span<const std::byte>(tail).subspan(offset);
-  out.torn_tail = std::any_of(rest.begin(), rest.end(), [](std::byte b) {
-    return b != std::byte{0};
-  });
+  // A torn tail is neutralized by overwriting with zeros — restoring the
+  // end-of-log terminator without surrendering the preallocated region a
+  // truncate would discard.
   if (out.torn_tail) {
     RELDEV_WARN("wal") << path << ": zeroing torn tail ("
                        << (file_size - out.valid_end) << " byte(s) past "

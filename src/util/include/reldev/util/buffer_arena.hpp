@@ -121,7 +121,7 @@ class BufferArena {
   friend class ArenaBuffer;
 
   const std::size_t max_pooled_bytes_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"BufferArena.mutex"};
   std::array<std::vector<std::vector<std::byte>>, kClassCount> free_lists_
       RELDEV_GUARDED_BY(mutex_);
   std::size_t pooled_bytes_ RELDEV_GUARDED_BY(mutex_) = 0;

@@ -40,7 +40,7 @@ class Logger {
  private:
   Logger();
   std::atomic<int> level_;
-  Mutex mutex_;
+  Mutex mutex_{"Logger.mutex"};
   std::ostream* sink_ RELDEV_GUARDED_BY(mutex_);  // not owned
 };
 

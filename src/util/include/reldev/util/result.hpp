@@ -46,6 +46,13 @@ class Status {
   /// "unavailable: quorum not reached (2 of 5 up)" or "ok".
   [[nodiscard]] std::string to_string() const;
 
+  /// Explicitly discard this status. The sanctioned spelling for call
+  /// sites where failure is genuinely acceptable (best-effort sends,
+  /// cleanup paths); the reldev-result-discard tidy check flags bare and
+  /// `(void)`-cast discards and points here, so every ignored error is a
+  /// deliberate, greppable decision.
+  void ignore_error() const noexcept {}
+
   friend bool operator==(const Status& a, const Status& b) noexcept {
     return a.code_ == b.code_;
   }
@@ -92,6 +99,10 @@ class Result {
   [[nodiscard]] T value_or(T fallback) const& {
     return is_ok() ? std::get<T>(state_) : std::move(fallback);
   }
+
+  /// Explicitly discard this result (value and error alike); see
+  /// Status::ignore_error().
+  void ignore_error() const noexcept {}
 
  private:
   std::variant<T, Status> state_;

@@ -25,6 +25,17 @@
 
 #include "reldev/util/assert.hpp"
 
+// With RELDEV_LOCKDEP (cmake option; Debug/CI builds) every Mutex also
+// feeds the runtime lock-order checker: mutexes get *class* identities
+// (an explicit name, or the construction site), acquisitions build a
+// global ordering graph with cycle detection, and the raw-I/O paths
+// refuse to block while a lock is held. See lockdep.hpp / DESIGN.md §15.
+#if defined(RELDEV_LOCKDEP)
+#include <source_location>
+
+#include "reldev/util/lockdep.hpp"
+#endif
+
 // ---------------------------------------------------------------------------
 // Attribute macros. Real attributes under clang; no-ops everywhere else, so
 // GCC builds are untouched and annotation mistakes cannot break tier-1.
@@ -100,10 +111,51 @@ namespace reldev {
 /// library).
 class RELDEV_CAPABILITY("mutex") Mutex {
  public:
+#if defined(RELDEV_LOCKDEP)
+  /// Lockdep class identity: mutexes sharing a `name` (or, unnamed, a
+  /// construction site) form one class, so one run's ordering facts
+  /// generalize over every instance. Name long-lived mutexes after their
+  /// owner ("BlockCache.mutex"); locals may rely on the site default.
+  explicit Mutex(const char* name = nullptr,
+                 std::source_location site = std::source_location::current())
+      : ld_name_(name), ld_file_(site.file_name()), ld_line_(site.line()) {}
+#else
   Mutex() = default;
+  /// Lockdep class name; inert in this configuration (kept so naming a
+  /// mutex does not need an #ifdef at the declaration site).
+  explicit Mutex(const char* /*name*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(RELDEV_LOCKDEP)
+  void lock(std::source_location site = std::source_location::current())
+      RELDEV_ACQUIRE() {
+    const std::uint32_t cls = ld_class();
+    lockdep::pre_acquire(this, cls, site.file_name(), site.line());
+    mutex_.lock();
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    lockdep::post_acquire(this, cls, site.file_name(), site.line());
+  }
+
+  void unlock() RELDEV_RELEASE() {
+    lockdep::note_release(this);
+    holder_.store(std::thread::id{}, std::memory_order_relaxed);
+    mutex_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock(
+      std::source_location site = std::source_location::current())
+      RELDEV_TRY_ACQUIRE(true) {
+    if (!mutex_.try_lock()) return false;
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    // A try-lock can never participate in a deadlock (it backs off), so
+    // no pre_acquire ordering check — but it is held from here on, so it
+    // does join the stack for later edges and blocking checks.
+    lockdep::post_acquire(this, ld_class(), site.file_name(), site.line());
+    return true;
+  }
+#else
   void lock() RELDEV_ACQUIRE() {
     mutex_.lock();
     holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
@@ -119,6 +171,7 @@ class RELDEV_CAPABILITY("mutex") Mutex {
     holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
     return true;
   }
+#endif
 
   /// True iff the calling thread currently holds this mutex.
   [[nodiscard]] bool held_by_caller() const noexcept {
@@ -134,6 +187,25 @@ class RELDEV_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
+
+#if defined(RELDEV_LOCKDEP)
+  /// Lazily interned lockdep class id (0 = not yet registered). Racing
+  /// registrations are benign: register_class is idempotent per key.
+  std::uint32_t ld_class() noexcept {
+    std::uint32_t cls = ld_class_.load(std::memory_order_acquire);
+    if (cls == 0) {
+      cls = lockdep::register_class(ld_name_, ld_file_, ld_line_);
+      ld_class_.store(cls, std::memory_order_release);
+    }
+    return cls;
+  }
+
+  const char* ld_name_;
+  const char* ld_file_;
+  unsigned ld_line_;
+  std::atomic<std::uint32_t> ld_class_{0};
+#endif
+
   std::mutex mutex_;
   std::atomic<std::thread::id> holder_{};
 };
@@ -143,9 +215,20 @@ class RELDEV_CAPABILITY("mutex") Mutex {
 /// mutex is held.
 class RELDEV_SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(RELDEV_LOCKDEP)
+  /// The guard's construction site is the acquisition site lockdep shows
+  /// in held-lock chains (source_location defaults to the caller).
+  explicit MutexLock(Mutex& mutex,
+                     std::source_location site = std::source_location::current())
+      RELDEV_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock(site);
+  }
+#else
   explicit MutexLock(Mutex& mutex) RELDEV_ACQUIRE(mutex) : mutex_(mutex) {
     mutex_.lock();
   }
+#endif
   ~MutexLock() RELDEV_RELEASE() { mutex_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -165,24 +248,39 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(Mutex& mutex) RELDEV_REQUIRES(mutex) {
+    // Lockdep: the mutex leaves the held stack while the wait sleeps (it
+    // really is released) and is re-pushed — with ordering re-checked —
+    // on wake. Waiting with *other* locks held is reported.
+#if defined(RELDEV_LOCKDEP)
+    const lockdep::WaitToken token = lockdep::wait_begin(&mutex);
+#endif
     std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
     mutex.holder_.store(std::thread::id{}, std::memory_order_relaxed);
     cv_.wait(native);
     mutex.holder_.store(std::this_thread::get_id(),
                         std::memory_order_relaxed);
     native.release();  // the caller's MutexLock still owns the mutex
+#if defined(RELDEV_LOCKDEP)
+    lockdep::wait_end(&mutex, token);
+#endif
   }
 
   /// Returns false if `timeout` elapsed without a notification.
   template <typename Rep, typename Period>
   bool wait_for(Mutex& mutex, std::chrono::duration<Rep, Period> timeout)
       RELDEV_REQUIRES(mutex) {
+#if defined(RELDEV_LOCKDEP)
+    const lockdep::WaitToken token = lockdep::wait_begin(&mutex);
+#endif
     std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
     mutex.holder_.store(std::thread::id{}, std::memory_order_relaxed);
     const auto status = cv_.wait_for(native, timeout);
     mutex.holder_.store(std::this_thread::get_id(),
                         std::memory_order_relaxed);
     native.release();
+#if defined(RELDEV_LOCKDEP)
+    lockdep::wait_end(&mutex, token);
+#endif
     return status == std::cv_status::no_timeout;
   }
 

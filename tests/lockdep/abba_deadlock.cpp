@@ -1,0 +1,103 @@
+// Acceptance check for the runtime lock-order checker (DESIGN.md §15): a
+// deliberate ABBA pattern across two threads. The threads are sequenced
+// (join between them) so the process never actually deadlocks — lockdep
+// reports the *ordering* cycle, which is the whole point: a potential
+// deadlock is caught on the first run, not on the unlucky interleaving.
+//
+//   ./abba_deadlock          exits 0 iff lockdep reported the inversion,
+//                            with BOTH acquisition stacks in the report;
+//   ./abba_deadlock fixed    takes the locks in one consistent order and
+//                            exits 0 iff lockdep stayed silent.
+//
+// ctest registers both modes in RELDEV_LOCKDEP builds.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reldev/util/lockdep.hpp"
+#include "reldev/util/thread_annotations.hpp"
+
+namespace {
+
+reldev::Mutex g_bank_accounts{"abba.bank-accounts"};
+reldev::Mutex g_audit_log{"abba.audit-log"};
+
+/// Thread 1's discipline: accounts, then the audit log.
+void transfer() {
+  const reldev::MutexLock accounts(g_bank_accounts);
+  const reldev::MutexLock audit(g_audit_log);
+}
+
+/// Thread 2's discipline in the buggy build: audit log, then accounts —
+/// the classic ABBA. In the fixed build it matches thread 1.
+void audit(bool fixed) {
+  if (fixed) {
+    const reldev::MutexLock accounts(g_bank_accounts);
+    const reldev::MutexLock log(g_audit_log);
+    return;
+  }
+  const reldev::MutexLock log(g_audit_log);
+  const reldev::MutexLock accounts(g_bank_accounts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fixed = argc > 1 && std::strcmp(argv[1], "fixed") == 0;
+  if (!reldev::lockdep::enabled()) {
+    std::fprintf(stderr,
+                 "abba_deadlock: built without RELDEV_LOCKDEP; nothing to "
+                 "check\n");
+    return 0;
+  }
+
+  std::vector<reldev::lockdep::Violation> reports;
+  reldev::lockdep::set_handler(
+      [&reports](const reldev::lockdep::Violation& violation) {
+        reports.push_back(violation);
+      });
+
+  std::thread first(transfer);
+  first.join();
+  std::thread second(audit, fixed);
+  second.join();
+
+  if (fixed) {
+    if (!reports.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: consistent ordering still produced %zu report(s):\n"
+                   "%s\n",
+                   reports.size(), reports[0].text.c_str());
+      return 1;
+    }
+    std::printf("OK: consistent lock order, lockdep silent\n");
+    return 0;
+  }
+
+  if (reports.size() != 1) {
+    std::fprintf(stderr, "FAIL: expected 1 inversion report, got %zu\n",
+                 reports.size());
+    return 1;
+  }
+  const reldev::lockdep::Violation& report = reports[0];
+  if (report.kind != reldev::lockdep::ViolationKind::kOrderInversion) {
+    std::fprintf(stderr, "FAIL: wrong violation kind: %s\n",
+                 reldev::lockdep::violation_kind_name(report.kind));
+    return 1;
+  }
+  const std::string& text = report.text;
+  for (const char* needle :
+       {"abba.bank-accounts", "abba.audit-log", "this acquisition stack",
+        "recorded acquisition stack"}) {
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "FAIL: report lacks \"%s\":\n%s\n", needle,
+                   text.c_str());
+      return 1;
+    }
+  }
+  std::printf("OK: ABBA ordering reported with both stacks:\n%s\n",
+              text.c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Positive + negative cases for reldev-no-raw-std-mutex. Lines that must
+// produce a warning end with an `// expect-warning` marker; every other
+// line must stay clean (the runner checks both directions). The file is
+// self-contained — stub declarations instead of repo headers — so the
+// check is exercised purely on qualified-name matching.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace reldev {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+class CondVar {};
+}  // namespace reldev
+
+// ---- positive: raw std synchronization declarations -----------------------
+
+std::mutex g_raw_mutex;                          // expect-warning
+std::recursive_mutex g_recursive;                // expect-warning
+std::shared_mutex g_shared;                      // expect-warning
+std::condition_variable g_cv;                    // expect-warning
+
+struct Server {
+  std::mutex mutex;                              // expect-warning
+  std::condition_variable_any cv;                // expect-warning
+};
+
+void guards() {
+  std::mutex local;                              // expect-warning
+  std::lock_guard<std::mutex> guard(local);      // expect-warning
+  std::unique_lock<std::mutex> unique(local);    // expect-warning
+}
+
+void parameter(std::mutex& ref) { (void)ref; }   // expect-warning
+
+// ---- negative: the annotated primitives are the sanctioned spelling -------
+
+reldev::Mutex g_good_mutex;
+reldev::CondVar g_good_cv;
+
+struct GoodServer {
+  reldev::Mutex mutex;
+};
+
+void good_guard() {
+  reldev::Mutex local;
+  reldev::MutexLock lock(local);
+}

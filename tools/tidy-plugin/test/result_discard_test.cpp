@@ -1,0 +1,46 @@
+// Positive + negative cases for reldev-result-discard: a reldev::Status or
+// reldev::Result<T> return value dropped on the floor — bare, or silenced
+// with a cast to void. `// expect-warning` marks the lines that must fire.
+namespace reldev {
+class Status {
+ public:
+  bool is_ok() const { return true; }
+  void ignore_error() const {}
+};
+template <typename T>
+class Result {
+ public:
+  explicit operator bool() const { return true; }
+  void ignore_error() const {}
+};
+}  // namespace reldev
+
+reldev::Status do_send();
+reldev::Result<int> do_read();
+int plain_int();
+
+// ---- positive: discarded error channels -----------------------------------
+
+void discards() {
+  do_send();                                // expect-warning
+  do_read();                                // expect-warning
+  (void)do_send();                          // expect-warning
+  (void)do_read();                          // expect-warning
+  static_cast<void>(do_send());             // expect-warning
+}
+
+// ---- negative: handled, consumed, or sanctioned ----------------------------
+
+reldev::Status handled() {
+  if (!do_send().is_ok()) {
+    return do_send();
+  }
+  auto result = do_read();
+  if (result) {
+    do_send().ignore_error();
+  }
+  do_read().ignore_error();
+  plain_int();          // not a Status/Result: none of our business
+  (void)plain_int();
+  return do_send();
+}

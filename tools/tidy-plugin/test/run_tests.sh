@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Lit-style runner for the reldev-* clang-tidy checks. For every
+# <check>_test.cpp here it runs clang-tidy with only that check enabled
+# (plugin loaded) and compares the exact set of warning lines against the
+# `// expect-warning` markers in the file — so each file is positive AND
+# negative coverage: marked lines must fire, unmarked lines must not.
+#
+# Usage: run_tests.sh [--plugin PATH]
+#
+# Exit codes: 0 all green, 1 mismatch, 77 skipped (no clang-tidy or no
+# plugin — ctest treats 77 as SKIP via SKIP_RETURN_CODE).
+set -uo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+plugin=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --plugin) plugin="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "run_tests.sh: clang-tidy not installed; SKIP" >&2
+  exit 77
+fi
+
+if [[ -z "$plugin" ]]; then
+  for candidate in "$here/../build/libreldev_tidy_module.so" \
+                   "$here/../libreldev_tidy_module.so"; do
+    if [[ -f "$candidate" ]]; then
+      plugin="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$plugin" || ! -f "$plugin" ]]; then
+  echo "run_tests.sh: plugin not built (cmake -B tools/tidy-plugin/build" \
+       "-S tools/tidy-plugin); SKIP" >&2
+  exit 77
+fi
+
+failures=0
+for test_file in "$here"/*_test.cpp; do
+  base="$(basename "$test_file" _test.cpp)"
+  check="reldev-${base//_/-}"
+
+  expected="$(grep -nE '//[[:space:]]*expect-warning[[:space:]]*$' \
+                "$test_file" | cut -d: -f1 | sort -n)"
+  actual="$("$tidy" -load="$plugin" --quiet \
+              "-checks=-*,$check" "$test_file" -- -std=c++17 2>/dev/null |
+            grep -oE "^$test_file:[0-9]+:[0-9]+: warning: .*\[$check\]" |
+            cut -d: -f2 | sort -n | uniq)"
+
+  if [[ -z "$actual" && -n "$expected" ]]; then
+    # Distinguish "check found nothing" from "plugin failed to load".
+    if ! "$tidy" -load="$plugin" --list-checks "-checks=-*,$check" \
+         2>/dev/null | grep -q "$check"; then
+      echo "run_tests.sh: $check not registered by $plugin under $tidy;" \
+           "SKIP (header/binary version mismatch?)" >&2
+      exit 77
+    fi
+  fi
+
+  if [[ "$expected" == "$actual" ]]; then
+    count=0
+    [[ -n "$expected" ]] && count="$(wc -l <<<"$expected")"
+    echo "PASS $check ($count expected warnings, exact match)"
+  else
+    echo "FAIL $check" >&2
+    echo "  expected warning lines: $(tr '\n' ' ' <<<"$expected")" >&2
+    echo "  actual warning lines:   $(tr '\n' ' ' <<<"$actual")" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ $failures -ne 0 ]]; then
+  echo "run_tests.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "run_tests.sh: all reldev-* check tests green"
